@@ -1,0 +1,47 @@
+"""3D validation bench (future-work item ii): does 2D hold in 3D?"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_series
+from repro.experiments.study3d import (
+    PAPER_CURVES_3D,
+    format_study3d,
+    run_anns3d_study,
+    run_study3d,
+)
+
+
+def _kwargs(scale):
+    if scale.name == "paper":
+        return {"num_particles": 250_000, "order": 7, "num_processors": 32_768, "trials": 3}
+    return {"num_particles": 20_000, "order": 6, "num_processors": 4_096, "trials": 2}
+
+
+@pytest.mark.paper_artifact("ext-3d-acd")
+def test_3d_acd_validation(benchmark, scale, report):
+    result = benchmark.pedantic(run_study3d, kwargs=_kwargs(scale), rounds=1, iterations=1)
+    report(f"3D ACD validation (scale={scale.name})", format_study3d(result))
+    # the 2D conclusions that must carry over:
+    for topo in result.topologies:
+        row = result.nfi[topo]
+        assert row["hilbert3d"] < row["rowmajor3d"], topo  # Hilbert >> row-major
+    torus = result.nfi["torus3d"]
+    assert min(torus, key=torus.get) == "hilbert3d"
+
+
+@pytest.mark.paper_artifact("ext-3d-anns")
+def test_3d_anns(benchmark, scale, report):
+    orders = (1, 2, 3, 4, 5) if scale.name == "paper" else (1, 2, 3, 4)
+    series = benchmark.pedantic(
+        run_anns3d_study, kwargs={"orders": orders}, rounds=1, iterations=1
+    )
+    report(
+        f"3D ANNS sweep (scale={scale.name})",
+        format_series(series, [1 << k for k in orders], "3D ANNS (r=1)", "cube side"),
+    )
+    # the 'surprising' Fig. 5 ordering also holds in 3D
+    final = {c: v[-1] for c, v in series.items()}
+    assert final["morton3d"] < final["hilbert3d"] < final["gray3d"]
+    assert final["rowmajor3d"] < final["hilbert3d"]

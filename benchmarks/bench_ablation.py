@@ -1,0 +1,96 @@
+"""Ablation benches for the reproduction's modelling choices (DESIGN.md §3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    continuity_ablation,
+    ffi_granularity_ablation,
+    hypercube_layout_ablation,
+    interpolation_reading_ablation,
+    quadtree_convention_ablation,
+)
+from repro.experiments.reporting import format_rows
+
+
+def _args(scale):
+    if scale.name == "paper":
+        return {"num_particles": 250_000, "order": 10, "num_processors": 65_536}
+    return {"num_particles": 15_000, "order": 9, "num_processors": 1_024}
+
+
+@pytest.mark.paper_artifact("ablation-quadtree")
+def test_quadtree_convention(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        quadtree_convention_ablation, kwargs=_args(scale), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: quadtree path-cost convention",
+        format_rows([r.as_dict() for r in rows], ["variant", "nfi_acd", "ffi_acd"]),
+    )
+    by = {r.variant: r for r in rows}
+    assert by["quadtree/levels"].ffi_acd == pytest.approx(by["quadtree/updown"].ffi_acd / 2)
+    # the convention decides the Fig. 6(b) quadtree-vs-hypercube ranking
+    assert by["quadtree/levels"].ffi_acd < by["hypercube"].ffi_acd < by["quadtree/updown"].ffi_acd
+
+
+@pytest.mark.paper_artifact("ablation-granularity")
+def test_ffi_granularity(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        ffi_granularity_ablation, kwargs=_args(scale), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: far-field event granularity (§III cells vs §IV processors)",
+        format_rows([r.as_dict() for r in rows], ["variant", "nfi_acd", "ffi_acd"]),
+    )
+    by = {r.variant: r for r in rows}
+    # deduplication removes short repeated transfers first, raising the mean
+    assert by["granularity=processor"].ffi_acd > by["granularity=cell"].ffi_acd
+
+
+@pytest.mark.paper_artifact("ablation-interpolation")
+def test_interpolation_readings(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        interpolation_reading_ablation, kwargs=_args(scale), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: three readings of the far-field upward pass "
+        "(ffi_acd column = upward-pass ACD)",
+        format_rows([r.as_dict() for r in rows], ["variant", "ffi_acd"]),
+    )
+    by = {r.variant: r.ffi_acd for r in rows}
+    # each literal reading moves the traffic further up the tree
+    assert (
+        by["cell parent-child (§III)"]
+        < by["processor dedup (§IV 7)"]
+        < by["quadrant log-tree (§IV 5-6)"]
+    )
+
+
+@pytest.mark.paper_artifact("ablation-hypercube")
+def test_hypercube_layout(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        hypercube_layout_ablation, kwargs=_args(scale), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: hypercube rank labelling (identity vs Gray embedding)",
+        format_rows([r.as_dict() for r in rows], ["variant", "nfi_acd", "ffi_acd"]),
+    )
+    by = {r.variant: r for r in rows}
+    # Gray labels make consecutive ranks adjacent: NFI traffic gets cheaper
+    assert by["layout=gray"].nfi_acd < by["layout=identity"].nfi_acd
+
+
+@pytest.mark.paper_artifact("ablation-continuity")
+def test_continuity(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        continuity_ablation, kwargs=_args(scale), rounds=1, iterations=1
+    )
+    report(
+        "Ablation: continuity (snake) vs recursion (Hilbert) vs neither (row-major)",
+        format_rows([r.as_dict() for r in rows], ["variant", "nfi_acd", "ffi_acd"]),
+    )
+    by = {r.variant: r for r in rows}
+    assert by["snake"].nfi_acd < by["rowmajor"].nfi_acd  # continuity helps...
+    assert by["hilbert"].nfi_acd < by["snake"].nfi_acd  # ...recursion helps more

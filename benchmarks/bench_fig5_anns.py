@@ -1,0 +1,20 @@
+"""Regenerate Fig. 5 — ANNS and large-radius stretch vs resolution (§V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_anns_study, run_anns_study
+from repro.experiments.anns_study import AnnsStudyResult
+
+
+@pytest.mark.paper_artifact("fig5")
+def test_fig5_anns(benchmark, scale, report):
+    result: AnnsStudyResult = benchmark.pedantic(
+        run_anns_study, args=(scale,), rounds=1, iterations=1
+    )
+    report(f"Fig. 5 (scale={scale.name})", format_anns_study(result))
+    # sanity: the paper's headline ordering must hold at the top resolution
+    final = {c: v[-1] for c, v in result.values[1].items()}
+    assert final["zcurve"] < final["hilbert"] < final["gray"]
+    assert final["rowmajor"] < final["gray"]

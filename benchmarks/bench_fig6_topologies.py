@@ -1,0 +1,22 @@
+"""Regenerate Fig. 6 — NFI/FFI ACD across network topologies (§VI-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_topology_study, run_topology_study
+
+
+@pytest.mark.paper_artifact("fig6")
+def test_fig6_topologies(benchmark, scale, report):
+    result = benchmark.pedantic(
+        run_topology_study, kwargs={"scale": scale, "seed": 2013}, rounds=1, iterations=1
+    )
+    report(f"Fig. 6 (scale={scale.name})", format_topology_study(result))
+    # shape checks (paper's text, §VI-B)
+    for curve in ("zcurve", "gray"):
+        plotted = {t: result.nfi[t][curve] for t in ("mesh", "torus", "quadtree", "hypercube")}
+        assert min(plotted, key=plotted.get) == "hypercube"
+    for curve in ("hilbert", "zcurve", "gray"):
+        assert result.nfi["bus"][curve] > result.nfi["torus"][curve]
+        assert result.nfi["ring"][curve] > result.nfi["torus"][curve]

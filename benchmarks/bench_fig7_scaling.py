@@ -1,0 +1,21 @@
+"""Regenerate Fig. 7 — ACD as a function of processor count (§VI-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_scaling_study, run_scaling_study
+
+
+@pytest.mark.paper_artifact("fig7")
+def test_fig7_scaling(benchmark, scale, report):
+    result = benchmark.pedantic(
+        run_scaling_study, kwargs={"scale": scale, "seed": 2013}, rounds=1, iterations=1
+    )
+    report(f"Fig. 7 (scale={scale.name})", format_scaling_study(result))
+    # shape checks: Hilbert best throughout, row-major far worse at the
+    # largest processor count (the paper drops those points as off-scale)
+    last = len(result.processor_counts) - 1
+    finals = {c: result.nfi[c][last] for c in result.curves}
+    assert min(finals, key=finals.get) == "hilbert"
+    assert finals["rowmajor"] > 2 * finals["hilbert"]

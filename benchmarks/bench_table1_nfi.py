@@ -1,0 +1,34 @@
+"""Regenerate Table I — NFI ACD for 16 SFC pairings x 3 distributions (§VI-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_sfc_pairs
+from repro.experiments.reporting import format_matrix, pretty
+
+
+@pytest.mark.paper_artifact("table1")
+def test_table1_nfi(benchmark, scale, report):
+    result = benchmark.pedantic(
+        run_sfc_pairs,
+        kwargs={"scale": scale, "seed": 2013, "parts": ("nfi",)},
+        rounds=1,
+        iterations=1,
+    )
+    blocks = [
+        format_matrix(
+            result.nfi[dist],
+            result.processor_curves,
+            result.particle_curves,
+            title=f"Table I — {pretty(dist)} distribution, NFI ACD",
+        )
+        for dist in result.distributions
+    ]
+    report(f"Table I (scale={scale.name})", "\n\n".join(blocks))
+    # shape check: Hilbert/Hilbert is the best cell, RM/RM the worst diagonal
+    for dist in result.distributions:
+        cells = result.nfi[dist]
+        assert min(cells["hilbert"], key=cells["hilbert"].get) == "hilbert"
+        diag = {c: cells[c][c] for c in result.particle_curves}
+        assert max(diag, key=diag.get) == "rowmajor"

@@ -1,0 +1,33 @@
+"""Regenerate Table II — FFI ACD for 16 SFC pairings x 3 distributions (§VI-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_sfc_pairs
+from repro.experiments.reporting import format_matrix, pretty
+
+
+@pytest.mark.paper_artifact("table2")
+def test_table2_ffi(benchmark, scale, report):
+    result = benchmark.pedantic(
+        run_sfc_pairs,
+        kwargs={"scale": scale, "seed": 2013, "parts": ("ffi",)},
+        rounds=1,
+        iterations=1,
+    )
+    blocks = [
+        format_matrix(
+            result.ffi[dist],
+            result.processor_curves,
+            result.particle_curves,
+            title=f"Table II — {pretty(dist)} distribution, FFI ACD",
+        )
+        for dist in result.distributions
+    ]
+    report(f"Table II (scale={scale.name})", "\n\n".join(blocks))
+    # shape check: recursive curves dominate the row-major pairing
+    for dist in result.distributions:
+        diag = {c: result.ffi[dist][c][c] for c in result.particle_curves}
+        assert diag["hilbert"] < diag["rowmajor"]
+        assert diag["zcurve"] < diag["rowmajor"]

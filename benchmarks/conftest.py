@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one paper artefact (table or
+figure) and prints the rows/series the paper reports, while
+pytest-benchmark records how long the regeneration takes.  Benchmarks
+run at ``small`` scale by default; ``REPRO_SCALE=paper`` switches to the
+exact published workload sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import active_scale
+
+
+def pytest_configure(config):
+    # benchmarks live outside tests/; make pytest pick them up by name
+    config.addinivalue_line("markers", "paper_artifact(name): paper table/figure id")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active workload scale (small unless REPRO_SCALE=paper)."""
+    return active_scale()
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Print a regenerated artefact under a clear banner."""
+
+    def _report(title: str, body: str) -> None:
+        capman = request.config.pluginmanager.getplugin("capturemanager")
+        with capman.global_and_fixture_disabled():
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+
+    return _report

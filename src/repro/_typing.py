@@ -1,0 +1,25 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["IntArray", "FloatArray", "BoolArray", "IntLike", "SeedLike"]
+
+#: Integer ndarray (indices, coordinates, ranks).
+IntArray = npt.NDArray[np.int64]
+
+#: Floating-point ndarray (distances, metric values).
+FloatArray = npt.NDArray[np.float64]
+
+#: Boolean mask ndarray.
+BoolArray = npt.NDArray[np.bool_]
+
+#: Anything accepted where a scalar integer is expected.
+IntLike = Union[int, np.integer]
+
+#: Anything accepted as a random seed (``None`` means nondeterministic).
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]

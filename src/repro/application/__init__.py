@@ -1,0 +1,15 @@
+"""Composable application communication models (§VII of the paper)."""
+
+from repro.application.model import (
+    ApplicationModel,
+    ApplicationPhase,
+    ApplicationReport,
+    recommend_configuration,
+)
+
+__all__ = [
+    "ApplicationModel",
+    "ApplicationPhase",
+    "ApplicationReport",
+    "recommend_configuration",
+]

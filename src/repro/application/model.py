@@ -1,0 +1,131 @@
+"""Composable application communication models (§VII made concrete).
+
+§VII of the paper sketches the workflow: "the ACD value can be
+calculated for each type of communication, point-to-point, all-to-all,
+etc., and these can be combined to predict the performance of the
+implementation."  :class:`ApplicationModel` implements exactly that
+composition: phases (event multisets with per-timestep repeat counts)
+are registered once, then evaluated against any candidate network, and
+:func:`recommend_configuration` ranks candidate {topology,
+processor-order} configurations by the predicted per-timestep cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.fmm.events import CommunicationEvents
+from repro.metrics.acd import ACDResult, compute_acd
+from repro.topology.base import Topology
+
+__all__ = ["ApplicationPhase", "ApplicationReport", "ApplicationModel", "recommend_configuration"]
+
+
+@dataclass(frozen=True)
+class ApplicationPhase:
+    """One communication phase of an application.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    events:
+        The phase's communication multiset (for one execution).
+    repeats:
+        How many times the phase runs per timestep.
+    """
+
+    name: str
+    events: CommunicationEvents
+    repeats: int = 1
+
+    def __post_init__(self):
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+
+@dataclass(frozen=True)
+class ApplicationReport:
+    """Per-phase and pooled ACD of an application on one network."""
+
+    phases: dict[str, ACDResult]
+    repeats: dict[str, int]
+
+    @property
+    def total(self) -> ACDResult:
+        """All phases pooled, each weighted by its repeat count."""
+        pooled = ACDResult(0, 0)
+        for name, result in self.phases.items():
+            r = self.repeats[name]
+            pooled = pooled.merged(
+                ACDResult(result.total_distance * r, result.count * r)
+            )
+        return pooled
+
+    @property
+    def total_distance_per_timestep(self) -> int:
+        """Total hop-weight moved per timestep — the cost to minimise."""
+        return self.total.total_distance
+
+
+class ApplicationModel:
+    """A named collection of communication phases.
+
+    Phases can be added as ready-made event multisets or as factories
+    taking the topology (so rank-count-dependent patterns, e.g. "an
+    allreduce over all ranks", adapt to each candidate network).
+    """
+
+    def __init__(self, name: str = "application"):
+        self.name = name
+        self._phases: list[tuple[str, object, int]] = []
+
+    def add_phase(
+        self,
+        name: str,
+        events: CommunicationEvents | Callable[[Topology], CommunicationEvents],
+        repeats: int = 1,
+    ) -> "ApplicationModel":
+        """Register a phase; returns ``self`` for chaining."""
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        if any(existing == name for existing, _, _ in self._phases):
+            raise ValueError(f"phase {name!r} already registered")
+        self._phases.append((name, events, repeats))
+        return self
+
+    @property
+    def phase_names(self) -> tuple[str, ...]:
+        """Names of the registered phases, in registration order."""
+        return tuple(name for name, _, _ in self._phases)
+
+    def evaluate(self, topology: Topology) -> ApplicationReport:
+        """Per-phase ACD of the whole application on one network."""
+        if not self._phases:
+            raise ValueError("no phases registered")
+        results: dict[str, ACDResult] = {}
+        repeats: dict[str, int] = {}
+        for name, events, reps in self._phases:
+            ev = events(topology) if callable(events) else events
+            results[name] = compute_acd(ev, topology)
+            repeats[name] = reps
+        return ApplicationReport(phases=results, repeats=repeats)
+
+
+def recommend_configuration(
+    model: ApplicationModel,
+    candidates: Mapping[str, Topology] | Iterable[tuple[str, Topology]],
+) -> list[tuple[str, ApplicationReport]]:
+    """Rank candidate networks by predicted per-timestep communication cost.
+
+    Returns ``(label, report)`` pairs sorted best-first by total weighted
+    hop count — the §VII selection rule ("the curve that gives rise to
+    the lowest ACD value can then be selected").
+    """
+    items = candidates.items() if isinstance(candidates, Mapping) else candidates
+    ranked = [(label, model.evaluate(topo)) for label, topo in items]
+    if not ranked:
+        raise ValueError("no candidate configurations supplied")
+    ranked.sort(key=lambda pair: pair[1].total_distance_per_timestep)
+    return ranked

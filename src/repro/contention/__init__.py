@@ -1,0 +1,14 @@
+"""Contention modelling extension: link loads and exchange simulation."""
+
+from repro.contention.linkload import LinkLoadResult, link_loads
+from repro.contention.routing import route, route_events
+from repro.contention.simulator import SimulationResult, simulate_exchange
+
+__all__ = [
+    "LinkLoadResult",
+    "link_loads",
+    "route",
+    "route_events",
+    "SimulationResult",
+    "simulate_exchange",
+]

@@ -1,0 +1,136 @@
+"""Per-link traffic under dimension-ordered routing (extension).
+
+§VIII lists "the impact of ... network contention on communication
+efficiency" as future work; the ACD itself is contention-unaware.  This
+module takes the same communication-event multisets and, instead of
+summing shortest-path lengths, *routes* every message with XY
+(dimension-ordered) routing on a mesh or torus and accumulates how many
+messages cross each physical link.  The maximum link load is the
+classic congestion lower bound on communication time.
+
+The accumulation uses difference arrays: each message contributes
+``+1/-1`` at its segment end-points and one cumulative sum per axis
+recovers the loads, so routing ``E`` events on an ``s x s`` network
+costs ``O(E + s^2)`` rather than ``O(E * s)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import FloatArray, IntArray
+from repro.fmm.events import CommunicationEvents
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = ["LinkLoadResult", "link_loads"]
+
+
+@dataclass(frozen=True)
+class LinkLoadResult:
+    """Traffic accumulated on every physical link of a grid network.
+
+    Attributes
+    ----------
+    horizontal:
+        Loads on +x links; entry ``[x, y]`` is the link from ``(x, y)``
+        to ``(x+1, y)`` (modulo the side for a torus).  Shape is
+        ``(side-1, side)`` for a mesh and ``(side, side)`` for a torus.
+    vertical:
+        Loads on +y links; entry ``[x, y]`` is the link from ``(x, y)``
+        to ``(x, y+1)``.  Shape is ``(side, side-1)`` for a mesh and
+        ``(side, side)`` for a torus.
+    """
+
+    horizontal: IntArray
+    vertical: IntArray
+
+    @property
+    def max_load(self) -> int:
+        """Heaviest single-link traffic (congestion bound)."""
+        candidates = [int(a.max()) for a in (self.horizontal, self.vertical) if a.size]
+        return max(candidates) if candidates else 0
+
+    @property
+    def mean_load(self) -> float:
+        """Average traffic per physical link."""
+        total_links = self.horizontal.size + self.vertical.size
+        return self.total_traffic / total_links if total_links else 0.0
+
+    @property
+    def total_traffic(self) -> int:
+        """Total link crossings = total hop distance of all events."""
+        return int(self.horizontal.sum()) + int(self.vertical.sum())
+
+    def load_histogram(self, bins: int = 20) -> tuple[FloatArray, FloatArray]:
+        """Histogram of per-link loads (counts, bin edges)."""
+        loads = np.concatenate([self.horizontal.ravel(), self.vertical.ravel()])
+        counts, edges = np.histogram(loads, bins=bins)
+        return counts.astype(np.float64), edges
+
+
+def _segments(
+    a: IntArray, b: IntArray, side: int, wrap: bool
+) -> tuple[IntArray, IntArray]:
+    """Start and length of the +direction link segment crossed per event."""
+    if not wrap:
+        lo = np.minimum(a, b)
+        return lo, np.abs(a - b)
+    forward = (b - a) % side
+    use_forward = forward <= side - forward
+    start = np.where(use_forward, a, b)
+    length = np.where(use_forward, forward, side - forward)
+    return start, length
+
+
+def _accumulate_axis(
+    start: IntArray, length: IntArray, row: IntArray, side: int, wrap: bool
+) -> IntArray:
+    """Difference-array accumulation of 1D segments, one row per message."""
+    diff = np.zeros((side + 1, side), dtype=np.int64)
+    end = start + length
+    over = end > side
+    hi1 = np.where(over, side, end)
+    np.add.at(diff, (start, row), 1)
+    np.add.at(diff, (hi1, row), -1)
+    if wrap and np.any(over):
+        wrapped = np.nonzero(over)[0]
+        np.add.at(diff, (np.zeros(wrapped.size, dtype=np.int64), row[wrapped]), 1)
+        np.add.at(diff, (end[wrapped] - side, row[wrapped]), -1)
+    loads = np.cumsum(diff[:-1], axis=0)
+    return loads if wrap else loads[: side - 1]
+
+
+def link_loads(events: CommunicationEvents, topology) -> LinkLoadResult:
+    """Route all events with XY routing and accumulate per-link traffic.
+
+    Supports :class:`~repro.topology.MeshTopology` and
+    :class:`~repro.topology.TorusTopology` (on the torus the shorter
+    wrap direction is taken per dimension, ties going forward).
+    """
+    if isinstance(topology, TorusTopology):
+        wrap = True
+    elif isinstance(topology, MeshTopology):
+        wrap = False
+    else:
+        raise TypeError(
+            f"link loads require a mesh or torus topology, got {type(topology).__name__}"
+        )
+    side = topology.side
+    h_shape = (side, side) if wrap else (side - 1, side)
+    v_shape = (side, side) if wrap else (side, side - 1)
+    horizontal = np.zeros(h_shape, dtype=np.int64)
+    vertical = np.zeros(v_shape, dtype=np.int64)
+    for src, dst in events.iter_chunks():
+        ax, ay = topology.layout.coords(src)
+        bx, by = topology.layout.coords(dst)
+        # X leg at the source row y = ay
+        sx, lx = _segments(ax, bx, side, wrap)
+        horizontal += _accumulate_axis(sx, lx, ay, side, wrap)
+        # Y leg at the destination column x = bx; the accumulator indexes
+        # (segment position, row) = (y, x), so transpose into [x, y] form.
+        sy, ly = _segments(ay, by, side, wrap)
+        vertical += _accumulate_axis(sy, ly, bx, side, wrap).T
+    return LinkLoadResult(horizontal=horizontal, vertical=vertical)

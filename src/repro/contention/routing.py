@@ -1,0 +1,162 @@
+"""Deterministic routing: expand rank pairs into link-level paths.
+
+The contention simulator needs the exact sequence of directed links a
+message crosses.  Each topology gets its textbook deterministic router:
+
+* bus / ring — walk the line (shorter arc on the ring),
+* mesh / torus — XY dimension-ordered routing (shorter wrap per axis),
+* hypercube — e-cube routing (fix differing bits from the lowest),
+* quadtree / octree — up to the lowest common ancestor switch and down,
+* mesh3d / torus3d — XYZ dimension-ordered routing.
+
+Every hop is a directed edge between *network nodes*; for the quadtree
+the interior switches appear as ``("sw", level, cx, cy)`` nodes, for the
+direct networks nodes are the ranks themselves.  Paths are minimal: the
+number of hops always equals :meth:`Topology.distance` (property-tested),
+so simulated latencies are directly comparable to the ACD.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.topology.base import Topology
+from repro.topology.bus import BusTopology
+from repro.topology.grid3d import Mesh3DTopology, OctreeTopology, Torus3DTopology
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.mesh import MeshTopology
+from repro.topology.quadtree import QuadtreeTopology
+from repro.topology.ring import RingTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = ["route", "route_events"]
+
+Node = Hashable
+
+
+def _line_path(a: int, b: int) -> list[Node]:
+    step = 1 if b >= a else -1
+    return list(range(a, b + step, step))
+
+
+def _ring_path(a: int, b: int, p: int) -> list[Node]:
+    forward = (b - a) % p
+    if forward <= p - forward:
+        return [(a + i) % p for i in range(forward + 1)]
+    back = p - forward
+    return [(a - i) % p for i in range(back + 1)]
+
+
+def _axis_walk(start: int, target: int, side: int, wrap: bool) -> list[int]:
+    """Coordinates visited along one axis (inclusive of both ends)."""
+    if not wrap:
+        step = 1 if target >= start else -1
+        return list(range(start, target + step, step))
+    forward = (target - start) % side
+    if forward <= side - forward:
+        return [(start + i) % side for i in range(forward + 1)]
+    back = side - forward
+    return [(start - i) % side for i in range(back + 1)]
+
+
+def _grid_path(topo: MeshTopology, a: int, b: int, wrap: bool) -> list[Node]:
+    gax, gay = topo.layout.coords(np.array([a]))
+    gbx, gby = topo.layout.coords(np.array([b]))
+    ax, ay, bx, by = int(gax[0]), int(gay[0]), int(gbx[0]), int(gby[0])
+    grid = topo.layout.rank_grid()
+    path = [grid[x, ay] for x in _axis_walk(ax, bx, topo.side, wrap)]
+    path.extend(grid[bx, y] for y in _axis_walk(ay, by, topo.side, wrap)[1:])
+    return [int(r) for r in path]
+
+
+def _hypercube_path(topo: HypercubeTopology, a: int, b: int) -> list[Node]:
+    labels = topo._labels  # rank -> node label
+    inv = np.empty(topo.num_processors, dtype=np.int64)
+    inv[labels] = np.arange(topo.num_processors)
+    cur = int(labels[a])
+    target = int(labels[b])
+    path = [a]
+    bit = 0
+    while cur != target:
+        if (cur ^ target) & (1 << bit):
+            cur ^= 1 << bit
+            path.append(int(inv[cur]))
+        bit += 1
+    return path
+
+
+def _tree_path(a: int, b: int, za: int, zb: int, m: int, bits: int) -> list[Node]:
+    """Leaf-LCA-leaf walk through a complete switch tree.
+
+    ``bits`` is the digit width (2 for quadtree, 3 for octree); the
+    switch at level ``l`` is identified by the leading ``bits * l`` code
+    bits of the leaves it covers.
+    """
+    if a == b:
+        return [a]
+    common = m
+    diff = za ^ zb
+    if diff:
+        common = m - ((diff.bit_length() + bits - 1) // bits)
+    path: list[Node] = [a]
+    for level in range(m - 1, common - 1, -1):
+        path.append(("sw", level, za >> (bits * (m - level))))
+    for level in range(common + 1, m):
+        path.append(("sw", level, zb >> (bits * (m - level))))
+    path.append(b)
+    return path
+
+
+def _grid3d_path(topo: Mesh3DTopology, a: int, b: int, wrap: bool) -> list[Node]:
+    gax, gay, gaz = topo.layout.coords(np.array([a]))
+    gbx, gby, gbz = topo.layout.coords(np.array([b]))
+    ax, ay, az = int(gax[0]), int(gay[0]), int(gaz[0])
+    bx, by, bz = int(gbx[0]), int(gby[0]), int(gbz[0])
+    side = topo.side
+    rank = np.empty((side, side, side), dtype=np.int64)
+    gx, gy, gz = topo.layout.coords(np.arange(topo.num_processors, dtype=np.int64))
+    rank[gx, gy, gz] = np.arange(topo.num_processors, dtype=np.int64)
+    path = [int(rank[x, ay, az]) for x in _axis_walk(ax, bx, side, wrap)]
+    path.extend(int(rank[bx, y, az]) for y in _axis_walk(ay, by, side, wrap)[1:])
+    path.extend(int(rank[bx, by, z]) for z in _axis_walk(az, bz, side, wrap)[1:])
+    return path
+
+
+def route(topology: Topology, src: int, dst: int) -> list[Node]:
+    """The node sequence a message visits from ``src`` to ``dst``.
+
+    The returned list includes both endpoints; consecutive entries are
+    the directed links crossed.  ``len(path) - 1`` equals the topology's
+    hop distance.
+    """
+    a, b = int(src), int(dst)
+    if isinstance(topology, RingTopology):
+        return _ring_path(a, b, topology.num_processors)
+    if isinstance(topology, BusTopology):
+        return _line_path(a, b)
+    if isinstance(topology, TorusTopology):
+        return _grid_path(topology, a, b, wrap=True)
+    if isinstance(topology, MeshTopology):
+        return _grid_path(topology, a, b, wrap=False)
+    if isinstance(topology, HypercubeTopology):
+        return _hypercube_path(topology, a, b)
+    if isinstance(topology, QuadtreeTopology):
+        return _tree_path(
+            a, b, int(topology._zcodes[a]), int(topology._zcodes[b]), topology.height, 2
+        )
+    if isinstance(topology, OctreeTopology):
+        return _tree_path(
+            a, b, int(topology._codes[a]), int(topology._codes[b]), topology.height, 3
+        )
+    if isinstance(topology, Torus3DTopology):
+        return _grid3d_path(topology, a, b, wrap=True)
+    if isinstance(topology, Mesh3DTopology):
+        return _grid3d_path(topology, a, b, wrap=False)
+    raise TypeError(f"no router registered for {type(topology).__name__}")
+
+
+def route_events(topology: Topology, src, dst) -> list[list[Node]]:
+    """Route a batch of rank pairs; one path per event."""
+    return [route(topology, int(a), int(b)) for a, b in zip(src, dst)]

@@ -1,0 +1,41 @@
+"""Particle input distributions (uniform, bivariate normal, exponential)."""
+
+from repro.distributions.astrophysical import ClusteredDistribution, PlummerDistribution
+from repro.distributions.base import ParticleDistribution, Particles
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.normal import NormalDistribution
+from repro.distributions.registry import (
+    DISTRIBUTIONS,
+    PAPER_DISTRIBUTIONS,
+    get_distribution,
+)
+from repro.distributions.three_d import (
+    DISTRIBUTIONS3D,
+    Exponential3D,
+    Normal3D,
+    ParticleDistribution3D,
+    Particles3D,
+    Uniform3D,
+    get_distribution3d,
+)
+from repro.distributions.uniform import UniformDistribution
+
+__all__ = [
+    "Particles",
+    "ParticleDistribution",
+    "UniformDistribution",
+    "NormalDistribution",
+    "ExponentialDistribution",
+    "PlummerDistribution",
+    "ClusteredDistribution",
+    "DISTRIBUTIONS",
+    "PAPER_DISTRIBUTIONS",
+    "get_distribution",
+    "Particles3D",
+    "ParticleDistribution3D",
+    "Uniform3D",
+    "Normal3D",
+    "Exponential3D",
+    "DISTRIBUTIONS3D",
+    "get_distribution3d",
+]

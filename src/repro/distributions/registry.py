@@ -1,0 +1,24 @@
+"""Registry of the study's input distributions."""
+
+from __future__ import annotations
+
+from repro.distributions.base import ParticleDistribution
+from repro.distributions.exponential import ExponentialDistribution
+from repro.distributions.normal import NormalDistribution
+from repro.distributions.uniform import UniformDistribution
+from repro.util.registry import Registry
+
+__all__ = ["DISTRIBUTIONS", "PAPER_DISTRIBUTIONS", "get_distribution"]
+
+DISTRIBUTIONS: Registry[ParticleDistribution] = Registry("distribution")
+DISTRIBUTIONS.register("uniform", UniformDistribution)
+DISTRIBUTIONS.register("normal", NormalDistribution, aliases=("gaussian", "bivariate normal"))
+DISTRIBUTIONS.register("exponential", ExponentialDistribution, aliases=("exp",))
+
+#: The three distributions evaluated in the paper, in its table order.
+PAPER_DISTRIBUTIONS: tuple[str, ...] = ("uniform", "normal", "exponential")
+
+
+def get_distribution(name: str, **kwargs) -> ParticleDistribution:
+    """Instantiate the distribution registered under ``name``."""
+    return DISTRIBUTIONS.create(name, **kwargs)

@@ -1,0 +1,23 @@
+"""Uniform particle distribution (paper Fig. 2(a)).
+
+Every lattice cell is equally likely to be occupied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import ParticleDistribution
+
+__all__ = ["UniformDistribution"]
+
+
+class UniformDistribution(ParticleDistribution):
+    """Uniformly random occupied cells."""
+
+    name = "uniform"
+
+    def _sample_batch(self, m, side, rng):
+        x = rng.integers(0, side, size=m, dtype=np.int64)
+        y = rng.integers(0, side, size=m, dtype=np.int64)
+        return x, y

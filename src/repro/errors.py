@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing genuine programming errors (``TypeError`` and friends are
+still raised for mis-typed arguments where appropriate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ResolutionError",
+    "TopologySizeError",
+    "SamplingError",
+    "UnknownNameError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or model was configured with inconsistent parameters."""
+
+
+class ResolutionError(ConfigurationError):
+    """A spatial resolution is invalid (non power of two, out of range...)."""
+
+
+class TopologySizeError(ConfigurationError):
+    """A topology was asked to host an unsupported number of processors.
+
+    For example a 2D torus requires a perfect-square processor count and a
+    hypercube requires a power of two.
+    """
+
+
+class SamplingError(ReproError, RuntimeError):
+    """A particle distribution could not produce the requested sample.
+
+    Raised when rejection resampling cannot find ``n`` distinct occupied
+    cells (e.g. ``n`` exceeds the number of lattice cells with
+    non-negligible probability mass).
+    """
+
+
+class UnknownNameError(ReproError, KeyError):
+    """A registry lookup failed (unknown curve, topology or distribution)."""
+
+    def __init__(self, kind: str, name: str, known: tuple[str, ...]):
+        self.kind = kind
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown {kind} {name!r}; known {kind}s: {', '.join(known)}"
+        )

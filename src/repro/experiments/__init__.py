@@ -1,0 +1,98 @@
+"""Experiment harness: one runner per paper table/figure, plus presets."""
+
+from repro.experiments.ablation import (
+    AblationRow,
+    continuity_ablation,
+    ffi_granularity_ablation,
+    hypercube_layout_ablation,
+    interpolation_reading_ablation,
+    quadtree_convention_ablation,
+)
+from repro.experiments.anns_study import AnnsStudyResult, format_anns_study, run_anns_study
+from repro.experiments.clustering_study import (
+    ClusteringStudyResult,
+    format_clustering_study,
+    run_clustering_study,
+)
+from repro.experiments.campaign import expand_grid, format_campaign, run_campaign
+from repro.experiments.config import PAPER, SCALES, SMALL, FmmCase, Scale, active_scale
+from repro.experiments.io import load_result, result_to_csv_rows, save_result, write_csv
+from repro.experiments.parametric import (
+    SweepResult,
+    format_sweep,
+    run_distribution_sweep,
+    run_input_size_sweep,
+    run_radius_sweep,
+)
+from repro.experiments.reporting import format_matrix, format_rows, format_series
+from repro.experiments.runner import CaseResult, run_case
+from repro.experiments.scaling_study import (
+    ScalingStudyResult,
+    format_scaling_study,
+    run_scaling_study,
+)
+from repro.experiments.sfc_pairs import SfcPairsResult, format_sfc_pairs, run_sfc_pairs
+from repro.experiments.study3d import (
+    PAPER_CURVES_3D,
+    Study3DResult,
+    format_study3d,
+    run_anns3d_study,
+    run_study3d,
+)
+from repro.experiments.topology_study import (
+    TopologyStudyResult,
+    format_topology_study,
+    run_topology_study,
+)
+
+__all__ = [
+    "FmmCase",
+    "Scale",
+    "SMALL",
+    "PAPER",
+    "SCALES",
+    "active_scale",
+    "CaseResult",
+    "run_case",
+    "AnnsStudyResult",
+    "run_anns_study",
+    "format_anns_study",
+    "SfcPairsResult",
+    "run_sfc_pairs",
+    "format_sfc_pairs",
+    "TopologyStudyResult",
+    "run_topology_study",
+    "format_topology_study",
+    "ScalingStudyResult",
+    "run_scaling_study",
+    "format_scaling_study",
+    "SweepResult",
+    "run_radius_sweep",
+    "run_input_size_sweep",
+    "run_distribution_sweep",
+    "format_sweep",
+    "format_matrix",
+    "format_series",
+    "format_rows",
+    "AblationRow",
+    "quadtree_convention_ablation",
+    "ffi_granularity_ablation",
+    "interpolation_reading_ablation",
+    "hypercube_layout_ablation",
+    "continuity_ablation",
+    "PAPER_CURVES_3D",
+    "Study3DResult",
+    "run_study3d",
+    "run_anns3d_study",
+    "format_study3d",
+    "save_result",
+    "load_result",
+    "result_to_csv_rows",
+    "write_csv",
+    "ClusteringStudyResult",
+    "run_clustering_study",
+    "format_clustering_study",
+    "expand_grid",
+    "run_campaign",
+    "format_campaign",
+]

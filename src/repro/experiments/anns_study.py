@@ -1,0 +1,71 @@
+"""Fig. 5 — nearest-neighbour proximity preservation (§V).
+
+Computes the ANNS (radius 1, Fig. 5(a)) and the generalised large-radius
+stretch (radius 6, Fig. 5(b)) for every study curve over a sweep of
+lattice resolutions.  This is deterministic — every lattice point is an
+input, so no trials or seeds are involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import Scale, active_scale
+from repro.experiments.reporting import format_series
+from repro.metrics.anns import neighbor_stretch
+from repro.sfc.registry import PAPER_CURVES
+
+__all__ = ["AnnsStudyResult", "run_anns_study", "format_anns_study"]
+
+#: Radii of the two panels of Fig. 5.
+FIG5_RADII: tuple[int, ...] = (1, 6)
+
+
+@dataclass(frozen=True)
+class AnnsStudyResult:
+    """Stretch series per radius and curve over a resolution sweep."""
+
+    orders: tuple[int, ...]
+    #: ``values[radius][curve]`` = list of mean stretches, one per order.
+    values: dict[int, dict[str, list[float]]]
+
+    def sides(self) -> list[int]:
+        """Lattice side lengths corresponding to :attr:`orders`."""
+        return [1 << k for k in self.orders]
+
+
+def run_anns_study(
+    scale: Scale | str | None = None,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    radii: tuple[int, ...] = FIG5_RADII,
+) -> AnnsStudyResult:
+    """Run the Fig. 5 sweep at the given scale."""
+    preset = scale if isinstance(scale, Scale) else active_scale(scale)
+    orders = tuple(preset.anns_orders)
+    values: dict[int, dict[str, list[float]]] = {}
+    for radius in radii:
+        per_curve: dict[str, list[float]] = {c: [] for c in curves}
+        for order in orders:
+            for curve in curves:
+                per_curve[curve].append(neighbor_stretch(curve, order, radius=radius).mean)
+        values[radius] = per_curve
+    return AnnsStudyResult(orders=orders, values=values)
+
+
+def format_anns_study(result: AnnsStudyResult) -> str:
+    """Render both Fig. 5 panels as text tables."""
+    blocks = []
+    for radius, per_curve in result.values.items():
+        panel = "Fig. 5(a) ANNS (r=1)" if radius == 1 else f"Fig. 5(b) stretch (r={radius})"
+        blocks.append(
+            format_series(per_curve, result.sides(), panel, x_label="lattice side")
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI test
+    print(format_anns_study(run_anns_study()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

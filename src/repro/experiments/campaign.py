@@ -1,0 +1,109 @@
+"""Batch execution of arbitrary experiment-case grids.
+
+The study modules regenerate the paper's fixed designs; downstream users
+usually want their *own* grid ("my three networks x my two curves x my
+input").  :func:`run_campaign` executes any iterable of
+:class:`~repro.experiments.config.FmmCase` with shared topology caching
+and returns tidy per-case results; :func:`expand_grid` builds the
+cartesian product from keyword lists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro._typing import SeedLike
+from repro.experiments.config import FmmCase
+from repro.experiments.reporting import format_rows
+from repro.experiments.runner import CaseResult, run_case
+from repro.topology.registry import make_topology
+
+__all__ = ["expand_grid", "run_campaign", "format_campaign"]
+
+_GRID_FIELDS = (
+    "num_particles",
+    "order",
+    "num_processors",
+    "topology",
+    "particle_curve",
+    "processor_curve",
+    "distribution",
+    "radius",
+)
+
+
+def expand_grid(**axes: object) -> list[FmmCase]:
+    """Build the cartesian product of case parameters.
+
+    Every :class:`FmmCase` field may be given either a scalar or a
+    sequence of values; sequences are crossed::
+
+        cases = expand_grid(
+            num_particles=10_000, order=8, num_processors=256,
+            topology=("torus", "hypercube"),
+            particle_curve=("hilbert", "rowmajor"),
+            processor_curve="hilbert",
+            distribution="uniform",
+        )   # 4 cases
+    """
+    unknown = set(axes) - set(_GRID_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown case fields: {', '.join(sorted(map(str, unknown)))}; "
+            f"valid fields: {', '.join(_GRID_FIELDS)}"
+        )
+    values: list[Sequence[object]] = []
+    names: list[str] = []
+    for field in _GRID_FIELDS:
+        if field not in axes:
+            if field == "radius":
+                axes[field] = 1
+            else:
+                raise ValueError(f"missing required case field {field!r}")
+        raw = axes[field]
+        seq = raw if isinstance(raw, (list, tuple)) else (raw,)
+        names.append(field)
+        values.append(tuple(seq))
+    return [
+        FmmCase(**dict(zip(names, combo))) for combo in itertools.product(*values)
+    ]
+
+
+def run_campaign(
+    cases: Iterable[FmmCase],
+    *,
+    trials: int = 3,
+    seed: SeedLike = 0,
+    parts: tuple[str, ...] = ("nfi", "ffi"),
+) -> list[CaseResult]:
+    """Execute every case, sharing topologies across identical networks."""
+    cache: dict[tuple, object] = {}
+    results = []
+    for case in cases:
+        key = (case.topology, case.num_processors, case.processor_curve)
+        if key not in cache:
+            cache[key] = make_topology(
+                case.topology, case.num_processors, processor_curve=case.processor_curve
+            )
+        results.append(
+            run_case(case, trials=trials, seed=seed, topology=cache[key], parts=parts)
+        )
+    return results
+
+
+def format_campaign(results: Sequence[CaseResult]) -> str:
+    """Render campaign results as one row per case."""
+    rows = [r.row() for r in results]
+    columns = [
+        "topology",
+        "processor_curve",
+        "particle_curve",
+        "distribution",
+        "num_particles",
+        "num_processors",
+        "radius",
+        "nfi_acd",
+        "ffi_acd",
+    ]
+    return format_rows(rows, columns)

@@ -1,0 +1,150 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    repro-experiments fig5                   # ANNS study (Fig. 5)
+    repro-experiments tables --scale paper   # Tables I & II, full size
+    repro-experiments fig6                   # topology comparison
+    repro-experiments fig7                   # processor scaling
+    repro-experiments sweeps                 # §VI-C parametric sweeps
+    repro-experiments ablations              # DESIGN.md convention ablations
+    repro-experiments validate3d             # future-work 3D validation
+    repro-experiments all                    # everything, in paper order
+
+    repro-experiments fig5 --json fig5.json --csv fig5.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablation import (
+    continuity_ablation,
+    ffi_granularity_ablation,
+    hypercube_layout_ablation,
+    interpolation_reading_ablation,
+    quadtree_convention_ablation,
+)
+from repro.experiments.anns_study import format_anns_study, run_anns_study
+from repro.experiments.clustering_study import (
+    format_clustering_study,
+    run_clustering_study,
+)
+from repro.experiments.io import save_result, write_csv
+from repro.experiments.parametric import (
+    format_sweep,
+    run_distribution_sweep,
+    run_input_size_sweep,
+    run_radius_sweep,
+)
+from repro.experiments.reporting import format_rows
+from repro.experiments.scaling_study import format_scaling_study, run_scaling_study
+from repro.experiments.sfc_pairs import format_sfc_pairs, run_sfc_pairs
+from repro.experiments.reporting import format_series
+from repro.experiments.study3d import format_study3d, run_anns3d_study, run_study3d
+from repro.experiments.topology_study import format_topology_study, run_topology_study
+
+__all__ = ["main"]
+
+EXPERIMENTS = (
+    "fig5",
+    "tables",
+    "fig6",
+    "fig7",
+    "sweeps",
+    "ablations",
+    "validate3d",
+    "clustering",
+    "all",
+)
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one (or all) of the paper's experiments and print the results."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of DeFord & Kalyanaraman (ICPP 2013).",
+    )
+    parser.add_argument(
+        "experiment", choices=EXPERIMENTS, help="which paper artefact to regenerate"
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["small", "paper"],
+        help="workload scale (default: REPRO_SCALE env var or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=2013, help="experiment seed")
+    parser.add_argument("--trials", type=int, default=None, help="trials per case")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also save the result as JSON"
+    )
+    parser.add_argument(
+        "--csv", default=None, metavar="PATH", help="also save the result as CSV"
+    )
+    args = parser.parse_args(argv)
+    if (args.json or args.csv) and args.experiment in ("sweeps", "ablations", "all"):
+        parser.error("--json/--csv require a single-result experiment")
+
+    want = args.experiment
+    saved = None
+    if want in ("fig5", "all"):
+        result = run_anns_study(args.scale)
+        _print(format_anns_study(result))
+        saved = result
+    if want in ("tables", "all"):
+        result = run_sfc_pairs(args.scale, seed=args.seed, trials=args.trials)
+        _print(format_sfc_pairs(result))
+        saved = result
+    if want in ("fig6", "all"):
+        result = run_topology_study(args.scale, seed=args.seed, trials=args.trials)
+        _print(format_topology_study(result))
+        saved = result
+    if want in ("fig7", "all"):
+        result = run_scaling_study(args.scale, seed=args.seed, trials=args.trials)
+        _print(format_scaling_study(result))
+        saved = result
+    if want in ("sweeps", "all"):
+        for runner in (run_radius_sweep, run_input_size_sweep, run_distribution_sweep):
+            _print(format_sweep(runner(args.scale, seed=args.seed, trials=args.trials)))
+    if want in ("ablations", "all"):
+        for title, runner in (
+            ("quadtree hop convention", quadtree_convention_ablation),
+            ("FFI granularity", ffi_granularity_ablation),
+            ("far-field upward-pass reading", interpolation_reading_ablation),
+            ("hypercube layout", hypercube_layout_ablation),
+            ("continuity vs recursion", continuity_ablation),
+        ):
+            rows = [r.as_dict() for r in runner(seed=args.seed)]
+            _print(f"Ablation: {title}\n" + format_rows(rows, ["variant", "nfi_acd", "ffi_acd"]))
+    if want in ("validate3d", "all"):
+        _print(format_study3d(run_study3d(seed=args.seed)))
+        orders = (1, 2, 3, 4)
+        _print(
+            format_series(
+                run_anns3d_study(orders=orders),
+                [1 << k for k in orders],
+                "3D ANNS (r=1)",
+                "cube side",
+            )
+        )
+    if want in ("clustering", "all"):
+        _print(format_clustering_study(run_clustering_study(seed=args.seed)))
+
+    if args.json and saved is not None:
+        save_result(saved, args.json)
+        print(f"saved JSON to {args.json}")
+    if args.csv and saved is not None:
+        write_csv(saved, args.csv)
+        print(f"saved CSV to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

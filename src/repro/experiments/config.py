@@ -1,0 +1,122 @@
+"""Experiment configuration: cases and scale presets.
+
+Every study in the paper's evaluation (§V–§VI) is expressed as a set of
+:class:`FmmCase` instances plus a :class:`Scale` preset that pins the
+workload sizes.  ``PAPER`` uses the exact published parameters;
+``SMALL`` keeps the same shape at roughly 16x smaller sizes so the whole
+suite runs in seconds (used by tests and default benchmark runs; export
+``REPRO_SCALE=paper`` to regenerate the full-size numbers).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["FmmCase", "Scale", "SMALL", "PAPER", "SCALES", "active_scale"]
+
+
+@dataclass(frozen=True)
+class FmmCase:
+    """One fully specified FMM communication experiment."""
+
+    num_particles: int
+    order: int
+    num_processors: int
+    topology: str
+    particle_curve: str
+    processor_curve: str
+    distribution: str
+    radius: int = 1
+    nfi_metric: str = "chebyshev"
+
+    def describe(self) -> str:
+        """Short human-readable summary used in logs and reports."""
+        return (
+            f"n={self.num_particles} lattice=2^{self.order} p={self.num_processors} "
+            f"{self.topology} particle={self.particle_curve} "
+            f"processor={self.processor_curve} dist={self.distribution} r={self.radius}"
+        )
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizes for every study at one scale.
+
+    Attributes mirror the paper's experimental designs:
+
+    * ``pairs_*`` — Tables I/II (16 SFC combinations x 3 distributions).
+    * ``topo_*`` — Fig. 6 (topology comparison, uniform input, r = 4).
+    * ``scaling_*`` — Fig. 7 (ACD vs processor count).
+    * ``anns_orders`` — Fig. 5 (lattice orders for the stretch study).
+    """
+
+    name: str
+    pairs_particles: int
+    pairs_order: int
+    pairs_processors: int
+    topo_particles: int
+    topo_order: int
+    topo_processors: int
+    topo_radius: int
+    scaling_particles: int
+    scaling_order: int
+    scaling_processors: tuple[int, ...]
+    anns_orders: tuple[int, ...]
+    trials: int = 3
+
+    def __post_init__(self):
+        if self.pairs_particles > 4**self.pairs_order:
+            raise ValueError("pairs study: more particles than lattice cells")
+        if self.topo_particles > 4**self.topo_order:
+            raise ValueError("topology study: more particles than lattice cells")
+
+
+SMALL = Scale(
+    name="small",
+    pairs_particles=20_000,
+    pairs_order=8,  # 256 x 256
+    pairs_processors=1_024,
+    # Fig. 6 shape needs the paper's low occupancy (~6%) and low
+    # particles-per-processor (~15); see EXPERIMENTS.md.
+    topo_particles=60_000,
+    topo_order=10,  # 1024 x 1024
+    topo_processors=4_096,
+    topo_radius=4,
+    scaling_particles=50_000,
+    scaling_order=9,
+    scaling_processors=(16, 64, 256, 1_024, 4_096),
+    anns_orders=tuple(range(1, 8)),  # sides 2 .. 128
+    trials=3,
+)
+
+PAPER = Scale(
+    name="paper",
+    pairs_particles=250_000,
+    pairs_order=10,  # 1024 x 1024 (Tables I/II)
+    pairs_processors=65_536,
+    # Fig. 6 does not state the processor count; 65 536 keeps the
+    # particles-per-processor ratio of Tables I/II (see EXPERIMENTS.md).
+    topo_particles=1_000_000,
+    topo_order=12,  # 4096 x 4096 (Fig. 6)
+    topo_processors=65_536,
+    topo_radius=4,
+    scaling_particles=1_000_000,
+    scaling_order=11,
+    scaling_processors=(64, 256, 1_024, 4_096, 16_384, 65_536),
+    anns_orders=tuple(range(1, 10)),  # sides 2 .. 512 (Fig. 5)
+    trials=3,
+)
+
+SCALES: dict[str, Scale] = {"small": SMALL, "paper": PAPER}
+
+
+def active_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name, the ``REPRO_SCALE`` env var, or default small."""
+    chosen = name or os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[chosen.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {chosen!r}; available: {', '.join(SCALES)}"
+        ) from None

@@ -1,0 +1,129 @@
+"""Persistence of experiment results (JSON and CSV).
+
+Every study result in :mod:`repro.experiments` is a frozen dataclass of
+plain containers, so it serialises losslessly to JSON.  A thin type tag
+lets :func:`load_result` reconstruct the right dataclass, and
+:func:`result_to_csv_rows` flattens matrix/series results into rows for
+spreadsheet-style downstream analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.anns_study import AnnsStudyResult
+from repro.experiments.scaling_study import ScalingStudyResult
+from repro.experiments.sfc_pairs import SfcPairsResult
+from repro.experiments.topology_study import TopologyStudyResult
+
+__all__ = ["save_result", "load_result", "result_to_csv_rows", "write_csv"]
+
+_RESULT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (AnnsStudyResult, SfcPairsResult, TopologyStudyResult, ScalingStudyResult)
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert tuples and numpy scalars to JSON-native types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def save_result(result: Any, path: str | Path) -> Path:
+    """Serialise a study-result dataclass to a JSON file."""
+    name = type(result).__name__
+    if name not in _RESULT_TYPES:
+        raise TypeError(
+            f"unknown result type {name}; known: {', '.join(_RESULT_TYPES)}"
+        )
+    payload = {"type": name, "data": _jsonable(dataclasses.asdict(result))}
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return out
+
+
+def _tuplify(cls: type, data: dict) -> dict:
+    """Restore tuple-typed fields that JSON flattened into lists."""
+    out = dict(data)
+    for field in dataclasses.fields(cls):
+        raw = out.get(field.name)
+        if isinstance(raw, list) and str(field.type).startswith("tuple"):
+            out[field.name] = tuple(raw)
+    return out
+
+
+def load_result(path: str | Path) -> Any:
+    """Reconstruct a study-result dataclass from :func:`save_result` output."""
+    payload = json.loads(Path(path).read_text())
+    try:
+        cls = _RESULT_TYPES[payload["type"]]
+    except KeyError:
+        raise ValueError(f"file does not contain a known result type: {path}") from None
+    data = payload["data"]
+    # integer dict keys (the ANNS radii) were stringified by JSON
+    if cls is AnnsStudyResult:
+        data["values"] = {int(k): v for k, v in data["values"].items()}
+    return cls(**_tuplify(cls, data))
+
+
+def result_to_csv_rows(result: Any) -> list[dict[str, Any]]:
+    """Flatten any study result into a list of uniform row dicts."""
+    if isinstance(result, AnnsStudyResult):
+        return [
+            {"radius": radius, "curve": curve, "side": 1 << order, "stretch": val}
+            for radius, per_curve in result.values.items()
+            for curve, series in per_curve.items()
+            for order, val in zip(result.orders, series)
+        ]
+    if isinstance(result, SfcPairsResult):
+        return [
+            {
+                "model": model,
+                "distribution": dist,
+                "processor_curve": proc,
+                "particle_curve": part,
+                "acd": table[dist][proc][part],
+            }
+            for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
+            for dist in result.distributions
+            for proc in result.processor_curves
+            for part in result.particle_curves
+        ]
+    if isinstance(result, TopologyStudyResult):
+        return [
+            {"model": model, "topology": topo, "curve": curve, "acd": table[topo][curve]}
+            for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
+            for topo in result.topologies
+            for curve in result.curves
+        ]
+    if isinstance(result, ScalingStudyResult):
+        return [
+            {"model": model, "curve": curve, "processors": p, "acd": series[curve][i]}
+            for model, series in (("nfi", result.nfi), ("ffi", result.ffi))
+            for curve in result.curves
+            for i, p in enumerate(result.processor_counts)
+        ]
+    raise TypeError(f"cannot flatten result of type {type(result).__name__}")
+
+
+def write_csv(result: Any, path: str | Path) -> Path:
+    """Flatten a study result and write it as a CSV file."""
+    rows = result_to_csv_rows(result)
+    out = Path(path)
+    if not rows:
+        out.write_text("")
+        return out
+    columns = list(rows[0])
+    lines = [",".join(columns)]
+    lines.extend(",".join(str(row[c]) for c in columns) for row in rows)
+    out.write_text("\n".join(lines) + "\n")
+    return out

@@ -1,0 +1,170 @@
+"""§VI-C parametric studies: radius, input size and distribution sweeps.
+
+The text of §VI-C reports three observations beyond Fig. 7:
+
+* increasing the near-field radius raises all ACDs proportionately and
+  never reorders the curves;
+* growing the particle count (fixed processors) preserves the ordering
+  while amplifying the row-major penalty;
+* across distributions the NFI ACD is best for uniform, then
+  exponential, then normal, while the FFI ACD is largely insensitive.
+
+These runners regenerate each sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._typing import SeedLike
+from repro.distributions.registry import PAPER_DISTRIBUTIONS
+from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import run_case
+from repro.sfc.registry import PAPER_CURVES
+from repro.topology.registry import make_topology
+
+__all__ = [
+    "SweepResult",
+    "run_radius_sweep",
+    "run_input_size_sweep",
+    "run_distribution_sweep",
+    "format_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """ACD series per curve over a one-dimensional parameter sweep."""
+
+    parameter: str
+    values: tuple[object, ...]
+    curves: tuple[str, ...]
+    nfi: dict[str, list[float]]
+    ffi: dict[str, list[float]]
+
+
+def _sweep(
+    parameter: str,
+    values: tuple[object, ...],
+    case_for,
+    curves: tuple[str, ...],
+    trials: int,
+    seed: SeedLike,
+    topology_cache: dict | None = None,
+) -> SweepResult:
+    nfi: dict[str, list[float]] = {c: [] for c in curves}
+    ffi: dict[str, list[float]] = {c: [] for c in curves}
+    cache = topology_cache if topology_cache is not None else {}
+    for value in values:
+        for curve in curves:
+            case: FmmCase = case_for(value, curve)
+            key = (case.topology, case.num_processors, case.processor_curve)
+            if key not in cache:
+                cache[key] = make_topology(
+                    case.topology, case.num_processors, processor_curve=case.processor_curve
+                )
+            result = run_case(case, trials=trials, seed=seed, topology=cache[key])
+            nfi[curve].append(result.nfi_acd)
+            ffi[curve].append(result.ffi_acd)
+    return SweepResult(
+        parameter=parameter, values=values, curves=tuple(curves), nfi=nfi, ffi=ffi
+    )
+
+
+def run_radius_sweep(
+    scale: Scale | str | None = None,
+    *,
+    radii: tuple[int, ...] = (1, 2, 4, 6),
+    curves: tuple[str, ...] = PAPER_CURVES,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+) -> SweepResult:
+    """Near-field radius sweep on the torus (fixed uniform input)."""
+    preset = scale if isinstance(scale, Scale) else active_scale(scale)
+
+    def case_for(radius, curve):
+        return FmmCase(
+            num_particles=preset.pairs_particles,
+            order=preset.pairs_order,
+            num_processors=preset.pairs_processors,
+            topology="torus",
+            particle_curve=curve,
+            processor_curve=curve,
+            distribution="uniform",
+            radius=int(radius),
+        )
+
+    return _sweep("radius", radii, case_for, curves, trials or preset.trials, seed)
+
+
+def run_input_size_sweep(
+    scale: Scale | str | None = None,
+    *,
+    fractions: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
+    curves: tuple[str, ...] = PAPER_CURVES,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+) -> SweepResult:
+    """Particle-count sweep (multiples of the preset size) on the torus."""
+    preset = scale if isinstance(scale, Scale) else active_scale(scale)
+    cells = 4**preset.pairs_order
+    sizes = tuple(
+        min(int(preset.pairs_particles * f), cells // 2) for f in fractions
+    )
+
+    def case_for(n, curve):
+        return FmmCase(
+            num_particles=int(n),
+            order=preset.pairs_order,
+            num_processors=preset.pairs_processors,
+            topology="torus",
+            particle_curve=curve,
+            processor_curve=curve,
+            distribution="uniform",
+            radius=1,
+        )
+
+    return _sweep("num_particles", sizes, case_for, curves, trials or preset.trials, seed)
+
+
+def run_distribution_sweep(
+    scale: Scale | str | None = None,
+    *,
+    distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+) -> SweepResult:
+    """Distribution sweep on the torus (fixed size, same-SFC pairing)."""
+    preset = scale if isinstance(scale, Scale) else active_scale(scale)
+
+    def case_for(dist, curve):
+        return FmmCase(
+            num_particles=preset.pairs_particles,
+            order=preset.pairs_order,
+            num_processors=preset.pairs_processors,
+            topology="torus",
+            particle_curve=curve,
+            processor_curve=curve,
+            distribution=str(dist),
+            radius=1,
+        )
+
+    return _sweep(
+        "distribution", distributions, case_for, curves, trials or preset.trials, seed
+    )
+
+
+def format_sweep(result: SweepResult) -> str:
+    """Render NFI and FFI panels of a sweep as text tables."""
+    return "\n\n".join(
+        [
+            format_series(
+                result.nfi, result.values, f"NFI ACD vs {result.parameter}", result.parameter
+            ),
+            format_series(
+                result.ffi, result.values, f"FFI ACD vs {result.parameter}", result.parameter
+            ),
+        ]
+    )

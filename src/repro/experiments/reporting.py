@@ -1,0 +1,107 @@
+"""Plain-text rendering of experiment results in the paper's layouts.
+
+The paper marks the lowest ACD in each table row in boldface and the
+lowest in each column in italics; terminals have neither, so we mark
+row minima with ``*`` and column minima with ``+`` (a cell can carry
+both, as the Hilbert/Hilbert entries do in Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_matrix", "format_series", "format_rows"]
+
+_LABELS = {
+    "hilbert": "Hilbert Curve",
+    "zcurve": "Z-Curve",
+    "gray": "Gray Code",
+    "rowmajor": "Row Major",
+    "snake": "Snake",
+    "bus": "Bus",
+    "ring": "Ring",
+    "mesh": "Mesh",
+    "torus": "Torus",
+    "quadtree": "Quadtree",
+    "hypercube": "Hypercube",
+    "uniform": "Uniform",
+    "normal": "Normal",
+    "exponential": "Exponential",
+}
+
+
+def pretty(name: str) -> str:
+    """Paper-style label for a registry name."""
+    return _LABELS.get(name, name)
+
+
+def format_matrix(
+    values: Mapping[str, Mapping[str, float]],
+    row_names: Sequence[str],
+    col_names: Sequence[str],
+    title: str,
+    row_axis: str = "Processor Order",
+    col_axis: str = "Particle Order",
+    precision: int = 3,
+) -> str:
+    """Render a row/column ACD matrix with min markers.
+
+    ``values[row][col]`` holds the cell value; ``*`` marks the row
+    minimum and ``+`` the column minimum, echoing the paper's
+    bold/italic convention.
+    """
+    row_mins = {r: min(values[r][c] for c in col_names) for r in row_names}
+    col_mins = {c: min(values[r][c] for r in row_names) for c in col_names}
+    width = max(12, precision + 9)
+    header_cells = "".join(f"{pretty(c):>{width}}" for c in col_names)
+    lines = [title, f"{row_axis} \\ {col_axis}", f"{'':>16}{header_cells}"]
+    for r in row_names:
+        cells = []
+        for c in col_names:
+            v = values[r][c]
+            marks = ("*" if v == row_mins[r] else "") + ("+" if v == col_mins[c] else "")
+            cells.append(f"{f'{v:.{precision}f}{marks}':>{width}}")
+        lines.append(f"{pretty(r):>16}" + "".join(cells))
+    lines.append("(* = row minimum / paper boldface; + = column minimum / paper italics)")
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    title: str,
+    x_label: str,
+    precision: int = 3,
+    missing: str = "-",
+) -> str:
+    """Render one column per series against a shared x axis (figures)."""
+    names = list(series)
+    width = max(14, precision + 9)
+    lines = [title, f"{x_label:>12}" + "".join(f"{pretty(n):>{width}}" for n in names)]
+    for i, x in enumerate(x_values):
+        cells = []
+        for n in names:
+            vals = series[n]
+            cell = f"{vals[i]:.{precision}f}" if i < len(vals) and vals[i] is not None else missing
+            cells.append(f"{cell:>{width}}")
+        lines.append(f"{str(x):>12}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:
+    """Render dict rows as a fixed-width table (generic fallback)."""
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    header = "  ".join(f"{c:>{widths[c]}}" for c in columns)
+    body = [
+        "  ".join(f"{_fmt(r.get(c)):>{widths[c]}}" for c in columns) for r in rows
+    ]
+    return "\n".join([header, *body])
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,123 @@
+"""Seeded, trial-averaged execution of FMM experiment cases.
+
+"The results presented here are averages over multiple independent
+trials for each set of parameters" (§VI); :func:`run_case` reproduces
+that discipline with NumPy's spawned seed sequences so any single trial
+can be re-derived from the experiment seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.distributions.registry import get_distribution
+from repro.experiments.config import FmmCase
+from repro.fmm.model import FmmCommunicationModel
+from repro.metrics.acd import ACDResult, acd_breakdown, compute_acd
+from repro.topology.base import Topology
+from repro.topology.registry import make_topology
+from repro.util.rng import spawn_seeds
+
+__all__ = ["CaseResult", "run_case"]
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Trial-averaged ACD values for one experiment case."""
+
+    case: FmmCase
+    trials: int
+    nfi_acd: float
+    nfi_acd_std: float
+    ffi_acd: float
+    ffi_acd_std: float
+    ffi_phases: dict[str, float]
+    nfi_events: float
+    ffi_events: float
+
+    def row(self) -> dict[str, object]:
+        """Flat mapping for tabular reporting / serialisation."""
+        return {
+            "topology": self.case.topology,
+            "particle_curve": self.case.particle_curve,
+            "processor_curve": self.case.processor_curve,
+            "distribution": self.case.distribution,
+            "num_particles": self.case.num_particles,
+            "num_processors": self.case.num_processors,
+            "radius": self.case.radius,
+            "nfi_acd": self.nfi_acd,
+            "ffi_acd": self.ffi_acd,
+        }
+
+
+def run_case(
+    case: FmmCase,
+    trials: int = 3,
+    seed: SeedLike = 0,
+    topology: Topology | None = None,
+    parts: tuple[str, ...] = ("nfi", "ffi"),
+) -> CaseResult:
+    """Evaluate one case over independent particle draws.
+
+    Parameters
+    ----------
+    topology:
+        Optional pre-built network matching the case (topologies are
+        deterministic, so studies sweeping particle parameters can build
+        one network and share it across cases).
+    parts:
+        Which interaction models to evaluate; skipping one halves the
+        work when only a single paper table is being regenerated.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    unknown = set(parts) - {"nfi", "ffi"}
+    if unknown or not parts:
+        raise ValueError(f"parts must be a non-empty subset of ('nfi', 'ffi'), got {parts}")
+    if topology is None:
+        topology = make_topology(
+            case.topology, case.num_processors, processor_curve=case.processor_curve
+        )
+    model = FmmCommunicationModel(
+        topology,
+        particle_curve=case.particle_curve,
+        radius=case.radius,
+        nfi_metric=case.nfi_metric,
+    )
+    distribution = get_distribution(case.distribution)
+    nfi_vals, ffi_vals = [], []
+    nfi_counts, ffi_counts = [], []
+    phase_sums: dict[str, float] = {}
+    for child_seed in spawn_seeds(seed, trials):
+        particles = distribution.sample(
+            case.num_particles, case.order, rng=np.random.default_rng(child_seed)
+        )
+        assignment = model.assign(particles)
+        if "nfi" in parts:
+            nfi = compute_acd(model.near_field_events(assignment), topology)
+        else:
+            nfi = ACDResult(0, 0)
+        if "ffi" in parts:
+            ffi = acd_breakdown(model.far_field_events(assignment).as_mapping(), topology)
+        else:
+            ffi = {"combined": ACDResult(0, 0)}
+        nfi_vals.append(nfi.acd)
+        ffi_vals.append(ffi["combined"].acd)
+        nfi_counts.append(nfi.count)
+        ffi_counts.append(ffi["combined"].count)
+        for phase, result in ffi.items():
+            phase_sums[phase] = phase_sums.get(phase, 0.0) + result.acd
+    return CaseResult(
+        case=case,
+        trials=trials,
+        nfi_acd=float(np.mean(nfi_vals)),
+        nfi_acd_std=float(np.std(nfi_vals)),
+        ffi_acd=float(np.mean(ffi_vals)),
+        ffi_acd_std=float(np.std(ffi_vals)),
+        ffi_phases={k: v / trials for k, v in phase_sums.items()},
+        nfi_events=float(np.mean(nfi_counts)),
+        ffi_events=float(np.mean(ffi_counts)),
+    )

@@ -1,0 +1,82 @@
+"""Fig. 7 — ACD as a function of the processor count (§VI-C).
+
+Fixed uniform input, torus network, same SFC for particle and processor
+ordering; the processor count sweeps over powers of four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._typing import SeedLike
+from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import run_case
+from repro.sfc.registry import PAPER_CURVES
+
+__all__ = ["ScalingStudyResult", "run_scaling_study", "format_scaling_study"]
+
+
+@dataclass(frozen=True)
+class ScalingStudyResult:
+    """ACD series per curve across the processor sweep."""
+
+    processor_counts: tuple[int, ...]
+    curves: tuple[str, ...]
+    #: ``nfi[curve][i]`` = ACD at ``processor_counts[i]`` (``ffi`` alike).
+    nfi: dict[str, list[float]]
+    ffi: dict[str, list[float]]
+
+
+def run_scaling_study(
+    scale: Scale | str | None = None,
+    *,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    topology: str = "torus",
+    distribution: str = "uniform",
+) -> ScalingStudyResult:
+    """Run the Fig. 7 processor sweep."""
+    preset = scale if isinstance(scale, Scale) else active_scale(scale)
+    n_trials = trials if trials is not None else preset.trials
+    nfi: dict[str, list[float]] = {c: [] for c in curves}
+    ffi: dict[str, list[float]] = {c: [] for c in curves}
+    for p in preset.scaling_processors:
+        for curve in curves:
+            case = FmmCase(
+                num_particles=preset.scaling_particles,
+                order=preset.scaling_order,
+                num_processors=p,
+                topology=topology,
+                particle_curve=curve,
+                processor_curve=curve,
+                distribution=distribution,
+                radius=1,
+            )
+            result = run_case(case, trials=n_trials, seed=seed)
+            nfi[curve].append(result.nfi_acd)
+            ffi[curve].append(result.ffi_acd)
+    return ScalingStudyResult(
+        processor_counts=tuple(preset.scaling_processors),
+        curves=tuple(curves),
+        nfi=nfi,
+        ffi=ffi,
+    )
+
+
+def format_scaling_study(result: ScalingStudyResult) -> str:
+    """Render both Fig. 7 panels as processor-count series."""
+    blocks = [
+        format_series(result.nfi, result.processor_counts, "Fig. 7(a) NFI ACD vs processors", "processors"),
+        format_series(result.ffi, result.processor_counts, "Fig. 7(b) FFI ACD vs processors", "processors"),
+    ]
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI test
+    print(format_scaling_study(run_scaling_study()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

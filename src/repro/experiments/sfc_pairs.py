@@ -1,0 +1,108 @@
+"""Tables I & II — particle-order x processor-order SFC combinations (§VI-A).
+
+16 curve pairings x 3 input distributions on a torus; near-field
+(Table I) and far-field (Table II) ACD are produced by the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._typing import SeedLike
+from repro.distributions.registry import PAPER_DISTRIBUTIONS
+from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.reporting import format_matrix, pretty
+from repro.experiments.runner import run_case
+from repro.sfc.registry import PAPER_CURVES
+from repro.topology.registry import make_topology
+
+__all__ = ["SfcPairsResult", "run_sfc_pairs", "format_sfc_pairs"]
+
+
+@dataclass(frozen=True)
+class SfcPairsResult:
+    """ACD matrices per distribution for both interaction models.
+
+    ``nfi[dist][processor_curve][particle_curve]`` (and ``ffi`` alike)
+    hold trial-averaged ACD values — the exact layout of the paper's
+    Tables I and II.
+    """
+
+    distributions: tuple[str, ...]
+    processor_curves: tuple[str, ...]
+    particle_curves: tuple[str, ...]
+    nfi: dict[str, dict[str, dict[str, float]]]
+    ffi: dict[str, dict[str, dict[str, float]]]
+
+
+def run_sfc_pairs(
+    scale: Scale | str | None = None,
+    *,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+    distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    topology: str = "torus",
+    parts: tuple[str, ...] = ("nfi", "ffi"),
+) -> SfcPairsResult:
+    """Run the full 16-combination study of §VI-A.
+
+    ``parts`` restricts the evaluation to one interaction model when only
+    Table I (``("nfi",)``) or Table II (``("ffi",)``) is required.
+    """
+    preset = scale if isinstance(scale, Scale) else active_scale(scale)
+    n_trials = trials if trials is not None else preset.trials
+    nfi: dict[str, dict[str, dict[str, float]]] = {}
+    ffi: dict[str, dict[str, dict[str, float]]] = {}
+    for dist in distributions:
+        nfi[dist] = {c: {} for c in curves}
+        ffi[dist] = {c: {} for c in curves}
+    for proc_curve in curves:
+        # One network per processor ordering, shared across all cases.
+        net = make_topology(topology, preset.pairs_processors, processor_curve=proc_curve)
+        for dist in distributions:
+            for part_curve in curves:
+                case = FmmCase(
+                    num_particles=preset.pairs_particles,
+                    order=preset.pairs_order,
+                    num_processors=preset.pairs_processors,
+                    topology=topology,
+                    particle_curve=part_curve,
+                    processor_curve=proc_curve,
+                    distribution=dist,
+                    radius=1,
+                )
+                result = run_case(case, trials=n_trials, seed=seed, topology=net, parts=parts)
+                nfi[dist][proc_curve][part_curve] = result.nfi_acd
+                ffi[dist][proc_curve][part_curve] = result.ffi_acd
+    return SfcPairsResult(
+        distributions=tuple(distributions),
+        processor_curves=tuple(curves),
+        particle_curves=tuple(curves),
+        nfi=nfi,
+        ffi=ffi,
+    )
+
+
+def format_sfc_pairs(result: SfcPairsResult) -> str:
+    """Render both tables in the paper's layout."""
+    blocks = []
+    for table, data in (("Table I (NFI)", result.nfi), ("Table II (FFI)", result.ffi)):
+        for dist in result.distributions:
+            blocks.append(
+                format_matrix(
+                    data[dist],
+                    result.processor_curves,
+                    result.particle_curves,
+                    title=f"{table} — {pretty(dist)} distribution, ACD",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI test
+    print(format_sfc_pairs(run_sfc_pairs()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

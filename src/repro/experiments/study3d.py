@@ -1,0 +1,117 @@
+"""3D validation study (paper's future-work item ii).
+
+§VIII lists "validation of the communication trends projected by the
+ACD metric ... using 3D" as future work.  This study re-runs the core
+evaluation in three dimensions: same-SFC particle/processor pairings of
+the four (3D) curves on the 3D torus, octree and hypercube networks,
+plus a 3D ANNS sweep — and checks whether the 2D conclusions carry over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.distributions.three_d import get_distribution3d
+from repro.experiments.reporting import format_matrix, format_series
+from repro.fmm.model3d import FmmCommunicationModel3D
+from repro.metrics.anns3d import neighbor_stretch3d
+from repro.topology.registry import make_topology
+from repro.util.rng import spawn_seeds
+
+__all__ = [
+    "PAPER_CURVES_3D",
+    "Study3DResult",
+    "run_study3d",
+    "run_anns3d_study",
+    "format_study3d",
+]
+
+#: 3D counterparts of the paper's four curves, in table order.
+PAPER_CURVES_3D: tuple[str, ...] = ("hilbert3d", "morton3d", "gray3d", "rowmajor3d")
+
+#: 3D networks evaluated (hypercube needs no curve; octree/torus3d do).
+TOPOLOGIES_3D: tuple[str, ...] = ("mesh3d", "torus3d", "octree", "hypercube")
+
+
+@dataclass(frozen=True)
+class Study3DResult:
+    """ACD per {topology, 3D curve} for both interaction models."""
+
+    topologies: tuple[str, ...]
+    curves: tuple[str, ...]
+    nfi: dict[str, dict[str, float]]
+    ffi: dict[str, dict[str, float]]
+
+
+def run_study3d(
+    num_particles: int = 20_000,
+    order: int = 6,
+    num_processors: int = 4_096,
+    *,
+    radius: int = 1,
+    distribution: str = "uniform3d",
+    topologies: tuple[str, ...] = TOPOLOGIES_3D,
+    curves: tuple[str, ...] = PAPER_CURVES_3D,
+    trials: int = 2,
+    seed: SeedLike = 2013,
+) -> Study3DResult:
+    """Same-SFC pairings across the 3D networks, trial-averaged."""
+    dist = get_distribution3d(distribution)
+    nfi: dict[str, dict[str, float]] = {t: {} for t in topologies}
+    ffi: dict[str, dict[str, float]] = {t: {} for t in topologies}
+    for topo in topologies:
+        for curve in curves:
+            net = make_topology(topo, num_processors, processor_curve=curve)
+            model = FmmCommunicationModel3D(net, particle_curve=curve, radius=radius)
+            nfi_vals, ffi_vals = [], []
+            for child in spawn_seeds(seed, trials):
+                particles = dist.sample(
+                    num_particles, order, rng=np.random.default_rng(child)
+                )
+                report = model.evaluate(particles)
+                nfi_vals.append(report.nfi_acd)
+                ffi_vals.append(report.ffi_acd)
+            nfi[topo][curve] = float(np.mean(nfi_vals))
+            ffi[topo][curve] = float(np.mean(ffi_vals))
+    return Study3DResult(
+        topologies=tuple(topologies), curves=tuple(curves), nfi=nfi, ffi=ffi
+    )
+
+
+def run_anns3d_study(
+    orders: tuple[int, ...] = (1, 2, 3, 4),
+    curves: tuple[str, ...] = PAPER_CURVES_3D,
+    radius: int = 1,
+) -> dict[str, list[float]]:
+    """3D ANNS sweep over cube resolutions."""
+    return {
+        curve: [neighbor_stretch3d(curve, order, radius=radius).mean for order in orders]
+        for curve in curves
+    }
+
+
+def format_study3d(result: Study3DResult) -> str:
+    """Render the 3D study as topology x curve matrices."""
+    return "\n\n".join(
+        [
+            format_matrix(
+                result.nfi,
+                result.topologies,
+                result.curves,
+                title="3D validation — NFI ACD",
+                row_axis="Topology",
+                col_axis="3D SFC",
+            ),
+            format_matrix(
+                result.ffi,
+                result.topologies,
+                result.curves,
+                title="3D validation — FFI ACD",
+                row_axis="Topology",
+                col_axis="3D SFC",
+            ),
+        ]
+    )

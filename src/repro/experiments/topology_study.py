@@ -1,0 +1,101 @@
+"""Fig. 6 — effect of the network topology (§VI-B).
+
+One sub-case per {topology, SFC} pair, using the *same* curve for both
+particle and processor ordering, on a fixed uniform input (1 000 000
+particles on a 4096-lattice with r = 4 at paper scale).  The paper plots
+mesh/torus/quadtree/hypercube and omits bus/ring (and the near-field
+row-major entries) as off-scale; we compute everything and let the
+formatter annotate the omissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._typing import SeedLike
+from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.reporting import format_matrix
+from repro.experiments.runner import run_case
+from repro.sfc.registry import PAPER_CURVES
+from repro.topology.registry import PAPER_TOPOLOGIES
+
+__all__ = ["TopologyStudyResult", "run_topology_study", "format_topology_study"]
+
+#: The four topologies Fig. 6 actually plots.
+FIG6_TOPOLOGIES: tuple[str, ...] = ("mesh", "torus", "quadtree", "hypercube")
+
+
+@dataclass(frozen=True)
+class TopologyStudyResult:
+    """ACD per {topology, curve} for both interaction models.
+
+    ``nfi[topology][curve]`` / ``ffi[topology][curve]`` hold the
+    trial-averaged ACD values.
+    """
+
+    topologies: tuple[str, ...]
+    curves: tuple[str, ...]
+    nfi: dict[str, dict[str, float]]
+    ffi: dict[str, dict[str, float]]
+
+
+def run_topology_study(
+    scale: Scale | str | None = None,
+    *,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+    topologies: tuple[str, ...] = PAPER_TOPOLOGIES,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    distribution: str = "uniform",
+) -> TopologyStudyResult:
+    """Run the 24-sub-case study of §VI-B."""
+    preset = scale if isinstance(scale, Scale) else active_scale(scale)
+    n_trials = trials if trials is not None else preset.trials
+    nfi: dict[str, dict[str, float]] = {t: {} for t in topologies}
+    ffi: dict[str, dict[str, float]] = {t: {} for t in topologies}
+    for topo in topologies:
+        for curve in curves:
+            case = FmmCase(
+                num_particles=preset.topo_particles,
+                order=preset.topo_order,
+                num_processors=preset.topo_processors,
+                topology=topo,
+                particle_curve=curve,
+                processor_curve=curve,  # same SFC for both roles (§VI-B)
+                distribution=distribution,
+                radius=preset.topo_radius,
+            )
+            result = run_case(case, trials=n_trials, seed=seed)
+            nfi[topo][curve] = result.nfi_acd
+            ffi[topo][curve] = result.ffi_acd
+    return TopologyStudyResult(
+        topologies=tuple(topologies), curves=tuple(curves), nfi=nfi, ffi=ffi
+    )
+
+
+def format_topology_study(result: TopologyStudyResult) -> str:
+    """Render both Fig. 6 panels as topology x curve matrices."""
+    blocks = []
+    for panel, data in (("Fig. 6(a) NFI ACD", result.nfi), ("Fig. 6(b) FFI ACD", result.ffi)):
+        blocks.append(
+            format_matrix(
+                data,
+                result.topologies,
+                result.curves,
+                title=panel,
+                row_axis="Topology",
+                col_axis="SFC",
+            )
+        )
+    blocks.append(
+        "(the paper's plot omits bus/ring and the NFI row-major entries as off-scale)"
+    )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI test
+    print(format_topology_study(run_topology_study()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,155 @@
+"""Far-field interaction (FFI) communication events (§III, §IV).
+
+The far field decomposes into three communication phases over the
+spatial quadtree:
+
+* **Interpolation** — upward accumulation: each non-empty cell's
+  representative sends to its parent cell's representative.
+* **Anterpolation** — downward accumulation: the same parent → child
+  transfers in the opposite direction.
+* **Interaction list** — at every level, each non-empty cell's
+  representative exchanges with the representative of every non-empty
+  cell in its interaction list (children of the parent's neighbours that
+  are not adjacent; ≤ 27 peers in 2D).
+
+Cell representatives are the lowest owning ranks
+(:mod:`repro.quadtree.pyramid`).  Interaction-list pairs are counted
+once per *ordered* pair — each cell walks its own list, exactly as §IV
+step 9 describes — so every unordered pair appears twice, which leaves
+the average unchanged.
+
+Granularity
+-----------
+The paper describes the far field twice: §III walks quadtree *cells*
+(every non-empty cell communicates with its parent and its interaction
+list), while §IV steps 8–9 phrase the same traffic per *processor*
+("construct the interaction list for each processor at each level").
+``granularity="cell"`` (default) counts one event per cell pair;
+``granularity="processor"`` deduplicates to one event per distinct
+(source rank, destination rank) pair per level — the same messages, but
+coarse levels carry relatively more weight.  The ablation study
+(:mod:`repro.experiments.ablation`) quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.fmm.events import CommunicationEvents
+from repro.partition.assignment import Assignment
+from repro.quadtree.interaction import interaction_offsets
+from repro.quadtree.pyramid import EMPTY, representative_pyramid
+
+__all__ = ["FfiEvents", "ffi_events", "interpolation_events", "interaction_events"]
+
+
+@dataclass(frozen=True)
+class FfiEvents:
+    """The three far-field phases, kept separate for per-phase analysis."""
+
+    interpolation: CommunicationEvents
+    anterpolation: CommunicationEvents
+    interaction: CommunicationEvents
+
+    def combined(self) -> CommunicationEvents:
+        """All far-field events merged into one container."""
+        out = CommunicationEvents(component="ffi")
+        out.extend(self.interpolation)
+        out.extend(self.anterpolation)
+        out.extend(self.interaction)
+        return out
+
+    def as_mapping(self) -> dict[str, CommunicationEvents]:
+        """Phase-name → events mapping (for breakdown reporting)."""
+        return {
+            "interpolation": self.interpolation,
+            "anterpolation": self.anterpolation,
+            "interaction": self.interaction,
+        }
+
+
+def _check_granularity(granularity: str) -> bool:
+    if granularity not in ("cell", "processor"):
+        raise ValueError(
+            f"unknown granularity {granularity!r}; use 'cell' or 'processor'"
+        )
+    return granularity == "processor"
+
+
+def _dedup(src: IntArray, dst: IntArray) -> tuple[IntArray, IntArray]:
+    """Collapse to distinct (src, dst) pairs."""
+    pairs = np.unique(np.stack([src, dst], axis=1), axis=0)
+    return pairs[:, 0], pairs[:, 1]
+
+
+def interpolation_events(
+    pyramid: list[IntArray], granularity: str = "cell"
+) -> CommunicationEvents:
+    """Child-representative → parent-representative transfers, all levels."""
+    per_processor = _check_granularity(granularity)
+    events = CommunicationEvents(component="interpolation")
+    for level in range(len(pyramid) - 1, 0, -1):
+        child, parent = pyramid[level], pyramid[level - 1]
+        cx, cy = np.nonzero(child != EMPTY)
+        if cx.size == 0:
+            continue
+        src, dst = child[cx, cy], parent[cx >> 1, cy >> 1]
+        if per_processor:
+            src, dst = _dedup(src, dst)
+        events.add(src, dst)
+    return events
+
+
+def interaction_events(
+    pyramid: list[IntArray], granularity: str = "cell"
+) -> CommunicationEvents:
+    """Interaction-list exchanges at every level (ordered pairs).
+
+    Levels 0 and 1 contribute nothing: the root has no parent and the
+    level-1 cells' parent (the root) has no neighbours.
+    """
+    per_processor = _check_granularity(granularity)
+    events = CommunicationEvents(component="interaction")
+    for level in range(2, len(pyramid)):
+        grid = pyramid[level]
+        side = grid.shape[0]
+        occ_x, occ_y = np.nonzero(grid != EMPTY)
+        if occ_x.size == 0:
+            continue
+        src_all = grid[occ_x, occ_y]
+        level_chunks: list[IntArray] = []
+        for px in (0, 1):
+            for py in (0, 1):
+                sel = ((occ_x & 1) == px) & ((occ_y & 1) == py)
+                if not np.any(sel):
+                    continue
+                xs, ys, srcs = occ_x[sel], occ_y[sel], src_all[sel]
+                for dx, dy in interaction_offsets(px, py):
+                    tx, ty = xs + dx, ys + dy
+                    inb = (tx >= 0) & (tx < side) & (ty >= 0) & (ty < side)
+                    if not np.any(inb):
+                        continue
+                    dsts = grid[tx[inb], ty[inb]]
+                    occupied = dsts != EMPTY
+                    src, dst = srcs[inb][occupied], dsts[occupied]
+                    if per_processor:
+                        level_chunks.append(np.stack([src, dst], axis=1))
+                    else:
+                        events.add(src, dst)
+        if per_processor and level_chunks:
+            pairs = np.unique(np.concatenate(level_chunks), axis=0)
+            events.add(pairs[:, 0], pairs[:, 1])
+    return events
+
+
+def ffi_events(assignment: Assignment, granularity: str = "cell") -> FfiEvents:
+    """All far-field communications for a partitioned input (§IV steps 5–10)."""
+    pyramid = representative_pyramid(assignment.owner_grid())
+    interp = interpolation_events(pyramid, granularity)
+    anterp = interp.reversed()
+    anterp.component = "anterpolation"
+    inter = interaction_events(pyramid, granularity)
+    return FfiEvents(interpolation=interp, anterpolation=anterp, interaction=inter)

@@ -1,0 +1,80 @@
+"""Quadrant log-tree accumulation — the third reading of §IV's far field.
+
+§IV steps 5–6 describe the upward pass as: "For each quadrant containing
+at least one particle, compute an ordered list of all of the processors
+that contain at least one particle in that quadrant; construct a
+log-tree (quadtree in 2D) connecting the processors in each quadrant."
+Taken literally, the gather at every resolution level runs over
+*processor lists*, not over cells: the processors owning particles in a
+cell form an ordered list, a 4-ary tree is built over that list, and
+each tree edge is one communication (rooted at the lowest rank, which
+matches §III's "the lowest ranked processor in a quadrant will collect
+the data").
+
+This module implements that reading; together with the cell-granular
+(§III) and processor-deduplicated interpolations of
+:mod:`repro.fmm.ffi` it completes the three defensible interpretations,
+which the ablation study compares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.fmm.events import CommunicationEvents
+from repro.partition.assignment import Assignment
+
+__all__ = ["quadrant_tree_events", "arity_tree_edges"]
+
+
+def arity_tree_edges(ordered: IntArray, arity: int = 4) -> tuple[IntArray, IntArray]:
+    """Edges of a complete ``arity``-ary tree over an ordered value list.
+
+    Element ``j > 0`` is the child of element ``(j - 1) // arity``; the
+    root is element 0 (for an ascending rank list: the lowest rank).
+    Returns ``(children, parents)`` value arrays with ``len - 1`` edges.
+    """
+    if arity < 2:
+        raise ValueError(f"arity must be >= 2, got {arity}")
+    m = ordered.shape[0]
+    if m <= 1:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    j = np.arange(1, m, dtype=np.int64)
+    return ordered[j], ordered[(j - 1) // arity]
+
+
+def quadrant_tree_events(
+    assignment: Assignment, arity: int = 4
+) -> CommunicationEvents:
+    """Upward accumulation via per-cell processor log-trees, all levels.
+
+    For every quadtree level and every non-empty cell at that level, the
+    distinct processors owning particles in the cell are listed in rank
+    order and connected by an ``arity``-ary tree; each tree edge
+    contributes one child → parent event.  The per-level event total is
+    therefore ``sum_cells (processors_in_cell - 1)``.
+    """
+    particles = assignment.particles
+    procs = assignment.processor
+    k = assignment.order
+    events = CommunicationEvents(component="quadrant-tree")
+    for level in range(k, -1, -1):
+        shift = k - level
+        cells = ((particles.x >> shift).astype(np.int64) << level) | (
+            particles.y >> shift
+        )
+        # distinct (cell, processor) pairs, sorted by cell then rank
+        pairs = np.unique(np.stack([cells, procs], axis=1), axis=0)
+        cell_ids, starts = np.unique(pairs[:, 0], return_index=True)
+        bounds = np.append(starts, pairs.shape[0])
+        j = np.arange(pairs.shape[0], dtype=np.int64)
+        group = np.searchsorted(bounds, j, side="right") - 1
+        local = j - starts[group]
+        has_parent = local > 0
+        children = pairs[has_parent, 1]
+        parent_pos = starts[group[has_parent]] + (local[has_parent] - 1) // arity
+        parents = pairs[parent_pos, 1]
+        events.add(children, parents)
+    return events

@@ -1,0 +1,32 @@
+"""Evaluation metrics: ACD (the paper's contribution), ANNS, clustering."""
+
+from repro.metrics.acd import ACDResult, acd_breakdown, compute_acd
+from repro.metrics.anns import (
+    StretchResult,
+    analytic_anns_gray,
+    analytic_anns_rowmajor,
+    analytic_anns_zcurve,
+    anns,
+    neighbor_stretch,
+)
+from repro.metrics.anns3d import anns3d, neighbor_stretch3d
+from repro.metrics.clustering import average_clusters, cluster_count
+from repro.metrics.stretch import all_pairs_stretch, max_nearest_neighbor_stretch
+
+__all__ = [
+    "ACDResult",
+    "compute_acd",
+    "acd_breakdown",
+    "StretchResult",
+    "anns",
+    "neighbor_stretch",
+    "analytic_anns_rowmajor",
+    "analytic_anns_zcurve",
+    "analytic_anns_gray",
+    "anns3d",
+    "neighbor_stretch3d",
+    "cluster_count",
+    "average_clusters",
+    "all_pairs_stretch",
+    "max_nearest_neighbor_stretch",
+]

@@ -1,0 +1,87 @@
+"""The clustering-number metric (Moon et al., TKDE 2001).
+
+The paper's related-work discussion contrasts ACD/ANNS with "the most
+commonly used metric ... the number of clusters accessed, which measures
+the number of times an SFC leaves and reenters a rectilinear region of
+interest".  We implement it so the literature's classic finding — the
+Hilbert curve minimises range-query clustering, the very result the
+paper's surprising ANNS numbers are contrasted against — can be
+reproduced inside the same framework.
+
+A *cluster* is a maximal run of consecutive curve indices inside the
+query rectangle; fewer clusters mean fewer random seeks (databases) or
+fewer remote chunks touched (parallel range queries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.registry import get_curve
+from repro.util.rng import as_generator
+
+__all__ = ["cluster_count", "average_clusters"]
+
+
+def cluster_count(
+    curve: SpaceFillingCurve,
+    x0: int,
+    y0: int,
+    width: int,
+    height: int,
+) -> int:
+    """Number of index clusters covering the rectangle.
+
+    The rectangle spans cells ``[x0, x0 + width) x [y0, y0 + height)``
+    and must lie inside the lattice.
+    """
+    side = curve.side
+    if width < 1 or height < 1:
+        raise ValueError("query rectangle must be non-empty")
+    if not (0 <= x0 and x0 + width <= side and 0 <= y0 and y0 + height <= side):
+        raise ValueError(
+            f"rectangle ({x0},{y0})+({width}x{height}) exceeds the {side}x{side} lattice"
+        )
+    xs, ys = np.meshgrid(
+        np.arange(x0, x0 + width, dtype=np.int64),
+        np.arange(y0, y0 + height, dtype=np.int64),
+        indexing="ij",
+    )
+    idx = np.sort(curve.encode(xs.ravel(), ys.ravel()))
+    return int(1 + np.count_nonzero(np.diff(idx) > 1))
+
+
+def average_clusters(
+    curve: SpaceFillingCurve | str,
+    order: int | None = None,
+    *,
+    query_size: int = 8,
+    rng: SeedLike = None,
+    samples: int = 500,
+) -> float:
+    """Mean cluster count over random square range queries.
+
+    Parameters
+    ----------
+    query_size:
+        Side of the square query window (cells).
+    samples:
+        Number of uniformly placed queries to average over.
+    """
+    if isinstance(curve, str):
+        if order is None:
+            raise ValueError("order is required when passing a curve name")
+        curve = get_curve(curve, order)
+    side = curve.side
+    if query_size > side:
+        raise ValueError(f"query_size {query_size} exceeds lattice side {side}")
+    gen = as_generator(rng)
+    xs = gen.integers(0, side - query_size + 1, size=samples)
+    ys = gen.integers(0, side - query_size + 1, size=samples)
+    counts = [
+        cluster_count(curve, int(x), int(y), query_size, query_size)
+        for x, y in zip(xs, ys)
+    ]
+    return float(np.mean(counts))

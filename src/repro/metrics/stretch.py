@@ -1,0 +1,79 @@
+"""Companion stretch metrics from Xu & Tirthapura (IPDPS'12).
+
+Besides the ANNS, their paper defines the *maximum nearest neighbor
+stretch* (worst single pair) and the *all-pairs stretch* (the mean over
+every point pair, not only neighbours).  §I of the reproduced paper
+positions its radius-``r`` generalisation as "an intermediate measure of
+SFC performance between the ANNS and all neighbors stretch", so we
+provide the two endpoints for comparison.
+
+The all-pairs stretch is :math:`\\Theta(N^4)` pairs on an
+:math:`N \\times N` lattice; it is computed exactly for small lattices
+and by seeded Monte-Carlo sampling above a size threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike
+from repro.metrics.anns import neighbor_stretch
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.registry import get_curve
+from repro.util.rng import as_generator
+
+__all__ = ["max_nearest_neighbor_stretch", "all_pairs_stretch"]
+
+#: Lattices with at most this many cells use the exact all-pairs sum.
+_EXACT_CELL_LIMIT = 4096
+
+
+def _resolve(curve: SpaceFillingCurve | str, order: int | None) -> SpaceFillingCurve:
+    if isinstance(curve, str):
+        if order is None:
+            raise ValueError("order is required when passing a curve name")
+        return get_curve(curve, order)
+    return curve
+
+
+def max_nearest_neighbor_stretch(
+    curve: SpaceFillingCurve | str, order: int | None = None
+) -> float:
+    """Worst-case index gap between spatially adjacent points."""
+    return neighbor_stretch(_resolve(curve, order), radius=1).max_stretch
+
+
+def all_pairs_stretch(
+    curve: SpaceFillingCurve | str,
+    order: int | None = None,
+    *,
+    rng: SeedLike = None,
+    samples: int = 200_000,
+) -> float:
+    """Mean stretch over all (or sampled) distinct point pairs.
+
+    Stretch of a pair is ``|index(a) - index(b)|`` divided by the
+    Manhattan distance between the points.
+    """
+    sfc = _resolve(curve, order)
+    size = sfc.size
+    if size < 2:
+        return 0.0
+    if size <= _EXACT_CELL_LIMIT:
+        idx = np.arange(size, dtype=np.int64)
+        x, y = sfc.decode(idx)
+        # all ordered pairs i < j via broadcasting
+        dx = np.abs(x[:, None] - x[None, :])
+        dy = np.abs(y[:, None] - y[None, :])
+        di = np.abs(idx[:, None] - idx[None, :])
+        iu = np.triu_indices(size, k=1)
+        return float((di[iu] / (dx[iu] + dy[iu])).mean())
+    gen = as_generator(rng)
+    a = gen.integers(0, size, size=samples)
+    b = gen.integers(0, size, size=samples)
+    keep = a != b
+    a, b = a[keep], b[keep]
+    ax, ay = sfc.decode(a)
+    bx, by = sfc.decode(b)
+    spatial = np.abs(ax - bx) + np.abs(ay - by)
+    return float((np.abs(a - b) / spatial).mean())

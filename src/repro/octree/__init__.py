@@ -1,0 +1,16 @@
+"""Spatial octree substrate for the 3D FMM communication model (extension)."""
+
+from repro.octree.cells import children_of3d, neighbor_offsets3d, parent_of3d
+from repro.octree.interaction import interaction_list_cells3d, interaction_offsets3d
+from repro.octree.pyramid import EMPTY, occupancy_pyramid3d, representative_pyramid3d
+
+__all__ = [
+    "parent_of3d",
+    "children_of3d",
+    "neighbor_offsets3d",
+    "interaction_offsets3d",
+    "interaction_list_cells3d",
+    "EMPTY",
+    "representative_pyramid3d",
+    "occupancy_pyramid3d",
+]

@@ -1,0 +1,50 @@
+"""Cell arithmetic for the spatial octree over a ``2**k`` cube lattice.
+
+3D sibling of :mod:`repro.quadtree.cells` (future-work item ii).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+
+__all__ = ["parent_of3d", "children_of3d", "neighbor_offsets3d"]
+
+
+def parent_of3d(cx, cy, cz) -> tuple[IntArray, IntArray, IntArray]:
+    """Coordinates of the parent cell one level coarser."""
+    cx = np.asarray(cx, dtype=np.int64)
+    cy = np.asarray(cy, dtype=np.int64)
+    cz = np.asarray(cz, dtype=np.int64)
+    return cx >> 1, cy >> 1, cz >> 1
+
+
+def children_of3d(cx: int, cy: int, cz: int) -> IntArray:
+    """The eight child cells one level finer, as an ``(8, 3)`` array."""
+    bits = np.array(
+        [[i >> 2 & 1, i >> 1 & 1, i & 1] for i in range(8)], dtype=np.int64
+    )
+    return bits + np.array([2 * cx, 2 * cy, 2 * cz], dtype=np.int64)
+
+
+def neighbor_offsets3d(radius: int = 1, metric: str = "chebyshev") -> IntArray:
+    """All non-zero 3D offsets within ``radius`` under the given metric.
+
+    ``"chebyshev"`` gives the face/edge/corner neighbourhood (26 cells
+    for ``radius=1``); ``"manhattan"`` the 6-cell cross for ``radius=1``.
+    """
+    r = int(radius)
+    if r < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    span = np.arange(-r, r + 1, dtype=np.int64)
+    dx, dy, dz = np.meshgrid(span, span, span, indexing="ij")
+    offs = np.stack([dx.ravel(), dy.ravel(), dz.ravel()], axis=1)
+    if metric == "chebyshev":
+        keep = np.abs(offs).max(axis=1) >= 1
+    elif metric == "manhattan":
+        dist = np.abs(offs).sum(axis=1)
+        keep = (dist >= 1) & (dist <= r)
+    else:
+        raise ValueError(f"unknown metric {metric!r}; use 'chebyshev' or 'manhattan'")
+    return offs[keep]

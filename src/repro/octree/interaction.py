@@ -1,0 +1,61 @@
+"""3D FMM interaction lists (octree sibling of
+:mod:`repro.quadtree.interaction`).
+
+In 3D a cell has at most 189 interaction-list peers: the 26 parent
+neighbours contribute 8 children each (208 candidates) of which 19 are
+adjacent to the cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+
+__all__ = ["interaction_offsets3d", "interaction_list_cells3d"]
+
+
+def interaction_offsets3d(parity_x: int, parity_y: int, parity_z: int) -> IntArray:
+    """Offsets from a cell with the given parity to its interaction list."""
+    px, py, pz = int(parity_x) & 1, int(parity_y) & 1, int(parity_z) & 1
+    offsets = []
+    for ox in (-1, 0, 1):
+        for oy in (-1, 0, 1):
+            for oz in (-1, 0, 1):
+                if ox == oy == oz == 0:
+                    continue  # the parent's own children are all adjacent
+                for ix in (0, 1):
+                    for iy in (0, 1):
+                        for iz in (0, 1):
+                            dx = 2 * ox + ix - px
+                            dy = 2 * oy + iy - py
+                            dz = 2 * oz + iz - pz
+                            if max(abs(dx), abs(dy), abs(dz)) > 1:
+                                offsets.append((dx, dy, dz))
+    return np.asarray(offsets, dtype=np.int64)
+
+
+def interaction_list_cells3d(cx: int, cy: int, cz: int, level: int) -> IntArray:
+    """Explicit interaction list of one octree cell (reference path)."""
+    side = 1 << level
+    if not (0 <= cx < side and 0 <= cy < side and 0 <= cz < side):
+        raise ValueError(f"cell ({cx}, {cy}, {cz}) outside level-{level} grid")
+    out = []
+    px, py, pz = cx >> 1, cy >> 1, cz >> 1
+    parent_side = side >> 1
+    for nx in (px - 1, px, px + 1):
+        for ny in (py - 1, py, py + 1):
+            for nz in (pz - 1, pz, pz + 1):
+                if not (
+                    0 <= nx < parent_side
+                    and 0 <= ny < parent_side
+                    and 0 <= nz < parent_side
+                ):
+                    continue
+                for ix in (0, 1):
+                    for iy in (0, 1):
+                        for iz in (0, 1):
+                            tx, ty, tz = 2 * nx + ix, 2 * ny + iy, 2 * nz + iz
+                            if max(abs(tx - cx), abs(ty - cy), abs(tz - cz)) > 1:
+                                out.append((tx, ty, tz))
+    return np.asarray(out, dtype=np.int64).reshape(-1, 3)

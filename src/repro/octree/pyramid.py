@@ -1,0 +1,54 @@
+"""Representative pyramids over an owner volume (3D sibling of
+:mod:`repro.quadtree.pyramid`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.quadtree.pyramid import EMPTY
+from repro.util.bits import is_power_of_two
+
+__all__ = ["EMPTY", "representative_pyramid3d", "occupancy_pyramid3d"]
+
+
+def _check_volume(owner: IntArray) -> IntArray:
+    vol = np.asarray(owner)
+    if vol.ndim != 3 or len({*vol.shape}) != 1:
+        raise ValueError(f"owner volume must be a cube, got shape {vol.shape}")
+    if not is_power_of_two(vol.shape[0]):
+        raise ValueError(f"owner volume side must be a power of two, got {vol.shape[0]}")
+    return vol
+
+
+def representative_pyramid3d(owner_volume: IntArray) -> list[IntArray]:
+    """Min-rank reduction pyramid: ``levels[l]`` has shape ``(2**l,)*3``.
+
+    ``-1`` entries of the owner volume mark empty cells and become
+    :data:`EMPTY`; entry ``(cx, cy, cz)`` of ``levels[l]`` is the minimum
+    rank owning a particle in that level-``l`` octree cell.
+    """
+    vol = _check_volume(owner_volume).astype(np.int64, copy=True)
+    vol[vol < 0] = EMPTY
+    levels = [vol]
+    while levels[-1].shape[0] > 1:
+        g = levels[-1]
+        half = g.shape[0] // 2
+        levels.append(
+            g.reshape(half, 2, half, 2, half, 2).min(axis=(1, 3, 5))
+        )
+    levels.reverse()
+    return levels
+
+
+def occupancy_pyramid3d(owner_volume: IntArray) -> list[IntArray]:
+    """Particle-count pyramid over the octree cells."""
+    vol = _check_volume(owner_volume)
+    counts = (vol >= 0).astype(np.int64)
+    levels = [counts]
+    while levels[-1].shape[0] > 1:
+        g = levels[-1]
+        half = g.shape[0] // 2
+        levels.append(g.reshape(half, 2, half, 2, half, 2).sum(axis=(1, 3, 5)))
+    levels.reverse()
+    return levels

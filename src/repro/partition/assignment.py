@@ -1,0 +1,78 @@
+"""End-to-end particle → processor assignment (§IV steps 1–4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.distributions.base import Particles
+from repro.partition.chunking import chunk_assignment
+from repro.partition.ordering import order_particles
+from repro.sfc.base import SpaceFillingCurve
+from repro.util.validation import check_positive
+
+__all__ = ["Assignment", "partition_particles"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Particles ordered along a particle-order SFC and chunked onto ranks.
+
+    Attributes
+    ----------
+    particles:
+        The particle set sorted in curve order.
+    keys:
+        Curve index of each (sorted) particle; strictly increasing.
+    processor:
+        Owning processor rank of each (sorted) particle; non-decreasing.
+    num_processors:
+        Total rank count ``p`` (some ranks may own zero particles when
+        ``p > n``).
+    """
+
+    particles: Particles
+    keys: IntArray
+    processor: IntArray
+    num_processors: int
+    _owner_cache: list = field(default_factory=list, repr=False, compare=False)
+
+    @property
+    def order(self) -> int:
+        """Lattice order of the underlying particle set."""
+        return self.particles.order
+
+    @property
+    def side(self) -> int:
+        """Lattice side length."""
+        return self.particles.side
+
+    def owner_grid(self) -> IntArray:
+        """Dense ``(side, side)`` grid of owning ranks; ``-1`` marks empty cells.
+
+        The grid is computed once and cached (it is read by both the NFI
+        and FFI models).
+        """
+        if not self._owner_cache:
+            grid = np.full((self.side, self.side), -1, dtype=np.int64)
+            grid[self.particles.x, self.particles.y] = self.processor
+            self._owner_cache.append(grid)
+        return self._owner_cache[0]
+
+    def particles_per_processor(self) -> IntArray:
+        """Histogram of particle counts per rank (length ``num_processors``)."""
+        return np.bincount(self.processor, minlength=self.num_processors).astype(np.int64)
+
+
+def partition_particles(
+    particles: Particles,
+    particle_curve: SpaceFillingCurve | str,
+    num_processors: int,
+) -> Assignment:
+    """Order ``particles`` by ``particle_curve`` and chunk them onto ranks."""
+    p = check_positive(num_processors, "num_processors")
+    ordered, keys = order_particles(particles, particle_curve)
+    procs = chunk_assignment(len(ordered), p)
+    return Assignment(ordered, keys, procs, p)

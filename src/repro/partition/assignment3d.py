@@ -1,0 +1,73 @@
+"""Particle → processor assignment in 3D (extension)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.distributions.three_d import Particles3D
+from repro.partition.chunking import chunk_assignment
+from repro.sfc.curves3d import Curve3D, get_curve3d
+from repro.util.validation import check_positive
+
+__all__ = ["Assignment3D", "partition_particles3d"]
+
+
+@dataclass(frozen=True)
+class Assignment3D:
+    """Particles ordered along a 3D SFC and chunked onto ranks."""
+
+    particles: Particles3D
+    keys: IntArray
+    processor: IntArray
+    num_processors: int
+    _owner_cache: list = field(default_factory=list, repr=False, compare=False)
+
+    @property
+    def order(self) -> int:
+        """Lattice order of the underlying particle set."""
+        return self.particles.order
+
+    @property
+    def side(self) -> int:
+        """Lattice side length."""
+        return self.particles.side
+
+    def owner_volume(self) -> IntArray:
+        """Dense ``(side,)*3`` volume of owning ranks; ``-1`` marks empties."""
+        if not self._owner_cache:
+            vol = np.full((self.side,) * 3, -1, dtype=np.int64)
+            vol[self.particles.x, self.particles.y, self.particles.z] = self.processor
+            self._owner_cache.append(vol)
+        return self._owner_cache[0]
+
+    def particles_per_processor(self) -> IntArray:
+        """Histogram of particle counts per rank."""
+        return np.bincount(self.processor, minlength=self.num_processors).astype(np.int64)
+
+
+def partition_particles3d(
+    particles: Particles3D,
+    particle_curve: Curve3D | str,
+    num_processors: int,
+) -> Assignment3D:
+    """Order ``particles`` by a 3D SFC and chunk them onto ranks."""
+    p = check_positive(num_processors, "num_processors")
+    curve = (
+        get_curve3d(particle_curve, particles.order)
+        if isinstance(particle_curve, str)
+        else particle_curve
+    )
+    if curve.order != particles.order:
+        raise ValueError(
+            f"curve order {curve.order} does not match particle lattice order {particles.order}"
+        )
+    keys = curve.encode(particles.x, particles.y, particles.z)
+    perm = np.argsort(keys, kind="stable")
+    ordered = Particles3D(
+        particles.x[perm], particles.y[perm], particles.z[perm], particles.order
+    )
+    procs = chunk_assignment(len(ordered), p)
+    return Assignment3D(ordered, keys[perm], procs, p)

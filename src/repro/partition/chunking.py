@@ -1,0 +1,36 @@
+"""Contiguous chunking of an ordered particle set onto processors.
+
+§IV steps 2 and 4: "Partition the particles into p consecutive chunks of
+size n/p each; distribute chunk i to processor i."  When ``p`` does not
+divide ``n`` the first ``n mod p`` chunks receive one extra particle, so
+chunk sizes never differ by more than one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["chunk_assignment", "chunk_bounds"]
+
+
+def chunk_bounds(n: int, p: int) -> IntArray:
+    """Start offsets of each chunk, as a ``(p + 1,)`` array of positions.
+
+    Chunk ``i`` spans positions ``[bounds[i], bounds[i+1])`` of the
+    SFC-ordered particle sequence.
+    """
+    n = check_nonnegative(n, "n")
+    p = check_positive(p, "p")
+    base, extra = divmod(n, p)
+    sizes = np.full(p, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
+
+
+def chunk_assignment(n: int, p: int) -> IntArray:
+    """Processor id of each position in the ordered particle sequence."""
+    bounds = chunk_bounds(n, p)
+    return np.repeat(np.arange(p, dtype=np.int64), np.diff(bounds))

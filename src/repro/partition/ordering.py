@@ -1,0 +1,36 @@
+"""Particle-order SFCs: linearly ordering a particle set (§IV step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.distributions.base import Particles
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.registry import get_curve
+
+__all__ = ["curve_keys", "order_particles"]
+
+
+def curve_keys(particles: Particles, curve: SpaceFillingCurve | str) -> IntArray:
+    """Curve index of each particle's cell under the particle-order SFC."""
+    sfc = get_curve(curve, particles.order) if isinstance(curve, str) else curve
+    if sfc.order != particles.order:
+        raise ValueError(
+            f"curve order {sfc.order} does not match particle lattice order {particles.order}"
+        )
+    return sfc.encode(particles.x, particles.y)
+
+
+def order_particles(
+    particles: Particles, curve: SpaceFillingCurve | str
+) -> tuple[Particles, IntArray]:
+    """Sort particles along the particle-order SFC.
+
+    Returns the reordered :class:`Particles` and the curve keys aligned
+    with it (strictly increasing, since cells are distinct).
+    """
+    keys = curve_keys(particles, curve)
+    perm = np.argsort(keys, kind="stable")
+    sorted_particles = Particles(particles.x[perm], particles.y[perm], particles.order)
+    return sorted_particles, keys[perm]

@@ -1,0 +1,26 @@
+"""Communication primitives for the generalised ACD metric (§VII)."""
+
+from repro.primitives.base import as_participants
+from repro.primitives.broadcast import broadcast, reduce
+from repro.primitives.collectives import (
+    allgather_ring,
+    allreduce,
+    alltoall,
+    gather_linear,
+    scan,
+    scatter_linear,
+)
+from repro.primitives.ptp import point_to_point
+
+__all__ = [
+    "as_participants",
+    "point_to_point",
+    "broadcast",
+    "reduce",
+    "alltoall",
+    "allreduce",
+    "allgather_ring",
+    "scan",
+    "gather_linear",
+    "scatter_linear",
+]

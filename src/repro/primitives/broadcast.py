@@ -1,0 +1,56 @@
+"""Binomial-tree broadcast and reduction.
+
+The classic ``log p`` broadcast: in round ``i`` every rank that already
+holds the datum forwards it to the participant ``2**i`` positions away
+in the participant ordering.  This is the "log-tree broadcast
+communication, which is frequently used in parallel implementations"
+that §VII equates with the paper's per-level far-field accumulation.
+
+A reduction is the same tree with every edge reversed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm.events import CommunicationEvents
+from repro.primitives.base import as_participants
+
+__all__ = ["broadcast", "reduce"]
+
+
+def broadcast(participants, root_position: int = 0) -> CommunicationEvents:
+    """Binomial-tree broadcast from one participant to all others.
+
+    Parameters
+    ----------
+    participants:
+        Ranks taking part, in algorithmic order.
+    root_position:
+        Position of the broadcast root within the participant list (the
+        list is rotated so the tree is rooted there).
+    """
+    ranks = as_participants(participants)
+    m = ranks.size
+    events = CommunicationEvents(component="broadcast")
+    if m <= 1:
+        return events
+    if not 0 <= root_position < m:
+        raise ValueError(f"root_position {root_position} outside [0, {m})")
+    order = np.roll(ranks, -root_position)
+    span = 1
+    while span < m:
+        senders = np.arange(0, min(span, m - span), dtype=np.int64)
+        receivers = senders + span
+        receivers = receivers[receivers < m]
+        senders = senders[: receivers.size]
+        events.add(order[senders], order[receivers])
+        span <<= 1
+    return events
+
+
+def reduce(participants, root_position: int = 0) -> CommunicationEvents:
+    """Binomial-tree reduction: the broadcast tree with edges reversed."""
+    out = broadcast(participants, root_position).reversed()
+    out.component = "reduce"
+    return out

@@ -1,0 +1,124 @@
+"""All-to-all, allreduce, allgather, scatter/gather and prefix-scan patterns.
+
+Each generator returns the point-to-point event multiset of a textbook
+algorithm for the collective, so the ACD of a full application can be
+assembled phase by phase (§VII: "the ACD value can be calculated for
+each type of communication ... and these can be combined to predict the
+performance of the implementation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm.events import CommunicationEvents
+from repro.primitives.base import as_participants
+
+__all__ = [
+    "alltoall",
+    "allreduce",
+    "allgather_ring",
+    "scan",
+    "gather_linear",
+    "scatter_linear",
+]
+
+
+def alltoall(participants) -> CommunicationEvents:
+    """Every participant sends one message to every other participant."""
+    ranks = as_participants(participants)
+    m = ranks.size
+    events = CommunicationEvents(component="alltoall")
+    if m <= 1:
+        return events
+    src = np.repeat(ranks, m - 1)
+    dst_matrix = np.broadcast_to(ranks, (m, m))
+    mask = ~np.eye(m, dtype=bool)
+    events.add(src, dst_matrix[mask])
+    return events
+
+
+def allreduce(participants) -> CommunicationEvents:
+    """Recursive-doubling allreduce.
+
+    In round ``i`` every participant exchanges with the partner whose
+    position differs in bit ``i``; for non-power-of-two counts the
+    excess ranks fold into the nearest power of two first and unfold
+    afterwards (the standard pre/post step).
+    """
+    ranks = as_participants(participants)
+    m = ranks.size
+    events = CommunicationEvents(component="allreduce")
+    if m <= 1:
+        return events
+    pow2 = 1 << ((m - 1).bit_length() - 1) if m & (m - 1) else m
+    excess = m - pow2
+    if excess:
+        extras = np.arange(pow2, m, dtype=np.int64)
+        partners = extras - pow2
+        events.add(ranks[extras], ranks[partners])  # fold in
+    core = np.arange(pow2, dtype=np.int64)
+    bit = 1
+    while bit < pow2:
+        partner = core ^ bit
+        events.add(ranks[core], ranks[partner])
+        bit <<= 1
+    if excess:
+        extras = np.arange(pow2, m, dtype=np.int64)
+        partners = extras - pow2
+        events.add(ranks[partners], ranks[extras])  # unfold
+    return events
+
+
+def allgather_ring(participants) -> CommunicationEvents:
+    """Ring allgather: ``m - 1`` rounds of neighbour forwarding."""
+    ranks = as_participants(participants)
+    m = ranks.size
+    events = CommunicationEvents(component="allgather")
+    if m <= 1:
+        return events
+    src = ranks
+    dst = np.roll(ranks, -1)
+    for _ in range(m - 1):
+        events.add(src, dst)
+    return events
+
+
+def scan(participants) -> CommunicationEvents:
+    """Hillis–Steele inclusive prefix scan.
+
+    Round ``i``: participant at position ``j`` sends to position
+    ``j + 2**i`` (§VII names parallel prefix among the archetypes the
+    far-field accumulation resembles).
+    """
+    ranks = as_participants(participants)
+    m = ranks.size
+    events = CommunicationEvents(component="scan")
+    span = 1
+    while span < m:
+        senders = np.arange(0, m - span, dtype=np.int64)
+        events.add(ranks[senders], ranks[senders + span])
+        span <<= 1
+    return events
+
+
+def gather_linear(participants, root_position: int = 0) -> CommunicationEvents:
+    """Naive gather: every participant sends directly to the root."""
+    ranks = as_participants(participants)
+    m = ranks.size
+    events = CommunicationEvents(component="gather")
+    if m <= 1:
+        return events
+    if not 0 <= root_position < m:
+        raise ValueError(f"root_position {root_position} outside [0, {m})")
+    root = ranks[root_position]
+    others = np.delete(ranks, root_position)
+    events.add(others, np.full(others.size, root, dtype=np.int64))
+    return events
+
+
+def scatter_linear(participants, root_position: int = 0) -> CommunicationEvents:
+    """Naive scatter: the root sends directly to every participant."""
+    out = gather_linear(participants, root_position).reversed()
+    out.component = "scatter"
+    return out

@@ -1,0 +1,15 @@
+"""Point-to-point communication pattern."""
+
+from __future__ import annotations
+
+from repro.fmm.events import CommunicationEvents
+from repro.util.validation import as_index_array
+
+__all__ = ["point_to_point"]
+
+
+def point_to_point(src, dst) -> CommunicationEvents:
+    """Explicit pairwise messages: one event per ``(src[i], dst[i])``."""
+    events = CommunicationEvents(component="point-to-point")
+    events.add(as_index_array(src, "src"), as_index_array(dst, "dst"))
+    return events

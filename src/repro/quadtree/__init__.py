@@ -1,0 +1,24 @@
+"""Spatial quadtree substrate for the FMM communication model."""
+
+from repro.quadtree.cells import (
+    cells_are_adjacent,
+    children_of,
+    level_side,
+    neighbor_offsets,
+    parent_of,
+)
+from repro.quadtree.interaction import interaction_list_cells, interaction_offsets
+from repro.quadtree.pyramid import EMPTY, occupancy_pyramid, representative_pyramid
+
+__all__ = [
+    "parent_of",
+    "children_of",
+    "level_side",
+    "neighbor_offsets",
+    "cells_are_adjacent",
+    "interaction_offsets",
+    "interaction_list_cells",
+    "EMPTY",
+    "representative_pyramid",
+    "occupancy_pyramid",
+]

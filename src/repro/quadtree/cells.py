@@ -1,0 +1,72 @@
+"""Cell arithmetic for the spatial quadtree over a ``2**k`` lattice.
+
+Level ``l`` (0 = root, ``k`` = finest) tiles the domain with
+``2**l x 2**l`` square cells; the cell at level-``l`` coordinates
+``(cx, cy)`` covers lattice cells ``[cx * 2**(k-l), (cx+1) * 2**(k-l))``
+in each axis.  These helpers encode the parent/child/neighbour algebra
+the FMM model (§III of the paper) is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+
+__all__ = [
+    "parent_of",
+    "children_of",
+    "level_side",
+    "neighbor_offsets",
+    "cells_are_adjacent",
+]
+
+
+def level_side(level: int) -> int:
+    """Number of cells per axis at quadtree level ``level``."""
+    if level < 0:
+        raise ValueError(f"level must be >= 0, got {level}")
+    return 1 << level
+
+
+def parent_of(cx, cy) -> tuple[IntArray, IntArray]:
+    """Coordinates of the parent cell one level coarser."""
+    cx = np.asarray(cx, dtype=np.int64)
+    cy = np.asarray(cy, dtype=np.int64)
+    return cx >> 1, cy >> 1
+
+
+def children_of(cx: int, cy: int) -> IntArray:
+    """The four child cells one level finer, as a ``(4, 2)`` array."""
+    base = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.int64)
+    return base + np.array([2 * cx, 2 * cy], dtype=np.int64)
+
+
+def neighbor_offsets(radius: int = 1, metric: str = "chebyshev") -> IntArray:
+    """All non-zero offsets within ``radius`` under the given metric.
+
+    ``"chebyshev"`` yields the edge/corner neighbourhood the FMM
+    near-field uses (8 cells for ``radius=1``, §III); ``"manhattan"``
+    yields the cross-shaped neighbourhood of the ANNS metric (§V).
+    """
+    r = int(radius)
+    if r < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    span = np.arange(-r, r + 1, dtype=np.int64)
+    dx, dy = np.meshgrid(span, span, indexing="ij")
+    offs = np.stack([dx.ravel(), dy.ravel()], axis=1)
+    if metric == "chebyshev":
+        keep = np.maximum(np.abs(offs[:, 0]), np.abs(offs[:, 1])) >= 1
+    elif metric == "manhattan":
+        dist = np.abs(offs[:, 0]) + np.abs(offs[:, 1])
+        keep = (dist >= 1) & (dist <= r)
+    else:
+        raise ValueError(f"unknown metric {metric!r}; use 'chebyshev' or 'manhattan'")
+    return offs[keep]
+
+
+def cells_are_adjacent(ax, ay, bx, by) -> np.ndarray:
+    """True where cells share an edge or corner (or coincide)."""
+    ax, ay = np.asarray(ax, np.int64), np.asarray(ay, np.int64)
+    bx, by = np.asarray(bx, np.int64), np.asarray(by, np.int64)
+    return np.maximum(np.abs(ax - bx), np.abs(ay - by)) <= 1

@@ -1,0 +1,75 @@
+"""FMM interaction lists (§III, Fig. 4 of the paper).
+
+The interaction list of a cell ``c`` at level ``l`` contains the
+children of ``c``'s parent's neighbours that are *not* adjacent to ``c``
+(no shared edge or corner) and live at the same level.  In 2D each cell
+has at most 27 such peers.
+
+Because the candidate set depends only on ``c``'s parity within its
+parent (which of the four child slots it occupies), the offsets can be
+tabulated once per parity class and reused for every cell — this is
+what lets the far-field event generation stay fully vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+
+__all__ = ["interaction_offsets", "interaction_list_cells"]
+
+
+def interaction_offsets(parity_x: int, parity_y: int) -> IntArray:
+    """Offsets from a cell with the given parity to its interaction list.
+
+    Parameters
+    ----------
+    parity_x, parity_y:
+        The cell's coordinates modulo 2 (its slot within the parent).
+
+    Returns
+    -------
+    ``(m, 2)`` array of ``(dx, dy)`` offsets (``m <= 27``); adding an
+    offset to the cell's coordinates yields an interaction-list
+    candidate, still subject to domain-boundary and occupancy checks.
+    """
+    px, py = int(parity_x) & 1, int(parity_y) & 1
+    offsets = []
+    for ox in (-1, 0, 1):
+        for oy in (-1, 0, 1):
+            if ox == 0 and oy == 0:
+                continue  # the parent's own children are all adjacent
+            for ix in (0, 1):
+                for iy in (0, 1):
+                    dx = 2 * ox + ix - px
+                    dy = 2 * oy + iy - py
+                    if max(abs(dx), abs(dy)) > 1:
+                        offsets.append((dx, dy))
+    return np.asarray(offsets, dtype=np.int64)
+
+
+def interaction_list_cells(cx: int, cy: int, level: int) -> IntArray:
+    """Explicit interaction list of one cell (reference implementation).
+
+    Enumerates the children of the parent's neighbours directly from the
+    definition — used by the test-suite to validate the vectorised
+    offset tables and by examples for illustration.  Returns the
+    in-bounds peers as an ``(m, 2)`` array at the same level.
+    """
+    side = 1 << level
+    if not (0 <= cx < side and 0 <= cy < side):
+        raise ValueError(f"cell ({cx}, {cy}) outside level-{level} grid")
+    out = []
+    px, py = cx >> 1, cy >> 1
+    parent_side = side >> 1
+    for nx in (px - 1, px, px + 1):
+        for ny in (py - 1, py, py + 1):
+            if not (0 <= nx < parent_side and 0 <= ny < parent_side):
+                continue
+            for ix in (0, 1):
+                for iy in (0, 1):
+                    tx, ty = 2 * nx + ix, 2 * ny + iy
+                    if max(abs(tx - cx), abs(ty - cy)) > 1:
+                        out.append((tx, ty))
+    return np.asarray(out, dtype=np.int64).reshape(-1, 2)

@@ -1,0 +1,73 @@
+"""Representative pyramids: who speaks for each quadtree cell.
+
+§III/§IV of the paper adopt the convention that "for each level of
+resolution, the lowest ranked processor in a quadrant will collect the
+data from the cells at that level" (equivalently, the processor holding
+the lowest-indexed particle — with contiguous chunking the two coincide;
+see DESIGN.md §3.6).  The *representative pyramid* materialises this:
+one grid per quadtree level whose entries are the minimum owning rank
+over all particles inside the cell, or :data:`EMPTY` for empty cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.util.bits import is_power_of_two
+
+__all__ = ["EMPTY", "representative_pyramid", "occupancy_pyramid"]
+
+#: Sentinel marking an empty cell in representative/occupancy grids.
+EMPTY: int = np.iinfo(np.int64).max
+
+
+def _check_grid(owner_grid: IntArray) -> IntArray:
+    grid = np.asarray(owner_grid)
+    if grid.ndim != 2 or grid.shape[0] != grid.shape[1]:
+        raise ValueError(f"owner grid must be square, got shape {grid.shape}")
+    if not is_power_of_two(grid.shape[0]):
+        raise ValueError(f"owner grid side must be a power of two, got {grid.shape[0]}")
+    return grid
+
+
+def representative_pyramid(owner_grid: IntArray) -> list[IntArray]:
+    """Min-rank reduction pyramid over an owner grid.
+
+    Parameters
+    ----------
+    owner_grid:
+        ``(side, side)`` array of owning ranks with ``-1`` marking empty
+        lattice cells (as produced by
+        :meth:`repro.partition.Assignment.owner_grid`).
+
+    Returns
+    -------
+    list of arrays
+        ``levels[l]`` has shape ``(2**l, 2**l)``; entry ``(cx, cy)`` is
+        the minimum rank owning a particle in that level-``l`` cell, or
+        :data:`EMPTY` if the cell holds no particles.  ``levels[k]`` is
+        the finest level, ``levels[0]`` the root.
+    """
+    grid = _check_grid(owner_grid).astype(np.int64, copy=True)
+    grid[grid < 0] = EMPTY
+    levels = [grid]
+    while levels[-1].shape[0] > 1:
+        g = levels[-1]
+        half = g.shape[0] // 2
+        levels.append(g.reshape(half, 2, half, 2).min(axis=(1, 3)))
+    levels.reverse()
+    return levels
+
+
+def occupancy_pyramid(owner_grid: IntArray) -> list[IntArray]:
+    """Particle-count pyramid: entry = number of particles in each cell."""
+    grid = _check_grid(owner_grid)
+    counts = (grid >= 0).astype(np.int64)
+    levels = [counts]
+    while levels[-1].shape[0] > 1:
+        g = levels[-1]
+        half = g.shape[0] // 2
+        levels.append(g.reshape(half, 2, half, 2).sum(axis=(1, 3)))
+    levels.reverse()
+    return levels

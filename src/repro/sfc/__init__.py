@@ -1,0 +1,50 @@
+"""Space-filling curves: the paper's four study curves plus extensions.
+
+Quick use::
+
+    from repro.sfc import get_curve
+
+    h = get_curve("hilbert", order=5)   # 32 x 32 lattice
+    idx = h.encode([0, 3], [1, 7])      # vectorised coordinates -> indices
+    x, y = h.decode(idx)                # and back
+"""
+
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.curves3d import (
+    CURVES3D,
+    Curve3D,
+    Gray3D,
+    Hilbert3D,
+    Morton3D,
+    RowMajor3D,
+    Snake3D,
+    get_curve3d,
+)
+from repro.sfc.gray import GrayCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.registry import ALL_CURVES, CURVES, PAPER_CURVES, curve_names, get_curve
+from repro.sfc.rowmajor import RowMajorCurve
+from repro.sfc.snake import SnakeCurve
+from repro.sfc.zcurve import ZCurve
+
+__all__ = [
+    "SpaceFillingCurve",
+    "HilbertCurve",
+    "ZCurve",
+    "GrayCurve",
+    "RowMajorCurve",
+    "SnakeCurve",
+    "CURVES",
+    "PAPER_CURVES",
+    "ALL_CURVES",
+    "get_curve",
+    "curve_names",
+    "Curve3D",
+    "Hilbert3D",
+    "Morton3D",
+    "Gray3D",
+    "RowMajor3D",
+    "Snake3D",
+    "CURVES3D",
+    "get_curve3d",
+]

@@ -1,0 +1,142 @@
+"""Abstract interface for discrete two-dimensional space-filling curves.
+
+A discrete SFC of *order* :math:`k` is a bijection between the lattice
+:math:`\\{0..2^k-1\\}^2` and the index range :math:`\\{0..4^k-1\\}`
+(the paper numbers from 1; we use 0-based indices throughout, which only
+shifts every index by a constant and affects no metric).
+
+Concrete curves implement :meth:`encode` and :meth:`decode` as
+vectorised NumPy kernels; everything else (index grids, orderings,
+continuity checks) is provided here.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.util.validation import check_in_range, check_order
+
+__all__ = ["SpaceFillingCurve"]
+
+
+class SpaceFillingCurve(abc.ABC):
+    """A discrete space-filling curve on a ``2**order`` square lattice.
+
+    Parameters
+    ----------
+    order:
+        The curve order :math:`k`; the lattice has side ``2**k`` and
+        ``4**k`` cells.
+
+    Notes
+    -----
+    The coordinate convention follows the paper's row-major description:
+    the first coordinate ``x`` indexes columns and the second ``y``
+    indexes rows; for the row-major curve the index is
+    ``x * side + y`` so "the points in the first column receive the
+    first ``2**k`` values".
+    """
+
+    #: Registry name of the curve (e.g. ``"hilbert"``); set by subclasses.
+    name: str = ""
+    #: Whether consecutive indices are always lattice neighbours
+    #: (Manhattan distance 1).  True for Hilbert and snake.
+    continuous: bool = False
+
+    def __init__(self, order: int):
+        self._order = check_order(order)
+
+    # ------------------------------------------------------------------
+    # core geometry
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """The curve order :math:`k`."""
+        return self._order
+
+    @property
+    def side(self) -> int:
+        """Lattice side length ``2**order``."""
+        return 1 << self._order
+
+    @property
+    def size(self) -> int:
+        """Number of lattice cells ``4**order``."""
+        return 1 << (2 * self._order)
+
+    # ------------------------------------------------------------------
+    # bijection
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _encode(self, x: IntArray, y: IntArray) -> IntArray:
+        """Vectorised kernel mapping validated coordinates to indices."""
+
+    @abc.abstractmethod
+    def _decode(self, index: IntArray) -> tuple[IntArray, IntArray]:
+        """Vectorised kernel mapping validated indices to coordinates."""
+
+    def encode(self, x, y) -> IntArray:
+        """Map lattice coordinates to curve indices.
+
+        Accepts scalars or broadcastable integer arrays with entries in
+        ``[0, side)``; returns ``int64`` indices in ``[0, size)``.
+        """
+        scalar = np.isscalar(x) and np.isscalar(y)
+        xa = check_in_range(x, 0, self.side, "x")
+        ya = check_in_range(y, 0, self.side, "y")
+        xa, ya = np.broadcast_arrays(xa, ya)
+        out = self._encode(xa, ya)
+        return int(out[()]) if scalar and out.ndim == 0 else out
+
+    def decode(self, index) -> tuple[IntArray, IntArray]:
+        """Map curve indices in ``[0, size)`` back to lattice coordinates."""
+        scalar = np.isscalar(index)
+        idx = check_in_range(index, 0, self.size, "index")
+        x, y = self._decode(idx)
+        if scalar and np.ndim(x) == 0:
+            return int(x[()]), int(y[()])
+        return x, y
+
+    # ------------------------------------------------------------------
+    # whole-lattice views
+    # ------------------------------------------------------------------
+    def index_grid(self) -> IntArray:
+        """Return ``I`` with ``I[x, y]`` = curve index of cell ``(x, y)``.
+
+        Shape is ``(side, side)``; a fresh array is returned each call.
+        """
+        s = self.side
+        x, y = np.meshgrid(np.arange(s, dtype=np.int64), np.arange(s, dtype=np.int64), indexing="ij")
+        return self._encode(x.ravel(), y.ravel()).reshape(s, s)
+
+    def ordering(self) -> IntArray:
+        """Return the cells in curve order as an ``(size, 2)`` array.
+
+        Row ``i`` holds the ``(x, y)`` coordinates of the cell with curve
+        index ``i``.
+        """
+        x, y = self._decode(np.arange(self.size, dtype=np.int64))
+        return np.stack([x, y], axis=1)
+
+    def step_lengths(self) -> IntArray:
+        """Manhattan distances between consecutive cells along the curve.
+
+        A curve is geometrically continuous exactly when every entry is 1;
+        recursive but discontinuous orders (Z, Gray) exhibit longer jumps
+        at quadrant boundaries.
+        """
+        pts = self.ordering()
+        return np.abs(np.diff(pts, axis=0)).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(order={self._order})"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._order == other._order
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._order))

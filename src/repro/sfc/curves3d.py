@@ -1,0 +1,260 @@
+"""Three-dimensional space-filling curves (extension).
+
+The paper evaluates 2D only but lists "validation ... using 3D" as
+future work (§VIII item ii).  This module provides the 3D counterparts
+of the study's curves so the ANNS and ACD machinery can be exercised on
+octree-style problems:
+
+* :class:`Morton3D` — 3D bit interleaving,
+* :class:`Gray3D` — Gray rank of the Morton code,
+* :class:`RowMajor3D` — lexicographic scan,
+* :class:`Snake3D` — boustrophedon scan (continuous),
+* :class:`Hilbert3D` — Skilling's transpose algorithm (continuous),
+  vectorised over NumPy arrays.
+
+All classes share the :class:`Curve3D` interface, a 3D sibling of
+:class:`repro.sfc.base.SpaceFillingCurve`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.util.bits import (
+    MAX_BITS_3D,
+    deinterleave3,
+    gray_decode,
+    gray_encode,
+    interleave3,
+)
+from repro.util.registry import Registry
+from repro.util.validation import check_in_range, check_order
+
+__all__ = [
+    "Curve3D",
+    "Morton3D",
+    "Gray3D",
+    "RowMajor3D",
+    "Snake3D",
+    "Hilbert3D",
+    "CURVES3D",
+    "get_curve3d",
+]
+
+
+class Curve3D(abc.ABC):
+    """A discrete space-filling curve on a ``2**order`` cube lattice."""
+
+    name: str = ""
+    continuous: bool = False
+
+    def __init__(self, order: int):
+        self._order = check_order(order, max_order=MAX_BITS_3D)
+
+    @property
+    def order(self) -> int:
+        """The curve order :math:`k`."""
+        return self._order
+
+    @property
+    def side(self) -> int:
+        """Lattice side length ``2**order``."""
+        return 1 << self._order
+
+    @property
+    def size(self) -> int:
+        """Number of lattice cells ``8**order``."""
+        return 1 << (3 * self._order)
+
+    @abc.abstractmethod
+    def _encode(self, x: IntArray, y: IntArray, z: IntArray) -> IntArray:
+        """Kernel mapping validated coordinate arrays to indices."""
+
+    @abc.abstractmethod
+    def _decode(self, index: IntArray) -> tuple[IntArray, IntArray, IntArray]:
+        """Kernel mapping validated index arrays to coordinates."""
+
+    def encode(self, x, y, z) -> IntArray:
+        """Map lattice coordinates to curve indices in ``[0, size)``."""
+        scalar = np.isscalar(x) and np.isscalar(y) and np.isscalar(z)
+        xa = check_in_range(x, 0, self.side, "x")
+        ya = check_in_range(y, 0, self.side, "y")
+        za = check_in_range(z, 0, self.side, "z")
+        xa, ya, za = np.broadcast_arrays(xa, ya, za)
+        out = self._encode(xa, ya, za)
+        return int(out[()]) if scalar and out.ndim == 0 else out
+
+    def decode(self, index) -> tuple[IntArray, IntArray, IntArray]:
+        """Map curve indices back to lattice coordinates."""
+        scalar = np.isscalar(index)
+        idx = check_in_range(index, 0, self.size, "index")
+        x, y, z = self._decode(idx)
+        if scalar and np.ndim(x) == 0:
+            return int(x[()]), int(y[()]), int(z[()])
+        return x, y, z
+
+    def ordering(self) -> IntArray:
+        """Cells in curve order as an ``(size, 3)`` array."""
+        x, y, z = self._decode(np.arange(self.size, dtype=np.int64))
+        return np.stack([x, y, z], axis=1)
+
+    def step_lengths(self) -> IntArray:
+        """Manhattan distances between consecutive cells along the curve."""
+        pts = self.ordering()
+        return np.abs(np.diff(pts, axis=0)).sum(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(order={self._order})"
+
+
+class Morton3D(Curve3D):
+    """3D Z-curve: index = bit interleave of ``(x, y, z)``."""
+
+    name = "morton3d"
+
+    def _encode(self, x, y, z):
+        return interleave3(x, y, z)
+
+    def _decode(self, index):
+        return deinterleave3(index)
+
+
+class Gray3D(Curve3D):
+    """3D Gray order: Gray rank of the 3D Morton code."""
+
+    name = "gray3d"
+
+    def _encode(self, x, y, z):
+        return gray_decode(interleave3(x, y, z))
+
+    def _decode(self, index):
+        return deinterleave3(gray_encode(index))
+
+
+class RowMajor3D(Curve3D):
+    """Lexicographic scan: index = ``x * side**2 + y * side + z``."""
+
+    name = "rowmajor3d"
+
+    def _encode(self, x, y, z):
+        side = np.int64(self.side)
+        return (x * side + y) * side + z
+
+    def _decode(self, index):
+        side = np.int64(self.side)
+        return index // (side * side), (index // side) % side, index % side
+
+
+class Snake3D(Curve3D):
+    """Boustrophedon scan in 3D; consecutive cells are always neighbours."""
+
+    name = "snake3d"
+    continuous = True
+
+    def _encode(self, x, y, z):
+        side = np.int64(self.side)
+        ypos = np.where(x & 1, side - 1 - y, y)
+        # Parity of the number of completed z-sweeps decides the z direction.
+        zpos = np.where((x * side + ypos) & 1, side - 1 - z, z)
+        return (x * side + ypos) * side + zpos
+
+    def _decode(self, index):
+        side = np.int64(self.side)
+        x = index // (side * side)
+        ypos = (index // side) % side
+        zpos = index % side
+        y = np.where(x & 1, side - 1 - ypos, ypos)
+        z = np.where((x * side + ypos) & 1, side - 1 - zpos, zpos)
+        return x, y, z
+
+
+class Hilbert3D(Curve3D):
+    """3D Hilbert curve via Skilling's transpose algorithm (2004).
+
+    The algorithm works on the "transpose" representation of the index —
+    ``n`` words each holding every ``n``-th bit — and applies one
+    Gray-code/rotation sweep per bit level.  Each sweep is a fixed number
+    of vectorised mask operations, so encoding ``m`` points costs
+    ``O(m * order)`` NumPy ops.
+    """
+
+    name = "hilbert3d"
+    continuous = True
+    _NDIM = 3
+
+    def _axes_to_transpose(self, coords: list[np.ndarray]) -> list[np.ndarray]:
+        n, b = self._NDIM, self._order
+        X = [c.astype(np.int64, copy=True) for c in coords]
+        m = 1 << (b - 1)
+        # Inverse undo of the rotation work
+        q = m
+        while q > 1:
+            p = q - 1
+            for i in range(n):
+                cond = (X[i] & q) != 0
+                t = np.where(cond, 0, (X[0] ^ X[i]) & p)
+                X[0] ^= np.where(cond, p, t)
+                X[i] ^= t
+            q >>= 1
+        # Gray encode
+        for i in range(1, n):
+            X[i] ^= X[i - 1]
+        t = np.zeros_like(X[0])
+        q = m
+        while q > 1:
+            t ^= np.where((X[n - 1] & q) != 0, q - 1, 0)
+            q >>= 1
+        for i in range(n):
+            X[i] ^= t
+        return X
+
+    def _transpose_to_axes(self, words: list[np.ndarray]) -> list[np.ndarray]:
+        n, b = self._NDIM, self._order
+        X = [w.astype(np.int64, copy=True) for w in words]
+        top = 2 << (b - 1)
+        # Gray decode by halving
+        t = X[n - 1] >> 1
+        for i in range(n - 1, 0, -1):
+            X[i] ^= X[i - 1]
+        X[0] ^= t
+        # Undo excess rotation work
+        q = 2
+        while q != top:
+            p = q - 1
+            for i in range(n - 1, -1, -1):
+                cond = (X[i] & q) != 0
+                t = np.where(cond, 0, (X[0] ^ X[i]) & p)
+                X[0] ^= np.where(cond, p, t)
+                X[i] ^= t
+            q <<= 1
+        return X
+
+    def _encode(self, x, y, z):
+        if self._order == 0:
+            return np.zeros(np.broadcast(x, y, z).shape, dtype=np.int64)
+        X = self._axes_to_transpose([x, y, z])
+        return interleave3(X[0], X[1], X[2])
+
+    def _decode(self, index):
+        if self._order == 0:
+            zero = np.zeros(np.shape(index), dtype=np.int64)
+            return zero, zero.copy(), zero.copy()
+        words = list(deinterleave3(index))
+        X = self._transpose_to_axes(words)
+        return X[0], X[1], X[2]
+
+
+CURVES3D: Registry[Curve3D] = Registry("3D space-filling curve")
+CURVES3D.register("hilbert3d", Hilbert3D, aliases=("hilbert",))
+CURVES3D.register("morton3d", Morton3D, aliases=("zcurve", "morton", "z"))
+CURVES3D.register("gray3d", Gray3D, aliases=("gray",))
+CURVES3D.register("rowmajor3d", RowMajor3D, aliases=("rowmajor",))
+CURVES3D.register("snake3d", Snake3D, aliases=("snake",))
+
+
+def get_curve3d(name: str, order: int) -> Curve3D:
+    """Instantiate the 3D curve registered under ``name``."""
+    return CURVES3D.create(name, order)

@@ -1,0 +1,31 @@
+"""Gray order, §II-A.2 of the paper.
+
+"The Gray order takes the Z-curve representations of each point and
+orders them by the Gray code": the cell whose Morton code is ``z`` is
+visited at position ``gray^{-1}(z)``, i.e. the position of ``z`` within
+the reflected-Gray-code sequence.  Equivalently this is the recursive
+construction where the two lower quadrant copies are unrotated and the
+two upper copies are rotated 180° (validated against
+:mod:`repro.sfc.recursive` in the test-suite).
+"""
+
+from __future__ import annotations
+
+from repro._typing import IntArray
+from repro.sfc.base import SpaceFillingCurve
+from repro.util.bits import deinterleave2, gray_decode, gray_encode, interleave2
+
+__all__ = ["GrayCurve"]
+
+
+class GrayCurve(SpaceFillingCurve):
+    """Gray-code order: index = ``gray_decode(morton(x, y))``."""
+
+    name = "gray"
+    continuous = False
+
+    def _encode(self, x: IntArray, y: IntArray) -> IntArray:
+        return gray_decode(interleave2(x, y))
+
+    def _decode(self, index: IntArray) -> tuple[IntArray, IntArray]:
+        return deinterleave2(gray_encode(index))

@@ -1,0 +1,42 @@
+"""Registry of the study's space-filling curves.
+
+``PAPER_CURVES`` lists the four curves evaluated throughout the paper in
+the order its tables use; :func:`get_curve` accepts the friendly names
+that appear in the paper's tables ("Hilbert Curve", "Z-Curve", "Gray
+Code", "Row Major") as aliases.
+"""
+
+from __future__ import annotations
+
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.gray import GrayCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.rowmajor import RowMajorCurve
+from repro.sfc.snake import SnakeCurve
+from repro.sfc.zcurve import ZCurve
+from repro.util.registry import Registry
+
+__all__ = ["CURVES", "PAPER_CURVES", "ALL_CURVES", "get_curve", "curve_names"]
+
+CURVES: Registry[SpaceFillingCurve] = Registry("space-filling curve")
+CURVES.register("hilbert", HilbertCurve, aliases=("hilbert curve", "h"))
+CURVES.register("zcurve", ZCurve, aliases=("z-curve", "z", "morton", "z curve"))
+CURVES.register("gray", GrayCurve, aliases=("gray code", "gray order", "g"))
+CURVES.register("rowmajor", RowMajorCurve, aliases=("row major", "row-major", "rm"))
+CURVES.register("snake", SnakeCurve, aliases=("boustrophedon",))
+
+#: The four curves evaluated in the paper, in its table order.
+PAPER_CURVES: tuple[str, ...] = ("hilbert", "zcurve", "gray", "rowmajor")
+
+#: Every registered 2D curve (paper curves + extensions).
+ALL_CURVES: tuple[str, ...] = CURVES.names()
+
+
+def get_curve(name: str, order: int) -> SpaceFillingCurve:
+    """Instantiate the curve registered under ``name`` at the given order."""
+    return CURVES.create(name, order)
+
+
+def curve_names() -> tuple[str, ...]:
+    """Canonical names of all registered curves."""
+    return CURVES.names()

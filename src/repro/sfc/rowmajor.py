@@ -1,0 +1,31 @@
+"""Row-major (lexicographic) ordering — the paper's baseline curve.
+
+Following §II-A.3 of the paper, "the points in the first column [are
+assigned] the values :math:`\\{1..2^k\\}`"; with 0-based indices the cell
+``(x, y)`` receives index ``x * side + y``.  Whether this is called
+row- or column-major is purely an axis-naming convention; the metrics
+are symmetric under transposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.sfc.base import SpaceFillingCurve
+
+__all__ = ["RowMajorCurve"]
+
+
+class RowMajorCurve(SpaceFillingCurve):
+    """Lexicographic scan: index = ``x * side + y``."""
+
+    name = "rowmajor"
+    continuous = False  # jumps of length `side - 1` between columns
+
+    def _encode(self, x: IntArray, y: IntArray) -> IntArray:
+        return x * np.int64(self.side) + y
+
+    def _decode(self, index: IntArray) -> tuple[IntArray, IntArray]:
+        side = np.int64(self.side)
+        return index // side, index % side

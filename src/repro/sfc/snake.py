@@ -1,0 +1,35 @@
+"""Snake (boustrophedon) scan — the continuous analogue of row-major.
+
+Xu & Tirthapura's clustering-optimality result (PODS'12) singles out the
+"snake scan" as the simplest *continuous* SFC: it traverses column 0
+upward, column 1 downward, and so on, so consecutive indices are always
+lattice neighbours.  The paper cites this curve when discussing why
+continuity alone does not determine metric quality; we include it as an
+extension curve for those comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.sfc.base import SpaceFillingCurve
+
+__all__ = ["SnakeCurve"]
+
+
+class SnakeCurve(SpaceFillingCurve):
+    """Boustrophedon scan: odd columns are traversed in reverse."""
+
+    name = "snake"
+    continuous = True
+
+    def _encode(self, x: IntArray, y: IntArray) -> IntArray:
+        side = np.int64(self.side)
+        ypos = np.where(x & 1, side - 1 - y, y)
+        return x * side + ypos
+
+    def _decode(self, index: IntArray) -> tuple[IntArray, IntArray]:
+        side = np.int64(self.side)
+        x, ypos = index // side, index % side
+        return x, np.where(x & 1, side - 1 - ypos, ypos)

@@ -1,0 +1,55 @@
+"""Network topologies with vectorised hop-distance kernels.
+
+Quick use::
+
+    from repro.topology import make_topology
+
+    net = make_topology("torus", 4096, processor_curve="hilbert")
+    hops = net.distance([0, 17], [4095, 17])
+"""
+
+from repro.topology.base import DirectTopology, Topology
+from repro.topology.bus import BusTopology
+from repro.topology.grid3d import (
+    GridLayout3D,
+    Mesh3DTopology,
+    OctreeTopology,
+    Torus3DTopology,
+)
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.layout import GridLayout, hypercube_labels
+from repro.topology.mesh import MeshTopology
+from repro.topology.quadtree import QuadtreeTopology
+from repro.topology.registry import (
+    GRID3D_TOPOLOGIES,
+    GRID_TOPOLOGIES,
+    PAPER_TOPOLOGIES,
+    TOPOLOGIES,
+    make_topology,
+    topology_names,
+)
+from repro.topology.ring import RingTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = [
+    "Topology",
+    "DirectTopology",
+    "BusTopology",
+    "RingTopology",
+    "MeshTopology",
+    "TorusTopology",
+    "QuadtreeTopology",
+    "HypercubeTopology",
+    "GridLayout",
+    "hypercube_labels",
+    "TOPOLOGIES",
+    "PAPER_TOPOLOGIES",
+    "GRID_TOPOLOGIES",
+    "GRID3D_TOPOLOGIES",
+    "GridLayout3D",
+    "Mesh3DTopology",
+    "Torus3DTopology",
+    "OctreeTopology",
+    "make_topology",
+    "topology_names",
+]

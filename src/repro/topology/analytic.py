@@ -1,0 +1,77 @@
+"""Closed-form expected distances between uniformly random rank pairs.
+
+These serve two purposes: they are the *baseline* against which an ACD
+value should be judged (an SFC assignment only helps if it beats random
+placement), and they cross-validate every distance kernel in the
+test-suite against independent combinatorial derivations.
+
+All formulas are exact expectations over independent uniform pairs
+``(a, b)`` — including ``a == b`` — matching
+:meth:`repro.topology.Topology.mean_pairwise_distance`.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.topology.bus import BusTopology
+from repro.topology.grid3d import Mesh3DTopology, OctreeTopology, Torus3DTopology
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.mesh import MeshTopology
+from repro.topology.quadtree import QuadtreeTopology
+from repro.topology.ring import RingTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = ["expected_random_pair_distance"]
+
+
+def _line_mean(n: int) -> float:
+    """E|a - b| for independent uniform a, b on {0..n-1}: (n^2 - 1) / (3n)."""
+    return (n * n - 1) / (3 * n)
+
+
+def _ring_mean(n: int) -> float:
+    """E[min(d, n - d)] on a cycle of n nodes.
+
+    For even ``n`` each node sees distances ``0, 1..n/2-1`` twice and
+    ``n/2`` once; for odd ``n`` distances ``1..(n-1)/2`` twice.
+    """
+    if n % 2 == 0:
+        half = n // 2
+        return (2 * (half - 1) * half // 2 + half) / n
+    half = (n - 1) // 2
+    return (2 * half * (half + 1) // 2) / n
+
+
+def _tree_mean(height: int, arity: int, hop_factor: int) -> float:
+    """Expected switch-tree distance: hop_factor * E[height - lca_depth].
+
+    ``P(common prefix >= j) = arity^-j``, so
+    ``E[height - common] = height - sum_{j=1..height} arity^-j``.
+    """
+    geo = (1 - arity ** (-height)) / (arity - 1)
+    return hop_factor * (height - geo)
+
+
+def expected_random_pair_distance(topology: Topology) -> float:
+    """Exact mean hop distance over independent uniform rank pairs."""
+    p = topology.num_processors
+    if isinstance(topology, RingTopology):
+        return _ring_mean(p)
+    if isinstance(topology, BusTopology):
+        return _line_mean(p)
+    # TorusTopology subclasses MeshTopology; check the subclass first
+    if isinstance(topology, Torus3DTopology):
+        return 3 * _ring_mean(topology.side)
+    if isinstance(topology, Mesh3DTopology):
+        return 3 * _line_mean(topology.side)
+    if isinstance(topology, TorusTopology):
+        return 2 * _ring_mean(topology.side)
+    if isinstance(topology, MeshTopology):
+        return 2 * _line_mean(topology.side)
+    if isinstance(topology, HypercubeTopology):
+        return topology.dimension / 2
+    if isinstance(topology, QuadtreeTopology):
+        return _tree_mean(topology.height, 4, topology.diameter // max(topology.height, 1))
+    if isinstance(topology, OctreeTopology):
+        return _tree_mean(topology.height, 8, topology.diameter // max(topology.height, 1))
+    raise TypeError(f"no closed form registered for {type(topology).__name__}")

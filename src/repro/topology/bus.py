@@ -1,0 +1,34 @@
+"""Bus topology: a linear array of processors.
+
+§II-B of the paper groups the bus with the ring as the "simplest
+networks ... where each processor may only communicate with two direct
+neighbors", so the bus is modelled as a path graph: the hop distance
+between ranks is ``|a - b|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.topology.base import DirectTopology
+
+__all__ = ["BusTopology"]
+
+
+class BusTopology(DirectTopology):
+    """Linear array (path) of processors; distance ``|a - b|``."""
+
+    name = "bus"
+
+    @property
+    def diameter(self) -> int:
+        return self.num_processors - 1
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        return np.abs(a - b)
+
+    def links(self) -> IntArray:
+        p = self.num_processors
+        u = np.arange(p - 1, dtype=np.int64)
+        return np.stack([u, u + 1], axis=1)

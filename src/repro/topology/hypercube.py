@@ -1,0 +1,67 @@
+"""Hypercube topology.
+
+``p = 2**d`` processors sit on the corners of a ``d``-cube; the hop
+distance between two node labels is the Hamming distance of their
+binary representations.  Rank → label assignment is the identity by
+default (the paper does not apply processor-order SFCs to the
+hypercube); the Gray-coded embedding is available as an extension via
+``layout="gray"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.errors import TopologySizeError
+from repro.topology.base import DirectTopology
+from repro.topology.layout import hypercube_labels
+from repro.util.bits import is_power_of_two, popcount
+
+__all__ = ["HypercubeTopology"]
+
+
+class HypercubeTopology(DirectTopology):
+    """``d``-dimensional hypercube; distance = Hamming distance of labels."""
+
+    name = "hypercube"
+
+    def __init__(self, num_processors: int, layout: str = "identity"):
+        super().__init__(num_processors)
+        if not is_power_of_two(num_processors):
+            raise TopologySizeError(
+                f"hypercubes need 2**d processors, got {num_processors}"
+            )
+        self._dim = int(num_processors).bit_length() - 1
+        self._labels = hypercube_labels(num_processors, layout)
+        self._layout_name = layout
+
+    @property
+    def dimension(self) -> int:
+        """Cube dimension ``d = log2(p)``."""
+        return self._dim
+
+    @property
+    def layout_name(self) -> str:
+        """Which rank → label embedding is active (identity or gray)."""
+        return self._layout_name
+
+    @property
+    def diameter(self) -> int:
+        return self._dim
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        return popcount(self._labels[a] ^ self._labels[b])
+
+    def links(self) -> IntArray:
+        # label -> rank inverse table, then one link per (node, dimension)
+        p = self.num_processors
+        inv = np.empty(p, dtype=np.int64)
+        inv[self._labels] = np.arange(p, dtype=np.int64)
+        nodes = np.arange(p, dtype=np.int64)
+        pairs = []
+        for bit in range(self._dim):
+            peer = nodes ^ (1 << bit)
+            keep = nodes < peer
+            pairs.append(np.stack([inv[nodes[keep]], inv[peer[keep]]], axis=1))
+        return np.sort(np.concatenate(pairs), axis=1) if pairs else np.empty((0, 2), np.int64)

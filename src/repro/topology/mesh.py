@@ -1,0 +1,61 @@
+"""2D mesh (grid) topology with an SFC-driven processor layout.
+
+Ranks are placed on a ``sqrt(p) x sqrt(p)`` grid by a
+:class:`~repro.topology.layout.GridLayout`; the hop distance between two
+ranks is the Manhattan distance between their grid positions (XY
+routing, no wrap-around links).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.topology.base import DirectTopology
+from repro.topology.layout import GridLayout
+
+__all__ = ["MeshTopology"]
+
+
+class MeshTopology(DirectTopology):
+    """Square 2D mesh; distance = Manhattan distance between positions.
+
+    Parameters
+    ----------
+    num_processors:
+        Must be ``4**m`` (power-of-two grid side).
+    processor_curve:
+        Processor-order SFC used to place ranks on the grid (§IV step 3
+        of the paper); default row-major.
+    """
+
+    name = "mesh"
+
+    def __init__(self, num_processors: int, processor_curve: str = "rowmajor"):
+        super().__init__(num_processors)
+        self._layout = GridLayout(num_processors, processor_curve)
+
+    @property
+    def layout(self) -> GridLayout:
+        """The rank → grid-position bijection."""
+        return self._layout
+
+    @property
+    def side(self) -> int:
+        """Grid side length."""
+        return self._layout.side
+
+    @property
+    def diameter(self) -> int:
+        return 2 * (self.side - 1)
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        ax, ay = self._layout.coords(a)
+        bx, by = self._layout.coords(b)
+        return np.abs(ax - bx) + np.abs(ay - by)
+
+    def links(self) -> IntArray:
+        rank = self._layout.rank_grid()
+        horiz = np.stack([rank[:-1, :].ravel(), rank[1:, :].ravel()], axis=1)
+        vert = np.stack([rank[:, :-1].ravel(), rank[:, 1:].ravel()], axis=1)
+        return np.sort(np.concatenate([horiz, vert]), axis=1)

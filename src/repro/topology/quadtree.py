@@ -1,0 +1,87 @@
+"""Quadtree (indirect tree) topology.
+
+§II-B: "the quadtree topology, where each communication must travel up
+and down the tree".  ``p = 4**m`` processors are the leaves of a
+complete 4-ary switch tree of height ``m``; a message between two
+leaves climbs to their lowest common ancestor and descends, so the hop
+distance is ``2 * (m - lca_depth)``.
+
+Leaves are embedded on a ``2**m`` square lattice: rank ``i`` occupies
+the position assigned by the processor-order SFC (natural z-order by
+default, which makes the tree structure coincide with the spatial
+quadtree).  The LCA depth of two leaves is then the number of common
+leading bit-pairs of their interleaved position codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.topology.base import Topology
+from repro.topology.layout import GridLayout
+from repro.util.bits import bit_length, interleave2
+
+__all__ = ["QuadtreeTopology"]
+
+
+class QuadtreeTopology(Topology):
+    """Complete 4-ary switch tree over ``4**m`` leaf processors.
+
+    ``hop_convention`` selects how a leaf-to-leaf path is charged:
+
+    * ``"updown"`` (default) — one hop per tree edge traversed, i.e.
+      ``2 * (height - lca_depth)``: the message climbs to the LCA and
+      descends.  This is the literal reading of §II-B ("each
+      communication must travel up and down the tree").
+    * ``"levels"`` — ``height - lca_depth``: one unit per tree *level*
+      separating the leaves, as if each switch stage forwards in a
+      single timestep.  Exactly half the ``updown`` value; the relative
+      comparison against *other* topologies changes, which matters when
+      reproducing Fig. 6 (see EXPERIMENTS.md).
+    """
+
+    name = "quadtree"
+
+    def __init__(
+        self,
+        num_processors: int,
+        processor_curve: str = "zcurve",
+        hop_convention: str = "updown",
+    ):
+        super().__init__(num_processors)
+        if hop_convention not in ("updown", "levels"):
+            raise ValueError(
+                f"unknown hop_convention {hop_convention!r}; use 'updown' or 'levels'"
+            )
+        self._hop_factor = 2 if hop_convention == "updown" else 1
+        self._hop_convention = hop_convention
+        self._layout = GridLayout(num_processors, processor_curve)
+        self._height = self._layout.side.bit_length() - 1
+        gx, gy = self._layout.coords(np.arange(num_processors, dtype=np.int64))
+        self._zcodes = interleave2(gx, gy)
+
+    @property
+    def layout(self) -> GridLayout:
+        """The rank → leaf-position bijection."""
+        return self._layout
+
+    @property
+    def height(self) -> int:
+        """Tree height ``m`` (levels between a leaf and the root)."""
+        return self._height
+
+    @property
+    def hop_convention(self) -> str:
+        """Active path-cost convention (``"updown"`` or ``"levels"``)."""
+        return self._hop_convention
+
+    @property
+    def diameter(self) -> int:
+        return self._hop_factor * self._height
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        diff = self._zcodes[a] ^ self._zcodes[b]
+        # Number of quadtree levels on which the leaves disagree:
+        levels = (bit_length(diff) + 1) >> 1
+        return self._hop_factor * levels

@@ -1,0 +1,77 @@
+"""Registry and uniform factory for the study's network topologies.
+
+:func:`make_topology` is the entry point the experiment harness uses.
+It forwards the processor-order SFC to the topologies where the paper
+applies it (mesh, torus — §IV step 3) and to the quadtree leaf
+embedding, and ignores it for the rank-labelled networks (bus, ring,
+hypercube), mirroring the paper's setup.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+from repro.topology.bus import BusTopology
+from repro.topology.grid3d import Mesh3DTopology, OctreeTopology, Torus3DTopology
+from repro.topology.hypercube import HypercubeTopology
+from repro.topology.mesh import MeshTopology
+from repro.topology.quadtree import QuadtreeTopology
+from repro.topology.ring import RingTopology
+from repro.topology.torus import TorusTopology
+from repro.util.registry import Registry
+
+__all__ = [
+    "TOPOLOGIES",
+    "PAPER_TOPOLOGIES",
+    "GRID_TOPOLOGIES",
+    "GRID3D_TOPOLOGIES",
+    "make_topology",
+    "topology_names",
+]
+
+TOPOLOGIES: Registry[Topology] = Registry("topology")
+TOPOLOGIES.register("bus", BusTopology)
+TOPOLOGIES.register("ring", RingTopology)
+TOPOLOGIES.register("mesh", MeshTopology, aliases=("grid",))
+TOPOLOGIES.register("torus", TorusTopology)
+TOPOLOGIES.register("quadtree", QuadtreeTopology, aliases=("tree",))
+TOPOLOGIES.register("hypercube", HypercubeTopology, aliases=("cube",))
+TOPOLOGIES.register("mesh3d", Mesh3DTopology)
+TOPOLOGIES.register("torus3d", Torus3DTopology)
+TOPOLOGIES.register("octree", OctreeTopology)
+
+#: The six topologies evaluated in the paper (§II-B order).
+PAPER_TOPOLOGIES: tuple[str, ...] = (
+    "bus",
+    "ring",
+    "mesh",
+    "torus",
+    "quadtree",
+    "hypercube",
+)
+
+#: Topologies whose ranks live on a 2D grid and accept processor-order SFCs.
+GRID_TOPOLOGIES: tuple[str, ...] = ("mesh", "torus", "quadtree")
+
+#: Extension topologies whose ranks live on a 3D grid (accept 3D curves).
+GRID3D_TOPOLOGIES: tuple[str, ...] = ("mesh3d", "torus3d", "octree")
+
+
+def make_topology(
+    name: str, num_processors: int, processor_curve: str | None = None
+) -> Topology:
+    """Instantiate topology ``name`` with ``num_processors`` ranks.
+
+    ``processor_curve`` names the processor-order SFC; it is honoured by
+    the grid-embedded topologies (mesh, torus, quadtree in 2D; mesh3d,
+    torus3d, octree in 3D) and ignored — per the paper's methodology —
+    by bus, ring and hypercube.
+    """
+    canonical = TOPOLOGIES.canonical(name)
+    if canonical in GRID_TOPOLOGIES + GRID3D_TOPOLOGIES and processor_curve is not None:
+        return TOPOLOGIES.create(canonical, num_processors, processor_curve=processor_curve)
+    return TOPOLOGIES.create(canonical, num_processors)
+
+
+def topology_names() -> tuple[str, ...]:
+    """Canonical names of all registered topologies."""
+    return TOPOLOGIES.names()

@@ -1,0 +1,35 @@
+"""Ring topology: a cycle of processors.
+
+The hop distance is the shorter way around: ``min(|a-b|, p - |a-b|)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.topology.base import DirectTopology
+
+__all__ = ["RingTopology"]
+
+
+class RingTopology(DirectTopology):
+    """Cycle of processors; distance is the shorter arc."""
+
+    name = "ring"
+
+    @property
+    def diameter(self) -> int:
+        return self.num_processors // 2
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        d = np.abs(a - b)
+        return np.minimum(d, self.num_processors - d)
+
+    def links(self) -> IntArray:
+        p = self.num_processors
+        u = np.arange(p, dtype=np.int64)
+        links = np.stack([u, (u + 1) % p], axis=1)
+        # normalise u < v and drop the duplicate this creates for p <= 2
+        links = np.sort(links, axis=1)
+        return np.unique(links, axis=0)

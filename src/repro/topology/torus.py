@@ -1,0 +1,42 @@
+"""2D torus topology — the workhorse network of the paper's experiments.
+
+Identical to the mesh except every row and column wraps around, so the
+per-dimension distance is ``min(d, side - d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.topology.mesh import MeshTopology
+
+__all__ = ["TorusTopology"]
+
+
+class TorusTopology(MeshTopology):
+    """Square 2D torus; distance = wrap-around Manhattan distance."""
+
+    name = "torus"
+
+    @property
+    def diameter(self) -> int:
+        return 2 * (self.side // 2)
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        side = self.side
+        ax, ay = self.layout.coords(a)
+        bx, by = self.layout.coords(b)
+        dx = np.abs(ax - bx)
+        dy = np.abs(ay - by)
+        return np.minimum(dx, side - dx) + np.minimum(dy, side - dy)
+
+    def links(self) -> IntArray:
+        rank = self.layout.rank_grid()
+        horiz = np.stack(
+            [rank.ravel(), np.roll(rank, -1, axis=0).ravel()], axis=1
+        )
+        vert = np.stack([rank.ravel(), np.roll(rank, -1, axis=1).ravel()], axis=1)
+        links = np.sort(np.concatenate([horiz, vert]), axis=1)
+        # A side-2 torus has coincident wrap and direct links; deduplicate.
+        return np.unique(links, axis=0)

@@ -1,0 +1,40 @@
+"""Low-level utilities: bit kernels, argument validation, RNG handling."""
+
+from repro.util.bits import (
+    deinterleave2,
+    deinterleave3,
+    gray_decode,
+    gray_encode,
+    interleave2,
+    interleave3,
+    is_power_of_two,
+    popcount,
+)
+from repro.util.rng import as_generator, spawn_seeds
+from repro.util.validation import (
+    as_index_array,
+    check_in_range,
+    check_nonnegative,
+    check_order,
+    check_positive,
+    check_power_of_two,
+)
+
+__all__ = [
+    "interleave2",
+    "deinterleave2",
+    "interleave3",
+    "deinterleave3",
+    "gray_encode",
+    "gray_decode",
+    "popcount",
+    "is_power_of_two",
+    "as_generator",
+    "spawn_seeds",
+    "as_index_array",
+    "check_order",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_power_of_two",
+]

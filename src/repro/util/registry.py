@@ -1,0 +1,69 @@
+"""A tiny name → factory registry used by curves, topologies and distributions."""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.errors import UnknownNameError
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Ordered mapping from canonical names to factories.
+
+    Lookup is case-insensitive and tolerant of ``-``/``_``/space
+    variations so experiment configs can say ``"Z-Curve"`` or
+    ``"zcurve"`` interchangeably.
+    """
+
+    def __init__(self, kind: str):
+        self._kind = kind
+        self._factories: dict[str, Callable[..., T]] = {}
+        self._aliases: dict[str, str] = {}
+
+    @staticmethod
+    def _canon(name: str) -> str:
+        return name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
+
+    def register(self, name: str, factory: Callable[..., T], *, aliases: tuple[str, ...] = ()) -> None:
+        """Register ``factory`` under ``name`` (plus optional aliases)."""
+        key = self._canon(name)
+        if key in self._aliases:
+            raise ValueError(f"{self._kind} {name!r} already registered")
+        self._factories[name] = factory
+        self._aliases[key] = name
+        for alias in aliases:
+            akey = self._canon(alias)
+            existing = self._aliases.get(akey)
+            if existing is not None and existing != name:
+                raise ValueError(
+                    f"{self._kind} alias {alias!r} already registered for {existing!r}"
+                )
+            self._aliases[akey] = name
+
+    def create(self, name: str, *args, **kwargs) -> T:
+        """Instantiate the factory registered under ``name``."""
+        canonical = self._aliases.get(self._canon(name))
+        if canonical is None:
+            raise UnknownNameError(self._kind, name, tuple(self._factories))
+        return self._factories[canonical](*args, **kwargs)
+
+    def canonical(self, name: str) -> str:
+        """Resolve any accepted spelling to the canonical registered name."""
+        canonical = self._aliases.get(self._canon(name))
+        if canonical is None:
+            raise UnknownNameError(self._kind, name, tuple(self._factories))
+        return canonical
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names in registration order."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return self._canon(name) in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)

@@ -1,0 +1,42 @@
+"""Random-number-generator plumbing.
+
+All stochastic components of the library (particle distributions,
+multi-trial experiment runners) accept a ``seed`` argument that may be
+``None``, an integer, a :class:`numpy.random.SeedSequence` or an already
+constructed :class:`numpy.random.Generator`.  These helpers normalise
+that argument and derive independent child streams for parallel trials,
+following NumPy's recommended ``SeedSequence.spawn`` discipline so trial
+results are reproducible regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike
+
+__all__ = ["as_generator", "spawn_seeds"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Normalise any accepted seed-like value into a ``Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` statistically independent child seed sequences.
+
+    A ``Generator`` input is not spawnable deterministically, so it is
+    used to draw one entropy integer which then roots the spawn tree.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seeds")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(2**63)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(n)

@@ -1,0 +1,83 @@
+"""Argument validation helpers shared across the package.
+
+Every public entry point of the library validates its arguments through
+these helpers so error messages stay uniform and informative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.errors import ResolutionError
+from repro.util.bits import is_power_of_two
+
+__all__ = [
+    "check_order",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_power_of_two",
+    "as_index_array",
+]
+
+#: Largest supported curve order in 2D (side length ``2**order``); bounded
+#: by the interleaving kernels (31 bits per axis).
+MAX_ORDER_2D = 31
+
+
+def check_order(order: int, *, max_order: int = MAX_ORDER_2D) -> int:
+    """Validate a curve order ``k`` (lattice side ``2**k``) and return it."""
+    k = int(order)
+    if k < 0:
+        raise ResolutionError(f"curve order must be >= 0, got {order}")
+    if k > max_order:
+        raise ResolutionError(f"curve order {order} exceeds supported maximum {max_order}")
+    return k
+
+
+def check_positive(value, name: str) -> int:
+    """Validate a strictly positive integer parameter and return it."""
+    v = int(value)
+    if v <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return v
+
+
+def check_nonnegative(value, name: str) -> int:
+    """Validate a non-negative integer parameter and return it."""
+    v = int(value)
+    if v < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return v
+
+
+def check_in_range(arr, low: int, high: int, name: str) -> IntArray:
+    """Validate that every element of ``arr`` lies in ``[low, high)``."""
+    a = as_index_array(arr, name)
+    if a.size:
+        mn, mx = int(a.min()), int(a.max())
+        if mn < low or mx >= high:
+            raise ValueError(
+                f"{name} values must lie in [{low}, {high}), got range [{mn}, {mx}]"
+            )
+    return a
+
+
+def check_power_of_two(value, name: str) -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    v = int(value)
+    if not is_power_of_two(v):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return v
+
+
+def as_index_array(arr, name: str) -> IntArray:
+    """Coerce input to an ``int64`` ndarray, rejecting non-integral data."""
+    a = np.asarray(arr)
+    if a.dtype == object or np.issubdtype(a.dtype, np.floating):
+        if a.size and not np.all(np.equal(np.mod(a, 1), 0)):
+            raise TypeError(f"{name} must contain integers")
+    elif not np.issubdtype(a.dtype, np.integer) and a.size:
+        raise TypeError(f"{name} must be an integer array, got dtype {a.dtype}")
+    return a.astype(np.int64, copy=False)

@@ -1,0 +1,15 @@
+"""Text rendering of the paper's illustrative figures (Figs. 1-4)."""
+
+from repro.viz.render import (
+    render_curve,
+    render_interaction_list,
+    render_particle_order,
+    render_particles,
+)
+
+__all__ = [
+    "render_curve",
+    "render_particles",
+    "render_particle_order",
+    "render_interaction_list",
+]

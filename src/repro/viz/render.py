@@ -1,0 +1,125 @@
+"""Text rendering of the paper's illustrative figures.
+
+Figures 1–4 of the paper are illustrations rather than measurements:
+the four curve shapes (Fig. 1), the three input distributions (Fig. 2),
+a particle ordering (Fig. 3) and an interaction-list example (Fig. 4).
+This module regenerates all of them as terminal text so the whole paper
+— not only the evaluation — can be reproduced without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.distributions.base import Particles
+from repro.partition.ordering import order_particles
+from repro.quadtree.interaction import interaction_list_cells
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.registry import get_curve
+
+__all__ = [
+    "render_curve",
+    "render_particles",
+    "render_particle_order",
+    "render_interaction_list",
+]
+
+# box-drawing segments keyed by the pair of unit directions a cell connects;
+# directions: 0=+x (down the printed rows), 1=-x, 2=+y (right), 3=-y
+_SEGMENTS = {
+    frozenset({0, 1}): "│",
+    frozenset({2, 3}): "─",
+    frozenset({0, 2}): "┌",
+    frozenset({0, 3}): "┐",
+    frozenset({1, 2}): "└",
+    frozenset({1, 3}): "┘",
+    frozenset({0}): "╷",
+    frozenset({1}): "╵",
+    frozenset({2}): "╶",
+    frozenset({3}): "╴",
+    frozenset(): "·",
+}
+
+
+def _direction(from_pt: IntArray, to_pt: IntArray) -> int | None:
+    dx, dy = int(to_pt[0] - from_pt[0]), int(to_pt[1] - from_pt[1])
+    return {(1, 0): 0, (-1, 0): 1, (0, 1): 2, (0, -1): 3}.get((dx, dy))
+
+
+def render_curve(curve: SpaceFillingCurve | str, order: int | None = None) -> str:
+    """Draw a curve's path with box-drawing characters (paper Fig. 1).
+
+    Cells are joined where consecutive curve indices are lattice
+    neighbours; jumps (Z, Gray, row-major seams) appear as open ends, so
+    the discontinuities the paper discusses are directly visible.
+    """
+    if isinstance(curve, str):
+        if order is None:
+            raise ValueError("order is required when passing a curve name")
+        curve = get_curve(curve, order)
+    pts = curve.ordering()
+    side = curve.side
+    dirs: list[set[int]] = [set() for _ in range(side * side)]
+    for i in range(len(pts) - 1):
+        d = _direction(pts[i], pts[i + 1])
+        if d is not None:
+            dirs[int(pts[i, 0]) * side + int(pts[i, 1])].add(d)
+            dirs[int(pts[i + 1, 0]) * side + int(pts[i + 1, 1])].add(d ^ 1)
+    rows = []
+    for x in range(side):
+        row = [
+            _SEGMENTS.get(frozenset(dirs[x * side + y]), "?") for y in range(side)
+        ]
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def render_particles(particles: Particles, width: int = 32) -> str:
+    """Density plot of a particle set (paper Fig. 2).
+
+    The lattice is binned to ``width`` columns; darker characters mean
+    more particles per bin.
+    """
+    shades = " .:-=+*#%@"
+    width = min(width, particles.side)
+    bins = np.linspace(0, particles.side, width + 1)
+    hist, _, _ = np.histogram2d(particles.x, particles.y, bins=(bins, bins))
+    top = hist.max() if hist.max() else 1.0
+    lines = []
+    for x in range(width):
+        line = "".join(
+            shades[min(int(9 * hist[x, y] / top), 9)] for y in range(width)
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_particle_order(
+    particles: Particles, curve: SpaceFillingCurve | str, max_labels: int = 100
+) -> str:
+    """Label each particle's cell with its rank in the SFC order (Fig. 3).
+
+    Only usable for small lattices/particle counts; raises otherwise.
+    """
+    if len(particles) > max_labels:
+        raise ValueError(
+            f"render_particle_order labels at most {max_labels} particles, got {len(particles)}"
+        )
+    ordered, _ = order_particles(particles, curve)
+    side = particles.side
+    width = len(str(max(len(ordered) - 1, 1)))
+    grid = [["·" * width for _ in range(side)] for _ in range(side)]
+    for rank in range(len(ordered)):
+        grid[int(ordered.x[rank])][int(ordered.y[rank])] = f"{rank:>{width}}"
+    return "\n".join(" ".join(row) for row in grid)
+
+
+def render_interaction_list(cx: int, cy: int, level: int) -> str:
+    """Mark one cell (``a``) and its interaction list (``b``) — Fig. 4."""
+    side = 1 << level
+    grid = [["." for _ in range(side)] for _ in range(side)]
+    for tx, ty in interaction_list_cells(cx, cy, level):
+        grid[int(tx)][int(ty)] = "b"
+    grid[cx][cy] = "a"
+    return "\n".join(" ".join(row) for row in grid)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import get_distribution
+from repro.partition import partition_particles
+from repro.topology import make_topology
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(20130613)
+
+
+@pytest.fixture
+def small_particles():
+    """500 uniform particles on a 32x32 lattice (order 5)."""
+    return get_distribution("uniform").sample(500, 5, rng=7)
+
+
+@pytest.fixture
+def small_assignment(small_particles):
+    """The small particle set Hilbert-ordered onto 16 processors."""
+    return partition_particles(small_particles, "hilbert", 16)
+
+
+@pytest.fixture
+def small_torus():
+    """A 4x4 torus with Hilbert processor ordering."""
+    return make_topology("torus", 16, processor_curve="hilbert")

@@ -1,0 +1,109 @@
+"""Tests for the Plummer and clustered n-body input distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    ClusteredDistribution,
+    PlummerDistribution,
+    get_distribution,
+)
+
+
+class TestPlummer:
+    def test_basic_sampling(self):
+        p = PlummerDistribution().sample(2000, 8, rng=0)
+        assert len(p) == 2000
+        p.validate_distinct()
+
+    def test_registry(self):
+        assert get_distribution("plummer").name == "plummer"
+
+    def test_heavy_core(self):
+        """Half of the projected mass lies within the core radius ``a``."""
+        dist = PlummerDistribution(scale_fraction=1 / 16)
+        p = dist.sample(4000, 9, rng=1)
+        centre = (p.side - 1) / 2
+        a = p.side / 16
+        radius = np.hypot(p.x - centre, p.y - centre)
+        frac = np.mean(radius <= a)
+        # deduplication flattens the cusp a little, so allow slack
+        assert 0.30 < frac < 0.65
+
+    def test_heavier_tail_than_gaussian(self):
+        """Plummer's R^-3 tail reaches far beyond a same-core Gaussian."""
+        plummer = PlummerDistribution(1 / 16).sample(3000, 9, rng=2)
+        from repro.distributions import NormalDistribution
+
+        normal = NormalDistribution(1 / 16).sample(3000, 9, rng=2)
+        centre = (plummer.side - 1) / 2
+        r_p = np.hypot(plummer.x - centre, plummer.y - centre)
+        r_n = np.hypot(normal.x - centre, normal.y - centre)
+        assert np.quantile(r_p, 0.99) > 2 * np.quantile(r_n, 0.99)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PlummerDistribution(scale_fraction=0)
+
+    def test_deterministic(self):
+        a = PlummerDistribution().sample(300, 7, rng=9)
+        b = PlummerDistribution().sample(300, 7, rng=9)
+        assert np.array_equal(a.cell_codes(), b.cell_codes())
+
+
+class TestClustered:
+    def test_basic_sampling(self):
+        p = ClusteredDistribution().sample(2000, 8, rng=0)
+        assert len(p) == 2000
+        p.validate_distinct()
+
+    def test_registry_alias(self):
+        assert get_distribution("multi-cluster").name == "clustered"
+
+    def test_occupies_small_area(self):
+        """Compact blobs leave most of the lattice empty."""
+        p = ClusteredDistribution(num_clusters=4, sigma_fraction=1 / 32).sample(
+            3000, 9, rng=3
+        )
+        hist, _, _ = np.histogram2d(p.x, p.y, bins=16)
+        occupied_bins = np.count_nonzero(hist)
+        assert occupied_bins < 0.5 * 16 * 16
+
+    def test_cluster_count_controls_spread(self):
+        one = ClusteredDistribution(num_clusters=1).sample(1500, 9, rng=4)
+        many = ClusteredDistribution(num_clusters=16).sample(1500, 9, rng=4)
+        assert np.std(many.x) > np.std(one.x)
+
+    def test_fresh_centres_per_call(self):
+        dist = ClusteredDistribution(num_clusters=2)
+        a = dist.sample(500, 8, rng=1)
+        b = dist.sample(500, 8, rng=2)
+        assert not np.array_equal(np.sort(a.cell_codes()), np.sort(b.cell_codes()))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ClusteredDistribution(num_clusters=0)
+        with pytest.raises(ValueError):
+            ClusteredDistribution(sigma_fraction=-1)
+        with pytest.raises(ValueError):
+            ClusteredDistribution(margin_fraction=0.6)
+
+
+class TestAcdOnRealisticInputs:
+    def test_paper_recommendations_hold(self):
+        """Hilbert still dominates row-major on astrophysical inputs."""
+        from repro.fmm import FmmCommunicationModel
+        from repro.topology import make_topology
+
+        for name in ("plummer", "clustered"):
+            particles = get_distribution(name).sample(5000, 8, rng=6)
+            hil = FmmCommunicationModel(
+                make_topology("torus", 256, processor_curve="hilbert"), "hilbert"
+            ).evaluate(particles)
+            rm = FmmCommunicationModel(
+                make_topology("torus", 256, processor_curve="rowmajor"), "rowmajor"
+            ).evaluate(particles)
+            assert hil.nfi_acd < rm.nfi_acd, name
+            assert hil.ffi_acd < rm.ffi_acd, name

@@ -1,0 +1,41 @@
+"""Tests for the Particles container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Particles
+
+
+class TestParticles:
+    def test_basic_construction(self):
+        p = Particles(np.array([0, 1]), np.array([2, 3]), order=3)
+        assert len(p) == 2
+        assert p.side == 8
+
+    def test_cell_codes_distinct(self):
+        p = Particles(np.array([0, 1]), np.array([2, 2]), order=2)
+        assert p.cell_codes().tolist() == [2, 6]
+        p.validate_distinct()
+
+    def test_validate_distinct_raises_on_duplicates(self):
+        p = Particles(np.array([1, 1]), np.array([2, 2]), order=2)
+        with pytest.raises(ValueError, match="distinct"):
+            p.validate_distinct()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Particles(np.array([4]), np.array([0]), order=2)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Particles(np.array([0, 1]), np.array([0]), order=2)
+
+    def test_rejects_2d_arrays(self):
+        with pytest.raises(ValueError):
+            Particles(np.zeros((2, 2), dtype=int), np.zeros((2, 2), dtype=int), order=2)
+
+    def test_empty_set(self):
+        p = Particles(np.empty(0, dtype=int), np.empty(0, dtype=int), order=4)
+        assert len(p) == 0

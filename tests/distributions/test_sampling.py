@@ -1,0 +1,110 @@
+"""Tests for the three input distributions (§II-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    ExponentialDistribution,
+    NormalDistribution,
+    UniformDistribution,
+    get_distribution,
+)
+from repro.distributions.registry import PAPER_DISTRIBUTIONS
+from repro.errors import SamplingError
+
+ALL = [UniformDistribution(), NormalDistribution(), ExponentialDistribution()]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+class TestCommonSampling:
+    def test_requested_count(self, dist):
+        p = dist.sample(500, 6, rng=0)
+        assert len(p) == 500
+
+    def test_cells_are_distinct(self, dist):
+        dist.sample(1000, 6, rng=1).validate_distinct()
+
+    def test_deterministic_with_seed(self, dist):
+        a = dist.sample(200, 6, rng=42)
+        b = dist.sample(200, 6, rng=42)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self, dist):
+        a = dist.sample(200, 6, rng=1)
+        b = dist.sample(200, 6, rng=2)
+        assert not (np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y))
+
+    def test_zero_particles(self, dist):
+        assert len(dist.sample(0, 4, rng=0)) == 0
+
+    def test_too_many_particles_rejected(self, dist):
+        with pytest.raises(SamplingError):
+            dist.sample(17, 2, rng=0)  # 4x4 lattice holds 16
+
+    def test_full_lattice_possible_for_uniform(self, dist):
+        if dist.name != "uniform":
+            pytest.skip("only uniform can fill the lattice quickly")
+        p = dist.sample(16, 2, rng=0)
+        assert sorted(p.cell_codes().tolist()) == list(range(16))
+
+
+class TestShapes:
+    """The three laws must be distinguishable in the way the paper shows."""
+
+    def test_normal_concentrates_centrally(self):
+        p = NormalDistribution().sample(2000, 8, rng=3)
+        centre = (p.side - 1) / 2
+        mean_dev = np.abs(p.x - centre).mean()
+        uniform_dev = p.side / 4  # E|x - centre| for uniform
+        assert mean_dev < 0.75 * uniform_dev
+
+    def test_exponential_skews_to_origin_quadrant(self):
+        p = ExponentialDistribution().sample(2000, 8, rng=3)
+        in_first_quadrant = np.mean((p.x < p.side // 2) & (p.y < p.side // 2))
+        assert in_first_quadrant > 0.5  # uniform would give 0.25
+
+    def test_uniform_is_spread(self):
+        p = UniformDistribution().sample(4000, 8, rng=3)
+        quadrant_counts = np.histogram2d(p.x, p.y, bins=2)[0].ravel()
+        assert quadrant_counts.min() > 0.8 * quadrant_counts.max() * 0.8
+
+    def test_normal_sigma_fraction_controls_spread(self):
+        tight = NormalDistribution(sigma_fraction=1 / 16).sample(1000, 8, rng=0)
+        wide = NormalDistribution(sigma_fraction=1 / 4).sample(1000, 8, rng=0)
+        centre = (tight.side - 1) / 2
+        assert np.abs(tight.x - centre).mean() < np.abs(wide.x - centre).mean()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(sigma_fraction=0)
+        with pytest.raises(ValueError):
+            ExponentialDistribution(scale_fraction=-1)
+
+
+class TestRegistry:
+    def test_paper_distributions(self):
+        assert PAPER_DISTRIBUTIONS == ("uniform", "normal", "exponential")
+
+    def test_factory_with_kwargs(self):
+        d = get_distribution("normal", sigma_fraction=0.2)
+        assert d.sigma_fraction == 0.2
+
+    def test_aliases(self):
+        assert get_distribution("gaussian").name == "normal"
+
+
+@given(
+    st.sampled_from(PAPER_DISTRIBUTIONS),
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=4, max_value=7),
+)
+@settings(max_examples=30, deadline=None)
+def test_sampling_property(name, n, order):
+    p = get_distribution(name).sample(n, order, rng=0)
+    assert len(p) == n
+    p.validate_distinct()
+    assert p.x.max() < p.side and p.y.max() < p.side

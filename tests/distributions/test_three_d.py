@@ -1,0 +1,82 @@
+"""Tests for the 3D particle distributions (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential3D,
+    Normal3D,
+    Particles3D,
+    Uniform3D,
+    get_distribution3d,
+)
+from repro.errors import SamplingError
+
+ALL_3D = [Uniform3D(), Normal3D(), Exponential3D()]
+
+
+class TestParticles3D:
+    def test_basic(self):
+        p = Particles3D(np.array([0, 1]), np.array([2, 3]), np.array([4, 5]), order=3)
+        assert len(p) == 2 and p.side == 8
+
+    def test_cell_codes_distinct(self):
+        p = Particles3D(np.array([0, 0]), np.array([0, 0]), np.array([1, 2]), order=2)
+        p.validate_distinct()
+        assert p.cell_codes().tolist() == [1, 2]
+
+    def test_duplicate_detection(self):
+        p = Particles3D(np.array([1, 1]), np.array([1, 1]), np.array([1, 1]), order=2)
+        with pytest.raises(ValueError, match="distinct"):
+            p.validate_distinct()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Particles3D(np.array([4]), np.array([0]), np.array([0]), order=2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Particles3D(np.array([0, 1]), np.array([0]), np.array([0, 1]), order=2)
+
+
+@pytest.mark.parametrize("dist", ALL_3D, ids=lambda d: d.name)
+class TestSampling3D:
+    def test_count_and_distinctness(self, dist):
+        p = dist.sample(500, 5, rng=0)
+        assert len(p) == 500
+        p.validate_distinct()
+
+    def test_deterministic(self, dist):
+        a = dist.sample(100, 5, rng=3)
+        b = dist.sample(100, 5, rng=3)
+        assert np.array_equal(a.cell_codes(), b.cell_codes())
+
+    def test_zero(self, dist):
+        assert len(dist.sample(0, 3, rng=0)) == 0
+
+    def test_overfull_rejected(self, dist):
+        with pytest.raises(SamplingError):
+            dist.sample(9, 1, rng=0)  # 2^3 = 8 cells
+
+
+class TestShapes3D:
+    def test_normal_concentrates(self):
+        p = Normal3D().sample(2000, 6, rng=1)
+        centre = (p.side - 1) / 2
+        assert np.abs(p.x - centre).mean() < 0.75 * p.side / 4
+
+    def test_exponential_skews(self):
+        p = Exponential3D().sample(2000, 6, rng=1)
+        half = p.side // 2
+        frac = np.mean((p.x < half) & (p.y < half) & (p.z < half))
+        assert frac > 0.3  # uniform would give 0.125
+
+    def test_registry(self):
+        assert get_distribution3d("uniform").name == "uniform3d"
+        assert get_distribution3d("normal", sigma_fraction=0.2).sigma_fraction == 0.2
+        with pytest.raises(ValueError):
+            Normal3D(sigma_fraction=0)
+        with pytest.raises(ValueError):
+            Exponential3D(scale_fraction=0)

@@ -1,0 +1,75 @@
+"""Tests for the ablation-study runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    continuity_ablation,
+    ffi_granularity_ablation,
+    hypercube_layout_ablation,
+    interpolation_reading_ablation,
+    quadtree_convention_ablation,
+)
+
+SMALL_ARGS = {"num_particles": 1_000, "order": 6, "num_processors": 64}
+
+
+class TestQuadtreeConvention:
+    def test_levels_is_half_of_updown(self):
+        rows = {r.variant: r for r in quadtree_convention_ablation(**SMALL_ARGS, seed=1)}
+        assert rows["quadtree/levels"].ffi_acd == pytest.approx(
+            rows["quadtree/updown"].ffi_acd / 2
+        )
+        assert rows["quadtree/levels"].nfi_acd == pytest.approx(
+            rows["quadtree/updown"].nfi_acd / 2
+        )
+
+    def test_contains_hypercube_reference(self):
+        variants = {r.variant for r in quadtree_convention_ablation(**SMALL_ARGS, seed=1)}
+        assert "hypercube" in variants
+
+
+class TestFfiGranularity:
+    def test_processor_dedup_reduces_events_but_raises_mean(self):
+        rows = {r.variant: r for r in ffi_granularity_ablation(**SMALL_ARGS, seed=1)}
+        # deduplication removes short repeated transfers first
+        assert rows["granularity=processor"].ffi_acd >= rows["granularity=cell"].ffi_acd
+
+    def test_nfi_unchanged(self):
+        rows = {r.variant: r for r in ffi_granularity_ablation(**SMALL_ARGS, seed=1)}
+        assert rows["granularity=processor"].nfi_acd == rows["granularity=cell"].nfi_acd
+
+
+class TestInterpolationReadings:
+    def test_three_variants_strictly_ordered(self):
+        rows = {r.variant: r for r in interpolation_reading_ablation(**SMALL_ARGS, seed=1)}
+        assert len(rows) == 3
+        acds = [
+            rows["cell parent-child (§III)"].ffi_acd,
+            rows["processor dedup (§IV 7)"].ffi_acd,
+            rows["quadrant log-tree (§IV 5-6)"].ffi_acd,
+        ]
+        assert acds == sorted(acds)
+
+    def test_nfi_column_zero(self):
+        rows = interpolation_reading_ablation(**SMALL_ARGS, seed=1)
+        assert all(r.nfi_acd == 0.0 for r in rows)
+
+
+class TestHypercubeLayout:
+    def test_gray_improves_nfi(self):
+        rows = {r.variant: r for r in hypercube_layout_ablation(**SMALL_ARGS, seed=1)}
+        assert rows["layout=gray"].nfi_acd < rows["layout=identity"].nfi_acd
+
+
+class TestContinuity:
+    def test_ordering(self):
+        rows = {r.variant: r for r in continuity_ablation(**SMALL_ARGS, seed=1)}
+        assert rows["hilbert"].nfi_acd < rows["snake"].nfi_acd
+        assert rows["snake"].nfi_acd <= rows["rowmajor"].nfi_acd
+
+    def test_as_dict(self):
+        row = continuity_ablation(**SMALL_ARGS, seed=1)[0]
+        d = row.as_dict()
+        assert set(d) == {"variant", "nfi_acd", "ffi_acd"}

@@ -1,0 +1,83 @@
+"""Tests for the campaign batch runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import expand_grid, format_campaign, run_campaign
+
+
+class TestExpandGrid:
+    def test_scalar_and_sequence_axes(self):
+        cases = expand_grid(
+            num_particles=500,
+            order=5,
+            num_processors=16,
+            topology=("torus", "hypercube"),
+            particle_curve=("hilbert", "rowmajor"),
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+        assert len(cases) == 4
+        assert {c.topology for c in cases} == {"torus", "hypercube"}
+        assert all(c.radius == 1 for c in cases)  # default filled in
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing required"):
+            expand_grid(num_particles=10)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown case fields"):
+            expand_grid(
+                num_particles=10,
+                order=4,
+                num_processors=4,
+                topology="torus",
+                particle_curve="hilbert",
+                processor_curve="hilbert",
+                distribution="uniform",
+                colour="blue",
+            )
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def results(self):
+        cases = expand_grid(
+            num_particles=400,
+            order=5,
+            num_processors=16,
+            topology="torus",
+            particle_curve=("hilbert", "rowmajor"),
+            processor_curve=("hilbert", "rowmajor"),
+            distribution="uniform",
+        )
+        return run_campaign(cases, trials=1, seed=5)
+
+    def test_one_result_per_case(self, results):
+        assert len(results) == 4
+
+    def test_results_reflect_cases(self, results):
+        by_pair = {
+            (r.case.processor_curve, r.case.particle_curve): r.nfi_acd for r in results
+        }
+        assert by_pair[("hilbert", "hilbert")] < by_pair[("rowmajor", "rowmajor")]
+
+    def test_nfi_only_parts(self):
+        cases = expand_grid(
+            num_particles=200,
+            order=5,
+            num_processors=16,
+            topology="torus",
+            particle_curve="hilbert",
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+        result = run_campaign(cases, trials=1, seed=1, parts=("nfi",))[0]
+        assert result.ffi_events == 0
+
+    def test_format(self, results):
+        text = format_campaign(results)
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 cases
+        assert "nfi_acd" in lines[0]

@@ -1,0 +1,29 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_fig5_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5(a)" in out and "Fig. 5(b)" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_scale_flag_validated(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--scale", "gigantic"])
+
+    def test_help_mentions_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "tables" in out and "fig7" in out

@@ -1,0 +1,44 @@
+"""Tests for the clustering study runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.clustering_study import (
+    format_clustering_study,
+    run_clustering_study,
+)
+
+
+class TestClusteringStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_clustering_study(order=6, query_sizes=(2, 4, 8), samples=150, seed=3)
+
+    def test_structure(self, result):
+        assert result.query_sizes == (2, 4, 8)
+        assert "hilbert" in result.curves and "snake" in result.curves
+        assert all(len(v) == 3 for v in result.values.values())
+
+    def test_hilbert_beats_z_and_gray(self, result):
+        for i in range(3):
+            assert result.values["hilbert"][i] < result.values["zcurve"][i]
+            assert result.values["hilbert"][i] < result.values["gray"][i]
+
+    def test_rowmajor_exact(self, result):
+        for i, q in enumerate(result.query_sizes):
+            assert result.values["rowmajor"][i] == pytest.approx(q)
+
+    def test_continuous_curves_near_optimal(self, result):
+        """Xu-Tirthapura: the snake scan matches Hilbert's clustering."""
+        for i in range(3):
+            assert result.values["snake"][i] <= result.values["zcurve"][i]
+
+    def test_oversized_query_rejected(self):
+        with pytest.raises(ValueError):
+            run_clustering_study(order=3, query_sizes=(16,))
+
+    def test_format(self, result):
+        text = format_clustering_study(result)
+        assert "Average clusters" in text
+        assert "Hilbert" in text

@@ -1,0 +1,70 @@
+"""Tests for experiment configuration and scale presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER, SCALES, SMALL, FmmCase, Scale, active_scale
+
+
+class TestScalePresets:
+    def test_paper_matches_published_parameters(self):
+        # Tables I/II: 250k particles, 1024x1024, 65,536 processors
+        assert PAPER.pairs_particles == 250_000
+        assert PAPER.pairs_order == 10
+        assert PAPER.pairs_processors == 65_536
+        # Fig. 6: 1M particles, 4096x4096, r = 4
+        assert PAPER.topo_particles == 1_000_000
+        assert PAPER.topo_order == 12
+        assert PAPER.topo_radius == 4
+        # Fig. 5 reaches 512 x 512
+        assert max(PAPER.anns_orders) == 9
+
+    def test_small_preserves_shape(self):
+        assert SMALL.pairs_particles < PAPER.pairs_particles
+        assert SMALL.pairs_particles <= 4**SMALL.pairs_order
+
+    def test_registry(self):
+        assert SCALES["small"] is SMALL
+        assert SCALES["paper"] is PAPER
+
+    def test_invalid_scale_construction(self):
+        with pytest.raises(ValueError):
+            Scale(
+                name="bad",
+                pairs_particles=100,
+                pairs_order=2,  # only 16 cells
+                pairs_processors=4,
+                topo_particles=10,
+                topo_order=4,
+                topo_processors=4,
+                topo_radius=1,
+                scaling_particles=10,
+                scaling_order=4,
+                scaling_processors=(4,),
+                anns_orders=(1,),
+            )
+
+
+class TestActiveScale:
+    def test_explicit_name(self):
+        assert active_scale("paper") is PAPER
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert active_scale() is PAPER
+
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert active_scale() is SMALL
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            active_scale("huge")
+
+
+class TestFmmCase:
+    def test_describe(self):
+        case = FmmCase(100, 5, 16, "torus", "hilbert", "zcurve", "uniform")
+        text = case.describe()
+        assert "torus" in text and "hilbert" in text and "n=100" in text

@@ -1,0 +1,83 @@
+"""Round-trip tests for result serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale, run_anns_study, run_scaling_study, run_sfc_pairs
+from repro.experiments.io import load_result, result_to_csv_rows, save_result, write_csv
+
+TINY = Scale(
+    name="io-tiny",
+    pairs_particles=200,
+    pairs_order=4,
+    pairs_processors=16,
+    topo_particles=200,
+    topo_order=5,
+    topo_processors=16,
+    topo_radius=1,
+    scaling_particles=200,
+    scaling_order=5,
+    scaling_processors=(4, 16),
+    anns_orders=(1, 2, 3),
+    trials=1,
+)
+
+
+@pytest.fixture(scope="module")
+def anns_result():
+    return run_anns_study(TINY)
+
+
+@pytest.fixture(scope="module")
+def pairs_result():
+    return run_sfc_pairs(TINY, seed=0, trials=1, curves=("hilbert", "rowmajor"))
+
+
+class TestJsonRoundtrip:
+    def test_anns(self, tmp_path, anns_result):
+        path = save_result(anns_result, tmp_path / "anns.json")
+        loaded = load_result(path)
+        assert loaded == anns_result
+
+    def test_pairs(self, tmp_path, pairs_result):
+        path = save_result(pairs_result, tmp_path / "pairs.json")
+        assert load_result(path) == pairs_result
+
+    def test_scaling(self, tmp_path):
+        result = run_scaling_study(TINY, seed=0, trials=1, curves=("hilbert",))
+        path = save_result(result, tmp_path / "scaling.json")
+        assert load_result(path) == result
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_result({"not": "a result"}, tmp_path / "x.json")
+
+    def test_bad_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"type": "Nonsense", "data": {}}')
+        with pytest.raises(ValueError):
+            load_result(bad)
+
+
+class TestCsv:
+    def test_anns_rows(self, anns_result):
+        rows = result_to_csv_rows(anns_result)
+        # radii x curves x orders
+        assert len(rows) == 2 * 4 * 3
+        assert {r["radius"] for r in rows} == {1, 6}
+
+    def test_pairs_rows(self, pairs_result):
+        rows = result_to_csv_rows(pairs_result)
+        assert len(rows) == 2 * 3 * 2 * 2  # models x dists x proc x part
+        assert all(r["acd"] >= 0 for r in rows)
+
+    def test_write_csv(self, tmp_path, anns_result):
+        path = write_csv(anns_result, tmp_path / "anns.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "radius,curve,side,stretch"
+        assert len(lines) == 1 + 24
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_csv_rows(42)

@@ -1,0 +1,61 @@
+"""Tests for the plain-text table formatters."""
+
+from __future__ import annotations
+
+from repro.experiments import format_matrix, format_rows, format_series
+from repro.experiments.reporting import pretty
+
+
+class TestPretty:
+    def test_known_labels(self):
+        assert pretty("hilbert") == "Hilbert Curve"
+        assert pretty("zcurve") == "Z-Curve"
+        assert pretty("rowmajor") == "Row Major"
+
+    def test_unknown_passthrough(self):
+        assert pretty("custom") == "custom"
+
+
+class TestFormatMatrix:
+    def test_min_markers(self):
+        values = {
+            "r1": {"c1": 1.0, "c2": 2.0},
+            "r2": {"c1": 3.0, "c2": 0.5},
+        }
+        text = format_matrix(values, ["r1", "r2"], ["c1", "c2"], "T")
+        # r1 row min is c1 (also the column min) -> both markers
+        assert "1.000*+" in text
+        # r2 row min is c2, also column min
+        assert "0.500*+" in text
+        assert "3.000" in text and "3.000*" not in text
+
+    def test_title_and_legend(self):
+        values = {"r": {"c": 1.0}}
+        text = format_matrix(values, ["r"], ["c"], "My Table")
+        assert text.startswith("My Table")
+        assert "row minimum" in text
+
+
+class TestFormatSeries:
+    def test_alignment_and_values(self):
+        text = format_series({"hilbert": [1.0, 2.0]}, [10, 20], "S", "x")
+        lines = text.splitlines()
+        assert lines[0] == "S"
+        assert "Hilbert Curve" in lines[1]
+        assert "1.000" in lines[2] and "2.000" in lines[3]
+
+    def test_missing_values_marked(self):
+        text = format_series({"a": [1.0]}, [10, 20], "S", "x")
+        assert "-" in text.splitlines()[3]
+
+
+class TestFormatRows:
+    def test_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_rows(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "2.500" in lines[1]
+
+    def test_empty(self):
+        assert format_rows([], ["a"]) == "a"

@@ -1,0 +1,65 @@
+"""Tests for the trial-averaging case runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FmmCase, run_case
+from repro.topology import make_topology
+
+
+@pytest.fixture
+def case():
+    return FmmCase(
+        num_particles=300,
+        order=5,
+        num_processors=16,
+        topology="torus",
+        particle_curve="hilbert",
+        processor_curve="hilbert",
+        distribution="uniform",
+        radius=1,
+    )
+
+
+class TestRunCase:
+    def test_result_fields(self, case):
+        result = run_case(case, trials=2, seed=0)
+        assert result.trials == 2
+        assert result.nfi_acd >= 0 and result.ffi_acd >= 0
+        assert result.nfi_events > 0 and result.ffi_events > 0
+        assert set(result.ffi_phases) == {
+            "interpolation",
+            "anterpolation",
+            "interaction",
+            "combined",
+        }
+
+    def test_deterministic_across_runs(self, case):
+        a = run_case(case, trials=3, seed=99)
+        b = run_case(case, trials=3, seed=99)
+        assert a.nfi_acd == b.nfi_acd and a.ffi_acd == b.ffi_acd
+
+    def test_seed_changes_results(self, case):
+        a = run_case(case, trials=1, seed=1)
+        b = run_case(case, trials=1, seed=2)
+        assert a.nfi_acd != b.nfi_acd
+
+    def test_single_trial_has_zero_std(self, case):
+        result = run_case(case, trials=1, seed=0)
+        assert result.nfi_acd_std == 0.0
+
+    def test_prebuilt_topology_used(self, case):
+        net = make_topology("torus", 16, processor_curve="hilbert")
+        a = run_case(case, trials=1, seed=0, topology=net)
+        b = run_case(case, trials=1, seed=0)
+        assert a.nfi_acd == b.nfi_acd
+
+    def test_invalid_trials(self, case):
+        with pytest.raises(ValueError):
+            run_case(case, trials=0)
+
+    def test_row_serialisation(self, case):
+        row = run_case(case, trials=1, seed=0).row()
+        assert row["topology"] == "torus"
+        assert isinstance(row["nfi_acd"], float)

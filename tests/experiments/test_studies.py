@@ -1,0 +1,134 @@
+"""Integration tests for the study runners at a tiny scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    Scale,
+    format_anns_study,
+    format_scaling_study,
+    format_sfc_pairs,
+    format_sweep,
+    format_topology_study,
+    run_anns_study,
+    run_distribution_sweep,
+    run_input_size_sweep,
+    run_radius_sweep,
+    run_scaling_study,
+    run_sfc_pairs,
+    run_topology_study,
+)
+
+TINY = Scale(
+    name="tiny",
+    pairs_particles=400,
+    pairs_order=5,
+    pairs_processors=16,
+    topo_particles=400,
+    topo_order=6,
+    topo_processors=16,
+    topo_radius=2,
+    scaling_particles=400,
+    scaling_order=6,
+    scaling_processors=(4, 16),
+    anns_orders=(1, 2, 3, 4),
+    trials=1,
+)
+
+
+class TestAnnsStudy:
+    def test_structure(self):
+        result = run_anns_study(TINY)
+        assert result.orders == (1, 2, 3, 4)
+        assert set(result.values) == {1, 6}
+        assert set(result.values[1]) == {"hilbert", "zcurve", "gray", "rowmajor"}
+        assert len(result.values[1]["hilbert"]) == 4
+
+    def test_sides(self):
+        assert run_anns_study(TINY).sides() == [2, 4, 8, 16]
+
+    def test_format_contains_panels(self):
+        text = format_anns_study(run_anns_study(TINY))
+        assert "Fig. 5(a)" in text and "Fig. 5(b)" in text
+
+
+class TestSfcPairs:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sfc_pairs(TINY, seed=1, trials=1)
+
+    def test_matrix_shape(self, result):
+        assert result.distributions == ("uniform", "normal", "exponential")
+        for dist in result.distributions:
+            for proc in result.processor_curves:
+                assert set(result.nfi[dist][proc]) == set(result.particle_curves)
+                assert set(result.ffi[dist][proc]) == set(result.particle_curves)
+
+    def test_all_values_positive(self, result):
+        for dist in result.distributions:
+            for proc in result.processor_curves:
+                for part in result.particle_curves:
+                    assert result.nfi[dist][proc][part] >= 0
+                    assert result.ffi[dist][proc][part] >= 0
+
+    def test_format(self, result):
+        text = format_sfc_pairs(result)
+        assert "Table I (NFI)" in text and "Table II (FFI)" in text
+        assert "Hilbert Curve" in text
+
+
+class TestTopologyStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_topology_study(TINY, seed=1, trials=1)
+
+    def test_all_cells_present(self, result):
+        assert set(result.topologies) == {"bus", "ring", "mesh", "torus", "quadtree", "hypercube"}
+        for topo in result.topologies:
+            assert set(result.nfi[topo]) == set(result.curves)
+
+    def test_bus_worse_than_torus_for_hilbert(self, result):
+        assert result.nfi["bus"]["hilbert"] >= result.nfi["torus"]["hilbert"]
+
+    def test_format(self, result):
+        text = format_topology_study(result)
+        assert "Fig. 6(a)" in text and "Fig. 6(b)" in text
+
+
+class TestScalingStudy:
+    def test_series_lengths(self):
+        result = run_scaling_study(TINY, seed=1, trials=1)
+        assert result.processor_counts == (4, 16)
+        for curve in result.curves:
+            assert len(result.nfi[curve]) == 2
+            assert len(result.ffi[curve]) == 2
+
+    def test_acd_grows_with_processors(self):
+        result = run_scaling_study(TINY, seed=1, trials=1)
+        for curve in result.curves:
+            assert result.nfi[curve][1] >= result.nfi[curve][0]
+
+    def test_format(self):
+        text = format_scaling_study(run_scaling_study(TINY, seed=1, trials=1))
+        assert "Fig. 7(a)" in text and "Fig. 7(b)" in text
+
+
+class TestSweeps:
+    def test_radius_sweep_monotone_event_growth(self):
+        result = run_radius_sweep(TINY, radii=(1, 2), seed=1, trials=1)
+        assert result.parameter == "radius"
+        assert result.values == (1, 2)
+
+    def test_input_size_sweep(self):
+        result = run_input_size_sweep(TINY, fractions=(0.5, 1.0), seed=1, trials=1)
+        assert len(result.values) == 2
+        assert result.values[0] < result.values[1]
+
+    def test_distribution_sweep(self):
+        result = run_distribution_sweep(TINY, seed=1, trials=1)
+        assert result.values == ("uniform", "normal", "exponential")
+
+    def test_format(self):
+        text = format_sweep(run_radius_sweep(TINY, radii=(1, 2), seed=1, trials=1))
+        assert "NFI ACD vs radius" in text

@@ -1,0 +1,130 @@
+"""Tests for far-field event generation with a brute-force oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import get_distribution
+from repro.fmm import ffi_events, interaction_events, interpolation_events
+from repro.partition import partition_particles
+from repro.quadtree import EMPTY, interaction_list_cells, representative_pyramid
+
+
+@pytest.fixture
+def assignment():
+    particles = get_distribution("uniform").sample(100, 4, rng=9)
+    return partition_particles(particles, "hilbert", 8)
+
+
+def brute_force_interpolation(pyramid):
+    pairs = []
+    k = len(pyramid) - 1
+    for level in range(k, 0, -1):
+        grid, parent = pyramid[level], pyramid[level - 1]
+        side = grid.shape[0]
+        for cx in range(side):
+            for cy in range(side):
+                if grid[cx, cy] != EMPTY:
+                    pairs.append((int(grid[cx, cy]), int(parent[cx // 2, cy // 2])))
+    return pairs
+
+
+def brute_force_interaction(pyramid):
+    pairs = []
+    for level in range(2, len(pyramid)):
+        grid = pyramid[level]
+        side = grid.shape[0]
+        for cx in range(side):
+            for cy in range(side):
+                if grid[cx, cy] == EMPTY:
+                    continue
+                for tx, ty in interaction_list_cells(cx, cy, level):
+                    if grid[tx, ty] != EMPTY:
+                        pairs.append((int(grid[cx, cy]), int(grid[tx, ty])))
+    return pairs
+
+
+class TestInterpolation:
+    def test_matches_brute_force(self, assignment):
+        pyramid = representative_pyramid(assignment.owner_grid())
+        events = interpolation_events(pyramid)
+        src, dst = events.pairs()
+        got = sorted(zip(src.tolist(), dst.tolist()))
+        assert got == sorted(brute_force_interpolation(pyramid))
+
+    def test_event_count_equals_nonempty_cells(self, assignment):
+        """One upward transfer per non-empty non-root cell."""
+        pyramid = representative_pyramid(assignment.owner_grid())
+        expected = sum(int(np.count_nonzero(g != EMPTY)) for g in pyramid[1:])
+        assert len(interpolation_events(pyramid)) == expected
+
+    def test_parent_rep_is_min_of_children(self, assignment):
+        pyramid = representative_pyramid(assignment.owner_grid())
+        events = interpolation_events(pyramid)
+        src, dst = events.pairs()
+        assert np.all(dst <= src)  # parent representative is a min-reduction
+
+
+class TestInteraction:
+    def test_matches_brute_force(self, assignment):
+        pyramid = representative_pyramid(assignment.owner_grid())
+        events = interaction_events(pyramid)
+        src, dst = events.pairs()
+        got = sorted(zip(src.tolist(), dst.tolist()))
+        assert got == sorted(brute_force_interaction(pyramid))
+
+    def test_ordered_pairs_are_symmetric(self, assignment):
+        pyramid = representative_pyramid(assignment.owner_grid())
+        src, dst = interaction_events(pyramid).pairs()
+        forward = sorted(zip(src.tolist(), dst.tolist()))
+        backward = sorted(zip(dst.tolist(), src.tolist()))
+        assert forward == backward
+
+    def test_dense_lattice_interaction_count(self):
+        """Full occupancy: sum of |interaction list| over levels >= 2."""
+        particles = get_distribution("uniform").sample(256, 4, rng=0)
+        asg = partition_particles(particles, "zcurve", 4)
+        pyramid = representative_pyramid(asg.owner_grid())
+        events = interaction_events(pyramid)
+        expected = 0
+        for level in (2, 3, 4):
+            side = 1 << level
+            for cx in range(side):
+                for cy in range(side):
+                    expected += interaction_list_cells(cx, cy, level).shape[0]
+        assert len(events) == expected
+
+
+class TestFfiEvents:
+    def test_anterpolation_mirrors_interpolation(self, assignment):
+        ffi = ffi_events(assignment)
+        isrc, idst = ffi.interpolation.pairs()
+        asrc, adst = ffi.anterpolation.pairs()
+        assert np.array_equal(isrc, adst)
+        assert np.array_equal(idst, asrc)
+
+    def test_combined_counts(self, assignment):
+        ffi = ffi_events(assignment)
+        assert len(ffi.combined()) == (
+            len(ffi.interpolation) + len(ffi.anterpolation) + len(ffi.interaction)
+        )
+
+    def test_mapping_keys(self, assignment):
+        assert set(ffi_events(assignment).as_mapping()) == {
+            "interpolation",
+            "anterpolation",
+            "interaction",
+        }
+
+    def test_single_particle(self):
+        from repro.distributions import Particles
+
+        one = Particles(np.array([3]), np.array([5]), order=3)
+        asg = partition_particles(one, "hilbert", 4)
+        ffi = ffi_events(asg)
+        # one cell per level communicates with its parent; no interactions
+        assert len(ffi.interpolation) == 3
+        assert len(ffi.interaction) == 0
+        src, dst = ffi.interpolation.pairs()
+        assert np.all(src == dst)  # all the same processor

@@ -1,0 +1,96 @@
+"""Tests for the quadrant log-tree accumulation variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Particles, get_distribution
+from repro.fmm.quadrant_tree import arity_tree_edges, quadrant_tree_events
+from repro.partition import partition_particles
+
+
+class TestArityTreeEdges:
+    def test_simple_tree(self):
+        children, parents = arity_tree_edges(np.array([0, 3, 5, 9, 12, 20]), arity=4)
+        # element j's parent is (j-1)//4: 1..4 -> 0, 5 -> 1
+        assert children.tolist() == [3, 5, 9, 12, 20]
+        assert parents.tolist() == [0, 0, 0, 0, 3]
+
+    def test_single_node_no_edges(self):
+        children, parents = arity_tree_edges(np.array([7]))
+        assert children.size == 0 and parents.size == 0
+
+    def test_edge_count(self):
+        for m in (2, 5, 17):
+            children, _ = arity_tree_edges(np.arange(m))
+            assert children.size == m - 1
+
+    def test_binary_arity(self):
+        children, parents = arity_tree_edges(np.arange(4), arity=2)
+        assert parents.tolist() == [0, 0, 1]
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            arity_tree_edges(np.arange(4), arity=1)
+
+    def test_log_depth(self):
+        """Every node is within ceil(log_arity(m)) hops of the root."""
+        vals = np.arange(64)
+        children, parents = arity_tree_edges(vals, arity=4)
+        parent_of = dict(zip(children.tolist(), parents.tolist()))
+        for v in vals[1:]:
+            depth = 0
+            node = int(v)
+            while node != 0:
+                node = parent_of[node]
+                depth += 1
+            assert depth <= 3  # log4(64)
+
+
+class TestQuadrantTreeEvents:
+    def brute_force(self, assignment, arity=4):
+        particles, procs = assignment.particles, assignment.processor
+        k = assignment.order
+        pairs = []
+        for level in range(k, -1, -1):
+            shift = k - level
+            buckets: dict[int, set[int]] = {}
+            for i in range(len(particles)):
+                cell = ((int(particles.x[i]) >> shift) << level) | (
+                    int(particles.y[i]) >> shift
+                )
+                buckets.setdefault(cell, set()).add(int(procs[i]))
+            for cell in sorted(buckets):
+                ordered = sorted(buckets[cell])
+                for j in range(1, len(ordered)):
+                    pairs.append((ordered[j], ordered[(j - 1) // arity]))
+        return sorted(pairs)
+
+    def test_matches_brute_force(self):
+        particles = get_distribution("uniform").sample(150, 4, rng=12)
+        asg = partition_particles(particles, "hilbert", 8)
+        events = quadrant_tree_events(asg)
+        src, dst = events.pairs()
+        assert sorted(zip(src.tolist(), dst.tolist())) == self.brute_force(asg)
+
+    def test_root_gather_count(self):
+        """At level 0 the whole domain's processors form one tree."""
+        particles = get_distribution("uniform").sample(200, 4, rng=1)
+        asg = partition_particles(particles, "hilbert", 8)
+        events = quadrant_tree_events(asg)
+        # total = sum over levels of (procs-in-cell - 1); at level 0 that
+        # is p-1 = 7 since every processor holds particles
+        assert len(events) >= 7
+
+    def test_parent_is_lower_rank(self):
+        particles = get_distribution("uniform").sample(300, 5, rng=2)
+        asg = partition_particles(particles, "zcurve", 16)
+        src, dst = quadrant_tree_events(asg).pairs()
+        assert np.all(dst < src)  # rank-ordered heap: parents precede children
+
+    def test_finest_level_contributes_nothing(self):
+        """One particle per cell means single-processor lists at level k."""
+        one = Particles(np.array([0]), np.array([0]), order=3)
+        asg = partition_particles(one, "hilbert", 4)
+        assert len(quadrant_tree_events(asg)) == 0

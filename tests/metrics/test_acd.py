@@ -1,0 +1,81 @@
+"""Tests for the ACD metric itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fmm import CommunicationEvents
+from repro.metrics import ACDResult, acd_breakdown, compute_acd
+from repro.topology import make_topology
+
+
+def events_of(pairs):
+    ev = CommunicationEvents()
+    if pairs:
+        arr = np.asarray(pairs)
+        ev.add(arr[:, 0], arr[:, 1])
+    return ev
+
+
+class TestACDResult:
+    def test_mean(self):
+        assert ACDResult(10, 4).acd == 2.5
+
+    def test_empty_is_zero(self):
+        assert ACDResult(0, 0).acd == 0.0
+
+    def test_merged(self):
+        merged = ACDResult(10, 4).merged(ACDResult(2, 2))
+        assert merged.total_distance == 12 and merged.count == 6
+
+
+class TestComputeACD:
+    def test_hand_computed_bus(self):
+        bus = make_topology("bus", 8)
+        result = compute_acd(events_of([(0, 7), (1, 1), (2, 4)]), bus)
+        assert result.total_distance == 7 + 0 + 2
+        assert result.count == 3
+        assert result.acd == 3.0
+
+    def test_streams_over_chunks(self):
+        bus = make_topology("bus", 8)
+        ev = CommunicationEvents()
+        ev.add([0], [7])
+        ev.add([1], [2])
+        result = compute_acd(ev, bus)
+        assert result.total_distance == 8 and result.count == 2
+
+    def test_empty_events(self):
+        result = compute_acd(CommunicationEvents(), make_topology("ring", 8))
+        assert result.count == 0 and result.acd == 0.0
+
+    def test_rank_out_of_range_raises(self):
+        bus = make_topology("bus", 4)
+        with pytest.raises(ValueError):
+            compute_acd(events_of([(0, 4)]), bus)
+
+    @pytest.mark.parametrize("topo", ["bus", "ring", "mesh", "torus", "quadtree", "hypercube"])
+    def test_self_communication_is_free(self, topo):
+        net = make_topology(topo, 16)
+        ranks = np.arange(16)
+        ev = CommunicationEvents()
+        ev.add(ranks, ranks)
+        assert compute_acd(ev, net).acd == 0.0
+
+
+class TestBreakdown:
+    def test_combined_is_pooled_mean(self):
+        bus = make_topology("bus", 16)
+        phases = {
+            "a": events_of([(0, 4)]),  # distance 4
+            "b": events_of([(0, 1), (1, 2)]),  # distances 1, 1
+        }
+        out = acd_breakdown(phases, bus)
+        assert out["a"].acd == 4.0
+        assert out["b"].acd == 1.0
+        assert out["combined"].acd == pytest.approx(6 / 3)
+
+    def test_keys(self):
+        out = acd_breakdown({"only": events_of([(0, 1)])}, make_topology("bus", 4))
+        assert set(out) == {"only", "combined"}

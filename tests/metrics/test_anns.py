@@ -1,0 +1,121 @@
+"""Tests for the ANNS metric and its radius generalisation (§V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    analytic_anns_gray,
+    analytic_anns_rowmajor,
+    analytic_anns_zcurve,
+    anns,
+    neighbor_stretch,
+)
+from repro.sfc import get_curve
+from repro.sfc.registry import PAPER_CURVES
+
+
+def brute_force_stretch(curve, radius):
+    """O(n^2) stretch over all in-radius pairs."""
+    pts = curve.ordering()
+    n = pts.shape[0]
+    total, count, worst = 0.0, 0, 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = abs(int(pts[i, 0] - pts[j, 0])) + abs(int(pts[i, 1] - pts[j, 1]))
+            if 1 <= d <= radius:
+                s = abs(i - j) / d
+                total += s
+                count += 1
+                worst = max(worst, s)
+    return total, count, worst
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("name", PAPER_CURVES)
+    @pytest.mark.parametrize("radius", [1, 2, 4])
+    def test_matches(self, name, radius):
+        curve = get_curve(name, 3)
+        result = neighbor_stretch(curve, radius=radius)
+        total, count, worst = brute_force_stretch(curve, radius)
+        assert result.count == count
+        assert result.total_stretch == pytest.approx(total)
+        assert result.max_stretch == pytest.approx(worst)
+
+
+class TestAnalyticForms:
+    @pytest.mark.parametrize("order", range(1, 9))
+    def test_rowmajor_closed_form(self, order):
+        assert anns("rowmajor", order) == pytest.approx(analytic_anns_rowmajor(order))
+
+    @pytest.mark.parametrize("order", range(1, 9))
+    def test_zcurve_closed_form(self, order):
+        assert anns("zcurve", order) == pytest.approx(analytic_anns_zcurve(order))
+
+    @pytest.mark.parametrize("order", range(1, 9))
+    def test_gray_closed_form(self, order):
+        assert anns("gray", order) == pytest.approx(analytic_anns_gray(order))
+
+    def test_rowmajor_value(self):
+        assert analytic_anns_rowmajor(4) == 8.5  # (16 + 1) / 2
+
+    def test_gray_asymptotically_1_5x_zcurve(self):
+        for order in (7, 8, 9):
+            assert analytic_anns_gray(order) == pytest.approx(
+                1.5 * analytic_anns_zcurve(order), rel=0.02
+            )
+
+    def test_degenerate_lattice(self):
+        assert analytic_anns_rowmajor(0) == 0.0
+        assert analytic_anns_zcurve(0) == 0.0
+        assert analytic_anns_gray(0) == 0.0
+
+
+class TestPaperFindings:
+    """§V: 'the Z-curve and row major significantly outperform the Gray
+    code and the Hilbert curve' — and the ordering is radius-stable."""
+
+    @pytest.mark.parametrize("order", [5, 6, 7])
+    def test_z_and_rowmajor_beat_hilbert_and_gray(self, order):
+        vals = {name: anns(name, order) for name in PAPER_CURVES}
+        assert vals["zcurve"] < vals["hilbert"]
+        assert vals["zcurve"] < vals["gray"]
+        assert vals["rowmajor"] < vals["hilbert"]
+        assert vals["rowmajor"] < vals["gray"]
+
+    def test_z_equals_rowmajor(self):
+        """Xu & Tirthapura's asymptotic equivalence is exact here."""
+        for order in (3, 5, 7):
+            assert anns("zcurve", order) == pytest.approx(anns("rowmajor", order))
+
+    @pytest.mark.parametrize("radius", [2, 4, 6])
+    def test_ordering_stable_across_radii(self, radius):
+        """'irregardless the radius used, the relative ordering ... was the same'"""
+        order = 6
+        r1 = {n: neighbor_stretch(n, order, radius=1).mean for n in PAPER_CURVES}
+        rr = {n: neighbor_stretch(n, order, radius=radius).mean for n in PAPER_CURVES}
+        rank = lambda d: sorted(d, key=d.get)  # noqa: E731
+        assert rank(r1) == rank(rr)
+
+    def test_gap_grows_with_resolution(self):
+        """'the differences between SFC performances increases'"""
+        gap = lambda k: anns("gray", k) - anns("zcurve", k)  # noqa: E731
+        assert gap(7) > gap(5) > gap(3)
+
+
+class TestValidation:
+    def test_radius_zero_rejected(self):
+        with pytest.raises(ValueError):
+            neighbor_stretch("hilbert", 4, radius=0)
+
+    def test_name_without_order_rejected(self):
+        with pytest.raises(ValueError):
+            neighbor_stretch("hilbert")
+
+    def test_curve_instance_accepted(self):
+        curve = get_curve("hilbert", 4)
+        assert neighbor_stretch(curve).mean == anns("hilbert", 4)
+
+    def test_trivial_lattice(self):
+        assert neighbor_stretch("hilbert", 0).count == 0

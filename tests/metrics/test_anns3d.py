@@ -1,0 +1,66 @@
+"""Tests for the 3D nearest-neighbour stretch (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import anns3d, neighbor_stretch3d
+from repro.sfc import get_curve3d
+
+
+def brute_force_stretch3d(curve, radius):
+    pts = curve.ordering()
+    n = pts.shape[0]
+    total, count = 0.0, 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = int(abs(pts[i] - pts[j]).sum())
+            if 1 <= d <= radius:
+                total += abs(i - j) / d
+                count += 1
+    return total, count
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("name", ["hilbert3d", "morton3d", "gray3d", "rowmajor3d"])
+    @pytest.mark.parametrize("radius", [1, 2])
+    def test_matches(self, name, radius):
+        curve = get_curve3d(name, 2)
+        result = neighbor_stretch3d(curve, radius=radius)
+        total, count = brute_force_stretch3d(curve, radius)
+        assert result.count == count
+        assert result.total_stretch == pytest.approx(total)
+
+
+class TestAnalytic3D:
+    def test_rowmajor3d_closed_form(self):
+        """Per-axis jumps are 1, side and side^2, equally weighted."""
+        for order in (2, 3, 4):
+            side = 1 << order
+            expected = (1 + side + side * side) / 3
+            assert anns3d("rowmajor3d", order) == pytest.approx(expected)
+
+    def test_morton_equals_rowmajor_in_3d(self):
+        """The Xu-Tirthapura 2D equivalence carries over to 3D."""
+        for order in (2, 3, 4):
+            assert anns3d("morton3d", order) == pytest.approx(anns3d("rowmajor3d", order))
+
+    def test_fig5_ordering_in_3d(self):
+        vals = {
+            n: anns3d(n, 4) for n in ("hilbert3d", "morton3d", "gray3d", "rowmajor3d")
+        }
+        assert vals["morton3d"] < vals["hilbert3d"] < vals["gray3d"]
+        assert vals["rowmajor3d"] < vals["hilbert3d"]
+
+
+class TestValidation3D:
+    def test_radius_zero_rejected(self):
+        with pytest.raises(ValueError):
+            neighbor_stretch3d("hilbert3d", 2, radius=0)
+
+    def test_name_requires_order(self):
+        with pytest.raises(ValueError):
+            neighbor_stretch3d("hilbert3d")
+
+    def test_trivial_lattice(self):
+        assert neighbor_stretch3d("hilbert3d", 0).count == 0

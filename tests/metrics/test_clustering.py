@@ -1,0 +1,71 @@
+"""Tests for the clustering-number metric (Moon et al.)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import average_clusters, cluster_count
+from repro.sfc import get_curve
+
+
+class TestClusterCount:
+    def test_whole_lattice_is_one_cluster(self):
+        for name in ("hilbert", "zcurve", "gray", "rowmajor"):
+            curve = get_curve(name, 3)
+            assert cluster_count(curve, 0, 0, 8, 8) == 1
+
+    def test_single_cell(self):
+        curve = get_curve("hilbert", 3)
+        assert cluster_count(curve, 5, 2, 1, 1) == 1
+
+    def test_rowmajor_column_strip(self):
+        # a full column is contiguous in row-major order
+        curve = get_curve("rowmajor", 3)
+        assert cluster_count(curve, 3, 0, 1, 8) == 1
+        # a full row is 8 separate clusters
+        assert cluster_count(curve, 0, 3, 8, 1) == 8
+
+    def test_hilbert_aligned_quadrant(self):
+        # aligned power-of-two blocks are single clusters for Hilbert
+        curve = get_curve("hilbert", 4)
+        assert cluster_count(curve, 0, 0, 8, 8) == 1
+        assert cluster_count(curve, 8, 8, 8, 8) == 1
+
+    def test_zcurve_aligned_quadrant(self):
+        curve = get_curve("zcurve", 4)
+        assert cluster_count(curve, 8, 0, 8, 8) == 1
+
+    def test_out_of_bounds_rejected(self):
+        curve = get_curve("hilbert", 3)
+        with pytest.raises(ValueError):
+            cluster_count(curve, 6, 6, 4, 4)
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_count(get_curve("hilbert", 3), 0, 0, 0, 1)
+
+
+class TestAverageClusters:
+    def test_literature_ordering(self):
+        """Jagadish/Moon et al.: Hilbert has the lowest clustering number
+        — the opposite ranking from the ANNS metric (§V's surprise)."""
+        vals = {
+            name: average_clusters(name, 7, query_size=8, rng=0, samples=300)
+            for name in ("hilbert", "zcurve", "gray", "rowmajor")
+        }
+        assert vals["hilbert"] < vals["zcurve"]
+        assert vals["hilbert"] < vals["gray"]
+        assert vals["hilbert"] < vals["rowmajor"]
+
+    def test_rowmajor_analytic_average(self):
+        # every q x q query hits exactly q clusters in row-major order
+        val = average_clusters("rowmajor", 6, query_size=4, rng=1, samples=100)
+        assert val == pytest.approx(4.0)
+
+    def test_query_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            average_clusters("hilbert", 3, query_size=16)
+
+    def test_name_without_order_rejected(self):
+        with pytest.raises(ValueError):
+            average_clusters("hilbert")

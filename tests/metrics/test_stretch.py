@@ -1,0 +1,55 @@
+"""Tests for max-NN and all-pairs stretch metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import all_pairs_stretch, max_nearest_neighbor_stretch
+from repro.sfc import get_curve
+
+
+class TestMaxNNStretch:
+    def test_rowmajor(self):
+        # worst nearest-neighbour gap in row-major order is a full column
+        assert max_nearest_neighbor_stretch("rowmajor", 4) == 16.0
+
+    def test_hilbert_bounded_below_by_anns(self):
+        from repro.metrics import anns
+
+        assert max_nearest_neighbor_stretch("hilbert", 5) >= anns("hilbert", 5)
+
+    def test_zcurve_worst_pair(self):
+        """The worst Z-curve neighbour jump is the central x-seam:
+        2 * (2 * 4**(k-1) + 1) / 3 = (4**k + 2) / 3 exactly."""
+        for k in (3, 4, 5):
+            assert max_nearest_neighbor_stretch("zcurve", k) == (4**k + 2) / 3
+
+
+class TestAllPairsStretch:
+    def test_exact_small_case(self):
+        curve = get_curve("rowmajor", 1)
+        # points in order: (0,0),(0,1),(1,0),(1,1) with indices 0..3
+        # enumerate the 6 pairs by hand
+        expected = np.mean([1 / 1, 2 / 1, 3 / 2, 1 / 2, 2 / 1, 1 / 1])
+        assert all_pairs_stretch(curve) == pytest.approx(expected)
+
+    def test_sampled_close_to_exact(self):
+        curve = get_curve("hilbert", 5)  # 1024 cells -> exact path
+        exact = all_pairs_stretch(curve)
+        # force the Monte-Carlo path via a larger curve of the same family
+        sampled = all_pairs_stretch(get_curve("hilbert", 7), rng=0, samples=100_000)
+        # both should be the same order of magnitude growth ~ O(side)
+        assert sampled / exact == pytest.approx(4.0, rel=0.35)
+
+    def test_deterministic_with_seed(self):
+        a = all_pairs_stretch("hilbert", 7, rng=5, samples=20_000)
+        b = all_pairs_stretch("hilbert", 7, rng=5, samples=20_000)
+        assert a == b
+
+    def test_degenerate(self):
+        assert all_pairs_stretch("hilbert", 0) == 0.0
+
+    def test_name_requires_order(self):
+        with pytest.raises(ValueError):
+            all_pairs_stretch("hilbert")

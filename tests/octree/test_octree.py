@@ -1,0 +1,110 @@
+"""Tests for the octree substrate (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.octree import (
+    EMPTY,
+    children_of3d,
+    interaction_list_cells3d,
+    interaction_offsets3d,
+    neighbor_offsets3d,
+    occupancy_pyramid3d,
+    parent_of3d,
+    representative_pyramid3d,
+)
+
+
+class TestCells3D:
+    def test_parent_child_roundtrip(self):
+        for cx in range(2):
+            for cy in range(2):
+                for cz in range(2):
+                    for kx, ky, kz in children_of3d(cx, cy, cz):
+                        px, py, pz = parent_of3d(kx, ky, kz)
+                        assert (px, py, pz) == (cx, cy, cz)
+
+    def test_children_count(self):
+        assert children_of3d(1, 1, 1).shape == (8, 3)
+
+    def test_chebyshev_r1_has_26(self):
+        assert neighbor_offsets3d(1, "chebyshev").shape == (26, 3)
+
+    def test_manhattan_r1_has_6(self):
+        assert neighbor_offsets3d(1, "manhattan").shape == (6, 3)
+
+    def test_chebyshev_r2(self):
+        assert neighbor_offsets3d(2, "chebyshev").shape[0] == 5**3 - 1
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            neighbor_offsets3d(1, "euclidean")
+
+
+class TestInteraction3D:
+    @pytest.mark.parametrize("px", [0, 1])
+    @pytest.mark.parametrize("py", [0, 1])
+    @pytest.mark.parametrize("pz", [0, 1])
+    def test_189_offsets_per_parity(self, px, py, pz):
+        offs = interaction_offsets3d(px, py, pz)
+        assert offs.shape == (189, 3)
+        assert np.all(np.abs(offs).max(axis=1) >= 2)
+
+    def test_interior_cell_has_189(self):
+        assert interaction_list_cells3d(4, 4, 4, level=3).shape == (189, 3)
+
+    def test_corner_cell_truncated(self):
+        cells = interaction_list_cells3d(0, 0, 0, level=3)
+        assert 0 < cells.shape[0] < 189
+
+    def test_reference_matches_offset_table(self):
+        level = 3
+        side = 1 << level
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            cx, cy, cz = (int(v) for v in rng.integers(0, side, 3))
+            ref = {tuple(c) for c in interaction_list_cells3d(cx, cy, cz, level).tolist()}
+            got = set()
+            for dx, dy, dz in interaction_offsets3d(cx & 1, cy & 1, cz & 1).tolist():
+                tx, ty, tz = cx + dx, cy + dy, cz + dz
+                if 0 <= tx < side and 0 <= ty < side and 0 <= tz < side:
+                    got.add((tx, ty, tz))
+            assert ref == got, (cx, cy, cz)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            interaction_list_cells3d(8, 0, 0, level=3)
+
+
+class TestPyramid3D:
+    def make_volume(self):
+        vol = np.full((4, 4, 4), -1, dtype=np.int64)
+        vol[0, 0, 0] = 5
+        vol[0, 0, 1] = 2
+        vol[3, 3, 3] = 9
+        return vol
+
+    def test_shapes(self):
+        levels = representative_pyramid3d(self.make_volume())
+        assert [g.shape[0] for g in levels] == [1, 2, 4]
+
+    def test_min_reduction(self):
+        levels = representative_pyramid3d(self.make_volume())
+        assert levels[1][0, 0, 0] == 2
+        assert levels[1][1, 1, 1] == 9
+        assert levels[1][0, 1, 0] == EMPTY
+        assert levels[0][0, 0, 0] == 2
+
+    def test_occupancy_conservation(self):
+        levels = occupancy_pyramid3d(self.make_volume())
+        assert {int(g.sum()) for g in levels} == {3}
+
+    def test_rejects_non_cube(self):
+        with pytest.raises(ValueError):
+            representative_pyramid3d(np.zeros((4, 4, 8), dtype=np.int64))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            representative_pyramid3d(np.zeros((6, 6, 6), dtype=np.int64))

@@ -1,0 +1,50 @@
+"""Tests for contiguous chunk assignment (§IV steps 2/4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import chunk_assignment, chunk_bounds
+
+
+class TestChunkBounds:
+    def test_even_division(self):
+        assert chunk_bounds(12, 4).tolist() == [0, 3, 6, 9, 12]
+
+    def test_remainder_goes_to_leading_chunks(self):
+        assert chunk_bounds(10, 4).tolist() == [0, 3, 6, 8, 10]
+
+    def test_more_processors_than_particles(self):
+        bounds = chunk_bounds(2, 5)
+        assert bounds.tolist() == [0, 1, 2, 2, 2, 2]
+
+    def test_zero_particles(self):
+        assert chunk_bounds(0, 3).tolist() == [0, 0, 0, 0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_bounds(4, 0)
+
+
+class TestChunkAssignment:
+    def test_matches_bounds(self):
+        assert chunk_assignment(10, 4).tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 3, 3]
+
+    def test_non_decreasing(self):
+        procs = chunk_assignment(100, 7)
+        assert np.all(np.diff(procs) >= 0)
+
+    @given(st.integers(0, 500), st.integers(1, 64))
+    @settings(max_examples=100)
+    def test_balanced_within_one(self, n, p):
+        procs = chunk_assignment(n, p)
+        assert procs.size == n
+        counts = np.bincount(procs, minlength=p)
+        assert counts.max() - counts.min() <= 1
+        # chunk sizes are non-increasing (extras go to the leading chunks)
+        assert np.all(np.diff(counts) <= 0) or n == 0

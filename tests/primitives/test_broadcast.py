@@ -1,0 +1,74 @@
+"""Tests for binomial broadcast/reduce."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.primitives import broadcast, reduce
+
+
+def simulate_broadcast(events, root):
+    """Replay events in order; check everyone eventually holds the datum."""
+    have = {root}
+    for src, dst in zip(*events.pairs()):
+        assert int(src) in have, "sender did not hold the datum yet"
+        have.add(int(dst))
+    return have
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 16, 33])
+    def test_reaches_everyone_with_m_minus_1_messages(self, m):
+        parts = np.arange(100, 100 + m)
+        ev = broadcast(parts)
+        assert len(ev) == m - 1
+        assert simulate_broadcast(ev, 100) == set(parts.tolist())
+
+    def test_respects_root_position(self):
+        parts = np.array([10, 20, 30, 40])
+        ev = broadcast(parts, root_position=2)
+        assert simulate_broadcast(ev, 30) == {10, 20, 30, 40}
+        src, _ = ev.pairs()
+        assert src[0] == 30
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast(np.arange(4), root_position=4)
+
+    def test_log_rounds(self):
+        """Each sender forwards at most ceil(log2(m)) times."""
+        m = 64
+        ev = broadcast(np.arange(m))
+        src, _ = ev.pairs()
+        counts = np.bincount(src, minlength=m)
+        assert counts.max() <= 6
+
+    def test_duplicate_participants_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast([1, 1, 2])
+
+
+class TestReduce:
+    def test_mirror_of_broadcast(self):
+        parts = np.arange(9)
+        b_src, b_dst = broadcast(parts).pairs()
+        r_src, r_dst = reduce(parts).pairs()
+        assert np.array_equal(b_src, r_dst)
+        assert np.array_equal(b_dst, r_src)
+
+    def test_all_data_reaches_root(self):
+        parts = np.arange(11)
+        src, dst = reduce(parts).pairs()
+        # replay in reverse order: root must be reachable from everyone
+        edges = list(zip(dst.tolist(), src.tolist()))  # parent <- child
+        children = {}
+        for parent, child in edges:
+            children.setdefault(parent, []).append(child)
+        seen = set()
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            seen.add(node)
+            stack.extend(children.get(node, []))
+        assert seen == set(parts.tolist())

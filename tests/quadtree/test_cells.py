@@ -1,0 +1,78 @@
+"""Tests for quadtree cell arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quadtree import (
+    cells_are_adjacent,
+    children_of,
+    level_side,
+    neighbor_offsets,
+    parent_of,
+)
+
+
+class TestParentChild:
+    def test_parent(self):
+        px, py = parent_of(np.array([0, 1, 6, 7]), np.array([0, 1, 3, 7]))
+        assert px.tolist() == [0, 0, 3, 3]
+        assert py.tolist() == [0, 0, 1, 3]
+
+    def test_children(self):
+        kids = children_of(1, 2)
+        assert kids.tolist() == [[2, 4], [2, 5], [3, 4], [3, 5]]
+
+    def test_roundtrip(self):
+        for cx in range(4):
+            for cy in range(4):
+                for kx, ky in children_of(cx, cy):
+                    px, py = parent_of(kx, ky)
+                    assert (px, py) == (cx, cy)
+
+    def test_level_side(self):
+        assert level_side(0) == 1
+        assert level_side(3) == 8
+        with pytest.raises(ValueError):
+            level_side(-1)
+
+
+class TestNeighborOffsets:
+    def test_chebyshev_r1_has_8(self):
+        offs = neighbor_offsets(1, "chebyshev")
+        assert offs.shape == (8, 2)  # the paper's "bounded by 8" for r=1
+
+    def test_manhattan_r1_has_4(self):
+        offs = neighbor_offsets(1, "manhattan")
+        assert offs.shape == (4, 2)
+
+    def test_chebyshev_counts(self):
+        # (2r+1)^2 - 1 offsets
+        assert neighbor_offsets(2, "chebyshev").shape[0] == 24
+        assert neighbor_offsets(3, "chebyshev").shape[0] == 48
+
+    def test_manhattan_counts(self):
+        # 2r(r+1) offsets in the L1 ball
+        assert neighbor_offsets(2, "manhattan").shape[0] == 12
+        assert neighbor_offsets(3, "manhattan").shape[0] == 24
+
+    def test_excludes_origin(self):
+        for metric in ("chebyshev", "manhattan"):
+            offs = neighbor_offsets(2, metric)
+            assert not np.any((offs[:, 0] == 0) & (offs[:, 1] == 0))
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            neighbor_offsets(1, "euclidean")
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            neighbor_offsets(-1)
+
+
+class TestAdjacency:
+    def test_adjacent_and_not(self):
+        assert cells_are_adjacent(2, 2, 3, 3)
+        assert cells_are_adjacent(2, 2, 2, 2)
+        assert not cells_are_adjacent(2, 2, 4, 2)

@@ -1,0 +1,169 @@
+"""Per-curve unit tests for the 2D space-filling curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ResolutionError
+from repro.sfc import (
+    GrayCurve,
+    HilbertCurve,
+    RowMajorCurve,
+    SnakeCurve,
+    ZCurve,
+    get_curve,
+)
+from repro.util.bits import gray_encode, popcount
+
+ALL_CLASSES = [HilbertCurve, ZCurve, GrayCurve, RowMajorCurve, SnakeCurve]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES)
+class TestCommonBehaviour:
+    def test_geometry_properties(self, cls):
+        c = cls(4)
+        assert c.order == 4
+        assert c.side == 16
+        assert c.size == 256
+
+    def test_bijection(self, cls):
+        c = cls(4)
+        grid = c.index_grid()
+        assert sorted(grid.ravel().tolist()) == list(range(256))
+
+    def test_encode_decode_roundtrip(self, cls):
+        c = cls(5)
+        idx = np.arange(c.size)
+        x, y = c.decode(idx)
+        assert np.array_equal(c.encode(x, y), idx)
+
+    def test_scalar_api(self, cls):
+        c = cls(3)
+        i = c.encode(2, 5)
+        assert isinstance(i, int)
+        assert c.decode(i) == (2, 5)
+
+    def test_order_zero(self, cls):
+        c = cls(0)
+        assert c.size == 1
+        assert c.encode(0, 0) == 0
+        assert c.decode(0) == (0, 0)
+
+    def test_rejects_out_of_range_coordinates(self, cls):
+        c = cls(3)
+        with pytest.raises(ValueError):
+            c.encode(8, 0)
+        with pytest.raises(ValueError):
+            c.encode(0, -1)
+
+    def test_rejects_out_of_range_index(self, cls):
+        c = cls(3)
+        with pytest.raises(ValueError):
+            c.decode(64)
+
+    def test_rejects_huge_order(self, cls):
+        with pytest.raises(ResolutionError):
+            cls(40)
+
+    def test_ordering_matches_decode(self, cls):
+        c = cls(3)
+        pts = c.ordering()
+        x, y = c.decode(np.arange(c.size))
+        assert np.array_equal(pts[:, 0], x)
+        assert np.array_equal(pts[:, 1], y)
+
+    def test_equality_and_hash(self, cls):
+        assert cls(3) == cls(3)
+        assert cls(3) != cls(4)
+        assert hash(cls(3)) == hash(cls(3))
+
+
+class TestRowMajor:
+    def test_explicit_indices(self):
+        c = RowMajorCurve(2)
+        # first column gets 0..3, second column 4..7 (paper §II-A.3)
+        assert c.encode(0, 0) == 0
+        assert c.encode(0, 3) == 3
+        assert c.encode(1, 0) == 4
+        assert c.encode(3, 3) == 15
+
+    def test_step_lengths(self):
+        c = RowMajorCurve(3)
+        steps = c.step_lengths()
+        # unit steps inside each column; Manhattan jump of `side` between
+        # columns (1 across, side-1 back down)
+        assert steps.max() == c.side
+        assert np.count_nonzero(steps == c.side) == c.side - 1
+
+
+class TestSnake:
+    def test_continuous(self):
+        assert np.all(SnakeCurve(4).step_lengths() == 1)
+
+    def test_odd_columns_reversed(self):
+        c = SnakeCurve(2)
+        assert c.encode(1, 3) == 4  # column 1 starts at its top
+        assert c.encode(1, 0) == 7
+
+
+class TestZCurve:
+    def test_is_bit_interleaving(self):
+        c = ZCurve(3)
+        assert c.encode(0b101, 0b011) == 0b100111
+
+    def test_quadrant_block_order(self):
+        c = ZCurve(2)
+        # quadrant (x_hi, y_hi) = (0,0) holds indices 0..3, (0,1) 4..7, etc.
+        assert set(c.index_grid()[:2, :2].ravel()) == {0, 1, 2, 3}
+        assert set(c.index_grid()[:2, 2:].ravel()) == {4, 5, 6, 7}
+        assert set(c.index_grid()[2:, :2].ravel()) == {8, 9, 10, 11}
+
+
+class TestGray:
+    def test_consecutive_cells_differ_one_morton_bit(self):
+        c = GrayCurve(4)
+        z = ZCurve(4)
+        pts = c.ordering()
+        codes = z.encode(pts[:, 0], pts[:, 1])
+        assert np.all(popcount(codes[1:] ^ codes[:-1]) == 1)
+
+    def test_first_point_is_origin(self):
+        assert GrayCurve(3).decode(0) == (0, 0)
+
+    def test_matches_gray_of_position(self):
+        c = GrayCurve(3)
+        z = ZCurve(3)
+        idx = np.arange(c.size)
+        x, y = c.decode(idx)
+        assert np.array_equal(z.encode(x, y), gray_encode(idx))
+
+
+class TestHilbert:
+    def test_continuous(self):
+        for k in range(1, 7):
+            assert np.all(HilbertCurve(k).step_lengths() == 1), k
+
+    def test_recursive_block_property(self):
+        # every aligned block of 4**j consecutive indices fills a subsquare
+        c = HilbertCurve(4)
+        pts = c.ordering()
+        for j in (1, 2, 3):
+            block = 4**j
+            for m in range(c.size // block):
+                seg = pts[m * block : (m + 1) * block]
+                w = seg[:, 0].max() - seg[:, 0].min() + 1
+                h = seg[:, 1].max() - seg[:, 1].min() + 1
+                assert (w, h) == (2**j, 2**j)
+
+    def test_known_first_iteration(self):
+        c = HilbertCurve(1)
+        assert [tuple(p) for p in c.ordering()] == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+
+class TestFactory:
+    def test_get_curve_by_paper_names(self):
+        assert isinstance(get_curve("Hilbert Curve", 3), HilbertCurve)
+        assert isinstance(get_curve("Z-Curve", 3), ZCurve)
+        assert isinstance(get_curve("Gray Code", 3), GrayCurve)
+        assert isinstance(get_curve("Row Major", 3), RowMajorCurve)

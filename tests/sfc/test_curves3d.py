@@ -1,0 +1,135 @@
+"""Tests for the 3D curve extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import (
+    CURVES3D,
+    Gray3D,
+    Hilbert3D,
+    Morton3D,
+    RowMajor3D,
+    Snake3D,
+    get_curve3d,
+)
+from repro.util.bits import popcount
+
+ALL_3D = [Hilbert3D, Morton3D, Gray3D, RowMajor3D, Snake3D]
+
+
+@pytest.mark.parametrize("cls", ALL_3D)
+class TestCommon3D:
+    def test_geometry(self, cls):
+        c = cls(2)
+        assert c.side == 4
+        assert c.size == 64
+
+    def test_bijection(self, cls):
+        c = cls(2)
+        pts = c.ordering()
+        assert len({tuple(p) for p in pts.tolist()}) == 64
+
+    def test_roundtrip(self, cls):
+        c = cls(3)
+        idx = np.arange(c.size)
+        x, y, z = c.decode(idx)
+        assert np.array_equal(c.encode(x, y, z), idx)
+
+    def test_scalar_api(self, cls):
+        c = cls(2)
+        i = c.encode(1, 2, 3)
+        assert isinstance(i, int)
+        assert c.decode(i) == (1, 2, 3)
+
+    def test_order_zero(self, cls):
+        c = cls(0)
+        assert c.encode(0, 0, 0) == 0
+        assert c.decode(0) == (0, 0, 0)
+
+    def test_out_of_range_rejected(self, cls):
+        c = cls(2)
+        with pytest.raises(ValueError):
+            c.encode(4, 0, 0)
+        with pytest.raises(ValueError):
+            c.decode(64)
+
+
+class TestContinuity3D:
+    @pytest.mark.parametrize("order", range(1, 4))
+    def test_hilbert3d_unit_steps(self, order):
+        assert np.all(Hilbert3D(order).step_lengths() == 1)
+
+    @pytest.mark.parametrize("order", range(1, 4))
+    def test_snake3d_unit_steps(self, order):
+        assert np.all(Snake3D(order).step_lengths() == 1)
+
+    def test_morton3d_jumps(self):
+        assert Morton3D(2).step_lengths().max() > 1
+
+
+class TestMorton3D:
+    def test_is_bit_interleaving(self):
+        c = Morton3D(2)
+        # x highest, then y, then z per bit triple
+        assert c.encode(1, 0, 0) == 4
+        assert c.encode(0, 1, 0) == 2
+        assert c.encode(0, 0, 1) == 1
+        assert c.encode(2, 0, 0) == 32
+
+    def test_octant_blocks(self):
+        c = Morton3D(2)
+        pts = c.ordering()
+        first_octant = pts[:8]
+        assert first_octant.max() <= 1
+
+
+class TestGray3D:
+    def test_consecutive_cells_differ_one_morton_bit(self):
+        g = Gray3D(2)
+        m = Morton3D(2)
+        pts = g.ordering()
+        codes = m.encode(pts[:, 0], pts[:, 1], pts[:, 2])
+        assert np.all(popcount(codes[1:] ^ codes[:-1]) == 1)
+
+
+class TestHilbert3DStructure:
+    def test_octant_block_property(self):
+        """Consecutive blocks of 8**j indices stay in aligned subcubes."""
+        c = Hilbert3D(2)
+        pts = c.ordering()
+        for m in range(8):
+            seg = pts[m * 8 : (m + 1) * 8]
+            for axis in range(3):
+                assert seg[:, axis].max() - seg[:, axis].min() <= 1
+
+
+class TestRegistry3D:
+    def test_names(self):
+        assert set(CURVES3D.names()) == {
+            "hilbert3d",
+            "morton3d",
+            "gray3d",
+            "rowmajor3d",
+            "snake3d",
+        }
+
+    def test_aliases(self):
+        assert isinstance(get_curve3d("hilbert", 2), Hilbert3D)
+        assert isinstance(get_curve3d("morton", 2), Morton3D)
+
+
+@given(
+    st.sampled_from(["hilbert3d", "morton3d", "gray3d", "rowmajor3d", "snake3d"]),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60)
+def test_roundtrip_random_indices(name, order, raw_index):
+    c = get_curve3d(name, order)
+    idx = raw_index % c.size
+    x, y, z = c.decode(idx)
+    assert c.encode(x, y, z) == idx

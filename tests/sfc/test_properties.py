@@ -1,0 +1,76 @@
+"""Hypothesis property tests shared by every 2D curve."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import get_curve
+from repro.sfc.registry import ALL_CURVES
+
+curve_names = st.sampled_from(ALL_CURVES)
+orders = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def curve_and_points(draw):
+    name = draw(curve_names)
+    order = draw(st.integers(min_value=0, max_value=12))
+    side = 1 << order
+    n = draw(st.integers(min_value=1, max_value=50))
+    xs = draw(
+        st.lists(st.integers(0, side - 1), min_size=n, max_size=n).map(np.asarray)
+    )
+    ys = draw(
+        st.lists(st.integers(0, side - 1), min_size=n, max_size=n).map(np.asarray)
+    )
+    return get_curve(name, order), xs, ys
+
+
+@given(curve_and_points())
+def test_roundtrip_on_arbitrary_points(args):
+    curve, xs, ys = args
+    idx = curve.encode(xs, ys)
+    rx, ry = curve.decode(idx)
+    assert np.array_equal(rx, xs)
+    assert np.array_equal(ry, ys)
+
+
+@given(curve_and_points())
+def test_indices_in_range(args):
+    curve, xs, ys = args
+    idx = curve.encode(xs, ys)
+    assert idx.min() >= 0
+    assert idx.max() < curve.size
+
+
+@given(curve_names, st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_injective_on_full_lattice(name, order):
+    curve = get_curve(name, order)
+    grid = curve.index_grid()
+    assert np.unique(grid).size == curve.size
+
+
+@given(curve_names, st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_continuity_flag_is_truthful(name, order):
+    curve = get_curve(name, order)
+    steps = curve.step_lengths()
+    if curve.continuous:
+        assert np.all(steps == 1)
+    elif curve.size > 4:
+        assert steps.max() > 1
+
+
+@given(curve_names, st.integers(min_value=2, max_value=8))
+@settings(max_examples=30)
+def test_scalar_and_vector_encode_agree(name, order):
+    curve = get_curve(name, order)
+    side = curve.side
+    xs = np.array([0, 1, side - 1, side // 2])
+    ys = np.array([side - 1, 0, side - 1, side // 2])
+    vec = curve.encode(xs, ys)
+    for i in range(xs.size):
+        assert vec[i] == curve.encode(int(xs[i]), int(ys[i]))

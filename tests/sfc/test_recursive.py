@@ -1,0 +1,57 @@
+"""Cross-validation: bitwise kernels vs recursive reference constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ResolutionError
+from repro.sfc import get_curve
+from repro.sfc.recursive import (
+    gray_recursive_ordering,
+    hilbert_recursive_ordering,
+    rowmajor_recursive_ordering,
+    zcurve_recursive_ordering,
+)
+
+CASES = [
+    ("hilbert", hilbert_recursive_ordering),
+    ("zcurve", zcurve_recursive_ordering),
+    ("gray", gray_recursive_ordering),
+    ("rowmajor", rowmajor_recursive_ordering),
+]
+
+
+@pytest.mark.parametrize("name,reference", CASES)
+@pytest.mark.parametrize("order", range(0, 6))
+def test_bitwise_matches_recursive(name, reference, order):
+    curve = get_curve(name, order)
+    assert np.array_equal(curve.ordering(), reference(order))
+
+
+@pytest.mark.parametrize("name,reference", CASES)
+def test_reference_is_a_permutation(name, reference):
+    pts = reference(3)
+    assert pts.shape == (64, 2)
+    assert len({tuple(p) for p in pts.tolist()}) == 64
+
+
+def test_recursive_nesting_of_quadrants():
+    """Each recursive curve keeps index blocks inside single quadrants."""
+    for name in ("hilbert", "zcurve", "gray"):
+        pts = get_curve(name, 3).ordering()
+        for m in range(4):
+            seg = pts[m * 16 : (m + 1) * 16]
+            assert seg[:, 0].max() - seg[:, 0].min() <= 3, name
+            assert seg[:, 1].max() - seg[:, 1].min() <= 3, name
+
+
+def test_rowmajor_does_not_nest():
+    pts = get_curve("rowmajor", 3).ordering()
+    seg = pts[:16]  # first 16 indices span two full columns
+    assert seg[:, 1].max() - seg[:, 1].min() == 7
+
+
+def test_reference_order_cap():
+    with pytest.raises(ResolutionError):
+        hilbert_recursive_ordering(11)

@@ -1,0 +1,71 @@
+"""Closed-form mean distances vs exact enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import make_topology
+from repro.topology.analytic import expected_random_pair_distance
+
+
+def exact_mean(topology) -> float:
+    p = topology.num_processors
+    ranks = np.arange(p)
+    return float(topology.distance(ranks[:, None], ranks[None, :]).mean())
+
+
+ALL_NAMES = [
+    "bus",
+    "ring",
+    "mesh",
+    "torus",
+    "quadtree",
+    "hypercube",
+    "mesh3d",
+    "torus3d",
+    "octree",
+]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("p", [64])
+def test_closed_form_matches_enumeration(name, p):
+    topo = make_topology(name, p)
+    assert expected_random_pair_distance(topo) == pytest.approx(exact_mean(topo))
+
+
+@pytest.mark.parametrize("p", [4, 16, 256])
+def test_torus_with_sfc_layout_is_layout_invariant(p):
+    """A bijective relabelling cannot change the all-pairs mean."""
+    for curve in ("hilbert", "rowmajor"):
+        topo = make_topology("torus", p, processor_curve=curve)
+        assert expected_random_pair_distance(topo) == pytest.approx(exact_mean(topo))
+
+
+def test_odd_ring():
+    from repro.topology import RingTopology
+
+    topo = RingTopology(13)
+    assert expected_random_pair_distance(topo) == pytest.approx(exact_mean(topo))
+
+
+def test_levels_convention_tree():
+    from repro.topology import QuadtreeTopology
+
+    topo = QuadtreeTopology(64, hop_convention="levels")
+    assert expected_random_pair_distance(topo) == pytest.approx(exact_mean(topo))
+
+
+def test_unknown_topology_rejected():
+    class Fake:
+        num_processors = 4
+
+    with pytest.raises(TypeError):
+        expected_random_pair_distance(Fake())
+
+
+def test_monte_carlo_agrees_with_closed_form():
+    topo = make_topology("torus", 1024, processor_curve="hilbert")
+    mc = topo.mean_pairwise_distance(rng=0, samples=200_000)
+    assert mc == pytest.approx(expected_random_pair_distance(topo), rel=0.02)

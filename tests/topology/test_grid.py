@@ -1,0 +1,105 @@
+"""Tests for the mesh and torus topologies and their SFC layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologySizeError
+from repro.sfc import get_curve
+from repro.topology import GridLayout, MeshTopology, TorusTopology
+
+
+class TestGridLayout:
+    def test_requires_power_of_four(self):
+        with pytest.raises(TopologySizeError):
+            GridLayout(10)
+        with pytest.raises(TopologySizeError):
+            GridLayout(36)  # square but side not a power of two
+
+    def test_is_a_bijection(self):
+        layout = GridLayout(64, "hilbert")
+        grid = layout.rank_grid()
+        assert sorted(grid.ravel().tolist()) == list(range(64))
+
+    def test_coords_match_curve(self):
+        layout = GridLayout(64, "zcurve")
+        curve = get_curve("zcurve", 3)
+        ranks = np.arange(64)
+        gx, gy = layout.coords(ranks)
+        ex, ey = curve.decode(ranks)
+        assert np.array_equal(gx, ex)
+        assert np.array_equal(gy, ey)
+
+    def test_default_is_rowmajor(self):
+        layout = GridLayout(16)
+        gx, gy = layout.coords(np.array([5]))
+        assert (gx[0], gy[0]) == (1, 1)
+
+
+class TestMesh:
+    def test_manhattan_distance(self):
+        mesh = MeshTopology(16, processor_curve="rowmajor")
+        # rowmajor layout: rank = x * 4 + y
+        assert mesh.distance(0, 15) == 6
+        assert mesh.distance(0, 3) == 3
+        assert mesh.distance(5, 6) == 1
+
+    def test_diameter(self):
+        assert MeshTopology(16).diameter == 6
+        assert MeshTopology(256).diameter == 30
+
+    def test_hilbert_layout_consecutive_ranks_adjacent(self):
+        mesh = MeshTopology(64, processor_curve="hilbert")
+        ranks = np.arange(63)
+        assert np.all(mesh.distance(ranks, ranks + 1) == 1)
+
+    def test_rowmajor_layout_has_column_jumps(self):
+        mesh = MeshTopology(64, processor_curve="rowmajor")
+        ranks = np.arange(63)
+        d = mesh.distance(ranks, ranks + 1)
+        assert d.max() == 8  # wrap from column bottom to next column top
+
+    def test_link_count(self):
+        # 2 * side * (side - 1) links in a side x side mesh
+        assert MeshTopology(64).num_links == 2 * 8 * 7
+
+    def test_links_have_unit_distance(self):
+        mesh = MeshTopology(64, processor_curve="gray")
+        links = mesh.links()
+        assert np.all(mesh.distance(links[:, 0], links[:, 1]) == 1)
+
+
+class TestTorus:
+    def test_wraparound(self):
+        torus = TorusTopology(16, processor_curve="rowmajor")
+        # corners are adjacent through the wrap links
+        assert torus.distance(0, 12) == 1  # (0,0) - (3,0)
+        assert torus.distance(0, 3) == 1  # (0,0) - (0,3)
+        assert torus.distance(0, 15) == 2
+
+    def test_diameter(self):
+        assert TorusTopology(256).diameter == 16
+
+    def test_never_exceeds_mesh(self):
+        mesh = MeshTopology(256, processor_curve="hilbert")
+        torus = TorusTopology(256, processor_curve="hilbert")
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 2000)
+        b = rng.integers(0, 256, 2000)
+        assert np.all(torus.distance(a, b) <= mesh.distance(a, b))
+
+    def test_link_count(self):
+        # 2 links per node on a torus
+        assert TorusTopology(64).num_links == 128
+
+    def test_matches_brute_force(self):
+        torus = TorusTopology(16, processor_curve="zcurve")
+        curve = get_curve("zcurve", 2)
+        for a in range(16):
+            for b in range(16):
+                ax, ay = curve.decode(a)
+                bx, by = curve.decode(b)
+                dx, dy = abs(ax - bx), abs(ay - by)
+                expected = min(dx, 4 - dx) + min(dy, 4 - dy)
+                assert torus.distance(a, b) == expected

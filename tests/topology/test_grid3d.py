@@ -1,0 +1,126 @@
+"""Tests for the 3D topologies (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologySizeError
+from repro.topology import (
+    GridLayout3D,
+    Mesh3DTopology,
+    OctreeTopology,
+    Torus3DTopology,
+    make_topology,
+)
+
+
+class TestGridLayout3D:
+    def test_requires_power_of_eight(self):
+        with pytest.raises(TopologySizeError):
+            GridLayout3D(100)
+        with pytest.raises(TopologySizeError):
+            GridLayout3D(27)  # cube but side not a power of two
+
+    def test_bijection(self):
+        layout = GridLayout3D(64, "hilbert3d")
+        gx, gy, gz = layout.coords(np.arange(64))
+        codes = (gx * 4 + gy) * 4 + gz
+        assert sorted(codes.tolist()) == list(range(64))
+
+    def test_large_power_side_detection(self):
+        assert GridLayout3D(8**5).side == 32
+
+
+class TestMesh3D:
+    def test_manhattan_distance(self):
+        mesh = Mesh3DTopology(64, processor_curve="rowmajor3d")
+        # rowmajor3d: rank = (x*4 + y)*4 + z
+        assert mesh.distance(0, 63) == 9
+        assert mesh.distance(0, 1) == 1
+        assert mesh.distance(0, 16) == 1  # x neighbour
+
+    def test_diameter(self):
+        assert Mesh3DTopology(64).diameter == 9
+
+    def test_link_count(self):
+        # 3 * side^2 * (side-1)
+        assert Mesh3DTopology(64).num_links == 3 * 16 * 3
+
+    def test_links_unit_distance(self):
+        mesh = Mesh3DTopology(64, processor_curve="hilbert3d")
+        links = mesh.links()
+        assert np.all(mesh.distance(links[:, 0], links[:, 1]) == 1)
+
+    def test_hilbert_layout_consecutive_adjacent(self):
+        mesh = Mesh3DTopology(512, processor_curve="hilbert3d")
+        ranks = np.arange(511)
+        assert np.all(mesh.distance(ranks, ranks + 1) == 1)
+
+
+class TestTorus3D:
+    def test_wraparound(self):
+        torus = Torus3DTopology(64, processor_curve="rowmajor3d")
+        assert torus.distance(0, 48) == 1  # (0,0,0)-(3,0,0) wraps
+        assert torus.distance(0, 63) == 3
+
+    def test_diameter(self):
+        assert Torus3DTopology(64).diameter == 6
+
+    def test_never_exceeds_mesh(self):
+        mesh = Mesh3DTopology(512, processor_curve="morton3d")
+        torus = Torus3DTopology(512, processor_curve="morton3d")
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 512, 2000)
+        b = rng.integers(0, 512, 2000)
+        assert np.all(torus.distance(a, b) <= mesh.distance(a, b))
+
+    def test_link_count(self):
+        # 3 links per node on a 3D torus
+        assert Torus3DTopology(64).num_links == 3 * 64
+
+
+class TestOctree:
+    def test_sibling_distance(self):
+        octree = OctreeTopology(64)  # morton3d layout: ranks 0..7 share a parent
+        assert octree.distance(0, 7) == 2
+        assert octree.distance(0, 0) == 0
+
+    def test_diameter(self):
+        octree = OctreeTopology(512)
+        assert octree.height == 3
+        assert octree.diameter == 6
+        assert octree.distance(0, 511) == 6
+
+    def test_levels_convention(self):
+        updown = OctreeTopology(64, hop_convention="updown")
+        levels = OctreeTopology(64, hop_convention="levels")
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 64, 200)
+        b = rng.integers(0, 64, 200)
+        assert np.array_equal(updown.distance(a, b), 2 * levels.distance(a, b))
+
+    def test_invalid_convention(self):
+        with pytest.raises(ValueError):
+            OctreeTopology(64, hop_convention="diagonal")
+
+
+class TestMetricAxioms3D:
+    @pytest.mark.parametrize("name", ["mesh3d", "torus3d", "octree"])
+    def test_axioms(self, name):
+        topo = make_topology(name, 64, processor_curve="hilbert3d")
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 64, 1000)
+        b = rng.integers(0, 64, 1000)
+        c = rng.integers(0, 64, 1000)
+        d_ab = topo.distance(a, b)
+        assert np.all(d_ab == topo.distance(b, a))
+        assert np.all(topo.distance(a, a) == 0)
+        assert np.all(d_ab[a != b] > 0)
+        assert np.all(topo.distance(a, c) <= d_ab + topo.distance(b, c))
+        assert d_ab.max() <= topo.diameter
+
+    def test_registry_factory(self):
+        topo = make_topology("torus3d", 64, processor_curve="hilbert3d")
+        assert isinstance(topo, Torus3DTopology)
+        assert topo.layout.curve_name == "hilbert3d"

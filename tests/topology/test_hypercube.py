@@ -1,0 +1,67 @@
+"""Tests for the hypercube topology and its layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologySizeError
+from repro.topology import HypercubeTopology, hypercube_labels
+from repro.util.bits import popcount
+
+
+class TestHypercube:
+    def test_distance_is_hamming(self):
+        cube = HypercubeTopology(16)
+        assert cube.distance(0b0000, 0b1111) == 4
+        assert cube.distance(0b1010, 0b1010) == 0
+        assert cube.distance(0b0001, 0b0010) == 2
+
+    def test_dimension_and_diameter(self):
+        cube = HypercubeTopology(64)
+        assert cube.dimension == 6
+        assert cube.diameter == 6
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(TopologySizeError):
+            HypercubeTopology(12)
+
+    def test_link_count(self):
+        # d * 2**d / 2 links
+        assert HypercubeTopology(16).num_links == 32
+        assert HypercubeTopology(64).num_links == 192
+
+    def test_links_have_unit_distance(self):
+        cube = HypercubeTopology(32)
+        links = cube.links()
+        assert np.all(cube.distance(links[:, 0], links[:, 1]) == 1)
+
+    def test_matches_popcount_vectorised(self):
+        cube = HypercubeTopology(256)
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 256, 1000)
+        b = rng.integers(0, 256, 1000)
+        assert np.array_equal(cube.distance(a, b), popcount(a ^ b))
+
+
+class TestGrayLayout:
+    def test_labels(self):
+        labels = hypercube_labels(8, "gray")
+        assert labels.tolist() == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_consecutive_ranks_adjacent(self):
+        cube = HypercubeTopology(64, layout="gray")
+        ranks = np.arange(63)
+        assert np.all(cube.distance(ranks, ranks + 1) == 1)
+
+    def test_identity_layout_has_rank_jumps(self):
+        cube = HypercubeTopology(64, layout="identity")
+        ranks = np.arange(63)
+        assert cube.distance(ranks, ranks + 1).max() > 1
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            HypercubeTopology(8, layout="spiral")
+
+    def test_layout_name_exposed(self):
+        assert HypercubeTopology(8, layout="gray").layout_name == "gray"

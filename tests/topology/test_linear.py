@@ -1,0 +1,70 @@
+"""Tests for the bus (linear array) and ring topologies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import BusTopology, RingTopology
+
+
+class TestBus:
+    def test_distance_is_absolute_difference(self):
+        bus = BusTopology(10)
+        assert bus.distance(0, 9) == 9
+        assert bus.distance(4, 4) == 0
+        assert bus.distance(7, 2) == 5
+
+    def test_diameter(self):
+        assert BusTopology(10).diameter == 9
+
+    def test_links_are_consecutive(self):
+        links = BusTopology(5).links()
+        assert links.tolist() == [[0, 1], [1, 2], [2, 3], [3, 4]]
+        assert BusTopology(5).num_links == 4
+
+    def test_vectorised_distance(self):
+        bus = BusTopology(100)
+        a = np.array([0, 10, 99])
+        b = np.array([99, 20, 0])
+        assert bus.distance(a, b).tolist() == [99, 10, 99]
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            BusTopology(4).distance(0, 4)
+
+    def test_single_processor(self):
+        bus = BusTopology(1)
+        assert bus.diameter == 0
+        assert bus.distance(0, 0) == 0
+        assert bus.num_links == 0
+
+
+class TestRing:
+    def test_wraps_around(self):
+        ring = RingTopology(10)
+        assert ring.distance(0, 9) == 1
+        assert ring.distance(0, 5) == 5
+        assert ring.distance(2, 8) == 4
+
+    def test_diameter(self):
+        assert RingTopology(10).diameter == 5
+        assert RingTopology(9).diameter == 4
+
+    def test_link_count(self):
+        assert RingTopology(8).num_links == 8
+        # degenerate 2-ring has a single physical link
+        assert RingTopology(2).num_links == 1
+
+    def test_never_exceeds_bus(self):
+        bus, ring = BusTopology(64), RingTopology(64)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 64, 1000)
+        b = rng.integers(0, 64, 1000)
+        assert np.all(ring.distance(a, b) <= bus.distance(a, b))
+
+    def test_symmetry(self):
+        ring = RingTopology(13)
+        a = np.arange(13)
+        b = np.roll(a, 5)
+        assert np.array_equal(ring.distance(a, b), ring.distance(b, a))

@@ -1,0 +1,60 @@
+"""Property tests: every topology's distance is a metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import make_topology
+from repro.topology.registry import PAPER_TOPOLOGIES
+
+# sizes valid for every topology (powers of four are also powers of two)
+SIZES = (4, 16, 64, 256)
+CURVES = ("hilbert", "zcurve", "gray", "rowmajor")
+
+
+@st.composite
+def topology_and_ranks(draw):
+    name = draw(st.sampled_from(PAPER_TOPOLOGIES))
+    p = draw(st.sampled_from(SIZES))
+    curve = draw(st.sampled_from(CURVES))
+    topo = make_topology(name, p, processor_curve=curve)
+    a = draw(st.integers(0, p - 1))
+    b = draw(st.integers(0, p - 1))
+    c = draw(st.integers(0, p - 1))
+    return topo, a, b, c
+
+
+@given(topology_and_ranks())
+@settings(max_examples=200, deadline=None)
+def test_metric_axioms(args):
+    topo, a, b, c = args
+    d_ab = topo.distance(a, b)
+    assert d_ab >= 0
+    assert (d_ab == 0) == (a == b)
+    assert d_ab == topo.distance(b, a)
+    assert topo.distance(a, c) <= d_ab + topo.distance(b, c)
+
+
+@given(topology_and_ranks())
+@settings(max_examples=100, deadline=None)
+def test_distance_bounded_by_diameter(args):
+    topo, a, b, _ = args
+    assert topo.distance(a, b) <= topo.diameter
+
+
+@pytest.mark.parametrize("name", PAPER_TOPOLOGIES)
+def test_diameter_is_attained(name):
+    topo = make_topology(name, 64, processor_curve="hilbert")
+    ranks = np.arange(64)
+    d = topo.distance(ranks[:, None], ranks[None, :])
+    assert d.max() == topo.diameter
+
+
+@pytest.mark.parametrize("name", PAPER_TOPOLOGIES)
+def test_mean_pairwise_distance_positive(name):
+    topo = make_topology(name, 64)
+    mean = topo.mean_pairwise_distance(rng=0, samples=5000)
+    assert 0 < mean <= topo.diameter

@@ -1,0 +1,71 @@
+"""Tests for the quadtree (indirect switch tree) topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologySizeError
+from repro.topology import QuadtreeTopology
+
+
+def brute_force_distance(topo: QuadtreeTopology, a: int, b: int) -> int:
+    """Up-and-down tree walk via base-4 digit prefixes (reference)."""
+    if a == b:
+        return 0
+    gx, gy = topo.layout.coords(np.array([a, b]))
+    m = topo.height
+
+    def digits(x, y):
+        return [((x >> (m - 1 - i)) & 1) * 2 + ((y >> (m - 1 - i)) & 1) for i in range(m)]
+
+    da = digits(int(gx[0]), int(gy[0]))
+    db = digits(int(gx[1]), int(gy[1]))
+    common = 0
+    for p, q in zip(da, db):
+        if p != q:
+            break
+        common += 1
+    return 2 * (m - common)
+
+
+class TestQuadtree:
+    def test_requires_power_of_four(self):
+        with pytest.raises(TopologySizeError):
+            QuadtreeTopology(8)
+
+    def test_same_leaf_distance_zero(self):
+        topo = QuadtreeTopology(16)
+        assert topo.distance(5, 5) == 0
+
+    def test_siblings_distance_two(self):
+        # with the default z-order layout ranks 0..3 share a parent switch
+        topo = QuadtreeTopology(16)
+        assert topo.distance(0, 1) == 2
+        assert topo.distance(0, 3) == 2
+
+    def test_diameter(self):
+        topo = QuadtreeTopology(64)
+        assert topo.height == 3
+        assert topo.diameter == 6
+        assert topo.distance(0, 63) == 6
+
+    def test_matches_brute_force(self):
+        topo = QuadtreeTopology(64, processor_curve="hilbert")
+        for a in range(0, 64, 5):
+            for b in range(64):
+                assert topo.distance(a, b) == brute_force_distance(topo, a, b)
+
+    def test_distances_are_even(self):
+        topo = QuadtreeTopology(256)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 500)
+        b = rng.integers(0, 256, 500)
+        assert np.all(topo.distance(a, b) % 2 == 0)
+
+    def test_layout_changes_distances(self):
+        z = QuadtreeTopology(64, processor_curve="zcurve")
+        rm = QuadtreeTopology(64, processor_curve="rowmajor")
+        ranks = np.arange(63)
+        # z-order ranks nest into subtrees; rowmajor ranks do not
+        assert z.distance(ranks, ranks + 1).mean() < rm.distance(ranks, ranks + 1).mean()

@@ -1,0 +1,45 @@
+"""Tests for the topology registry and factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownNameError
+from repro.topology import (
+    GRID_TOPOLOGIES,
+    PAPER_TOPOLOGIES,
+    HypercubeTopology,
+    MeshTopology,
+    TorusTopology,
+    make_topology,
+    topology_names,
+)
+
+
+class TestMakeTopology:
+    def test_all_paper_topologies_constructible(self):
+        for name in PAPER_TOPOLOGIES:
+            topo = make_topology(name, 64, processor_curve="hilbert")
+            assert topo.num_processors == 64
+
+    def test_processor_curve_reaches_grid_topologies(self):
+        mesh = make_topology("mesh", 64, processor_curve="hilbert")
+        assert isinstance(mesh, MeshTopology)
+        assert mesh.layout.curve_name == "hilbert"
+
+    def test_processor_curve_ignored_for_rank_networks(self):
+        cube = make_topology("hypercube", 64, processor_curve="hilbert")
+        assert isinstance(cube, HypercubeTopology)
+        assert cube.layout_name == "identity"
+
+    def test_aliases(self):
+        assert isinstance(make_topology("grid", 16), MeshTopology)
+        assert isinstance(make_topology("Torus", 16), TorusTopology)
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownNameError):
+            make_topology("dragonfly", 64)
+
+    def test_names(self):
+        assert set(PAPER_TOPOLOGIES) <= set(topology_names())
+        assert set(GRID_TOPOLOGIES) <= set(PAPER_TOPOLOGIES)

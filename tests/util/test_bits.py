@@ -1,0 +1,139 @@
+"""Unit and property tests for the bit-manipulation kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    MAX_BITS_2D,
+    MAX_BITS_3D,
+    bit_length,
+    deinterleave2,
+    deinterleave3,
+    gray_decode,
+    gray_encode,
+    interleave2,
+    interleave3,
+    is_power_of_two,
+    popcount,
+)
+
+coords2d = st.integers(min_value=0, max_value=(1 << MAX_BITS_2D) - 1)
+coords3d = st.integers(min_value=0, max_value=(1 << MAX_BITS_3D) - 1)
+u63 = st.integers(min_value=0, max_value=(1 << 63) - 1)
+
+
+class TestInterleave2:
+    def test_known_values(self):
+        # x supplies the high bit of each pair
+        assert interleave2(0, 0) == 0
+        assert interleave2(0, 1) == 1
+        assert interleave2(1, 0) == 2
+        assert interleave2(1, 1) == 3
+        assert interleave2(2, 0) == 8
+        assert interleave2(3, 3) == 15
+
+    def test_vectorised_matches_scalar(self):
+        xs = np.array([0, 1, 5, 100, 2**20])
+        ys = np.array([3, 1, 2, 50, 2**19])
+        vec = interleave2(xs, ys)
+        for i in range(xs.size):
+            assert vec[i] == interleave2(int(xs[i]), int(ys[i]))
+
+    @given(coords2d, coords2d)
+    def test_roundtrip(self, x, y):
+        code = interleave2(x, y)
+        assert deinterleave2(code) == (x, y)
+
+    @given(coords2d, coords2d)
+    def test_monotone_in_high_coordinate(self, x, y):
+        # Fixing y, increasing x can only increase the code.
+        if x < (1 << MAX_BITS_2D) - 1:
+            assert interleave2(x + 1, y) > interleave2(x, y)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            interleave2(-1, 0)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            interleave2(1 << MAX_BITS_2D, 0)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            interleave2(np.array([0.5]), np.array([1.0]))
+
+
+class TestInterleave3:
+    def test_known_values(self):
+        assert interleave3(0, 0, 0) == 0
+        assert interleave3(0, 0, 1) == 1
+        assert interleave3(0, 1, 0) == 2
+        assert interleave3(1, 0, 0) == 4
+        assert interleave3(1, 1, 1) == 7
+
+    @given(coords3d, coords3d, coords3d)
+    def test_roundtrip(self, x, y, z):
+        assert deinterleave3(interleave3(x, y, z)) == (x, y, z)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            interleave3(1 << MAX_BITS_3D, 0, 0)
+
+
+class TestGray:
+    def test_sequence_prefix(self):
+        # Classic reflected Gray sequence
+        assert [int(gray_encode(i)) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_adjacent_codes_differ_in_one_bit(self):
+        vals = gray_encode(np.arange(1024))
+        diffs = popcount(vals[1:] ^ vals[:-1])
+        assert np.all(diffs == 1)
+
+    @given(u63)
+    def test_roundtrip(self, v):
+        assert gray_decode(gray_encode(v)) == v
+
+    @given(u63)
+    def test_decode_then_encode(self, v):
+        assert gray_encode(gray_decode(v)) == v
+
+
+class TestPopcount:
+    def test_known_values(self):
+        assert popcount(0) == 0
+        assert popcount(1) == 1
+        assert popcount(0xFF) == 8
+        assert popcount((1 << 63) - 1) == 63
+
+    @given(u63)
+    def test_matches_python(self, v):
+        assert popcount(v) == bin(v).count("1")
+
+    def test_vectorised(self):
+        vals = np.array([0, 3, 7, 255, 2**40 - 1])
+        assert popcount(vals).tolist() == [0, 2, 3, 8, 40]
+
+
+class TestBitLength:
+    @given(u63)
+    def test_matches_python(self, v):
+        assert bit_length(v) == v.bit_length()
+
+    def test_vectorised(self):
+        vals = np.array([0, 1, 2, 3, 4, 255, 256])
+        assert bit_length(vals).tolist() == [0, 1, 2, 2, 3, 8, 9]
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("v", [1, 2, 4, 8, 1024, 2**30])
+    def test_powers(self, v):
+        assert is_power_of_two(v)
+
+    @pytest.mark.parametrize("v", [0, -1, -2, 3, 6, 12, 2**30 + 1])
+    def test_non_powers(self, v):
+        assert not is_power_of_two(v)

@@ -1,0 +1,66 @@
+"""Tests for the generic name → factory registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownNameError
+from repro.util.registry import Registry
+
+
+def make_registry():
+    reg: Registry[str] = Registry("widget")
+    reg.register("alpha", lambda: "A", aliases=("first", "a-one"))
+    reg.register("beta", lambda: "B")
+    return reg
+
+
+class TestRegistry:
+    def test_create_by_canonical_name(self):
+        assert make_registry().create("alpha") == "A"
+
+    def test_create_by_alias(self):
+        assert make_registry().create("first") == "A"
+
+    def test_lookup_is_case_and_separator_insensitive(self):
+        reg = make_registry()
+        assert reg.create("ALPHA") == "A"
+        assert reg.create("A One") == "A"
+        assert reg.create("a_one") == "A"
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(UnknownNameError) as exc:
+            make_registry().create("gamma")
+        assert "alpha" in str(exc.value) and "beta" in str(exc.value)
+
+    def test_duplicate_name_rejected(self):
+        reg = make_registry()
+        with pytest.raises(ValueError):
+            reg.register("alpha", lambda: "A2")
+
+    def test_conflicting_alias_rejected(self):
+        reg = make_registry()
+        with pytest.raises(ValueError):
+            reg.register("gamma", lambda: "C", aliases=("first",))
+
+    def test_self_alias_tolerated(self):
+        reg = make_registry()
+        reg.register("gamma", lambda: "C", aliases=("gamma",))
+        assert reg.create("gamma") == "C"
+
+    def test_contains_and_names(self):
+        reg = make_registry()
+        assert "alpha" in reg and "first" in reg and "nope" not in reg
+        assert reg.names() == ("alpha", "beta")
+        assert list(reg) == ["alpha", "beta"]
+
+    def test_canonical(self):
+        reg = make_registry()
+        assert reg.canonical("First") == "alpha"
+        with pytest.raises(UnknownNameError):
+            reg.canonical("gamma")
+
+    def test_factory_arguments_forwarded(self):
+        reg: Registry[tuple] = Registry("pair")
+        reg.register("p", lambda a, b=0: (a, b))
+        assert reg.create("p", 1, b=2) == (1, 2)

@@ -1,0 +1,52 @@
+"""Tests for RNG normalisation and seed spawning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        a = as_generator(seq).integers(0, 1000, 5)
+        b = as_generator(np.random.SeedSequence(5)).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+
+    def test_deterministic(self):
+        a = [s.entropy for s in spawn_seeds(3, 4)]
+        b = [s.entropy for s in spawn_seeds(3, 4)]
+        assert a == b
+
+    def test_children_are_independent_streams(self):
+        kids = spawn_seeds(0, 2)
+        x = np.random.default_rng(kids[0]).integers(0, 2**31, 100)
+        y = np.random.default_rng(kids[1]).integers(0, 2**31, 100)
+        assert not np.array_equal(x, y)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_generator_input_accepted(self):
+        kids = spawn_seeds(np.random.default_rng(9), 3)
+        assert len(kids) == 3

@@ -1,0 +1,79 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ResolutionError
+from repro.util.validation import (
+    as_index_array,
+    check_in_range,
+    check_nonnegative,
+    check_order,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestCheckOrder:
+    def test_accepts_valid(self):
+        assert check_order(0) == 0
+        assert check_order(10) == 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(ResolutionError):
+            check_order(-1)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ResolutionError):
+            check_order(64)
+
+    def test_custom_max(self):
+        assert check_order(5, max_order=5) == 5
+        with pytest.raises(ResolutionError):
+            check_order(6, max_order=5)
+
+
+class TestScalarChecks:
+    def test_positive(self):
+        assert check_positive(3, "n") == 3
+        with pytest.raises(ValueError, match="n must be positive"):
+            check_positive(0, "n")
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0, "n") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative(-1, "n")
+
+    def test_power_of_two(self):
+        assert check_power_of_two(8, "p") == 8
+        with pytest.raises(ValueError):
+            check_power_of_two(6, "p")
+
+
+class TestArrayChecks:
+    def test_in_range_passes(self):
+        out = check_in_range([0, 3, 7], 0, 8, "v")
+        assert out.dtype == np.int64
+
+    def test_in_range_rejects_low_and_high(self):
+        with pytest.raises(ValueError):
+            check_in_range([-1], 0, 8, "v")
+        with pytest.raises(ValueError):
+            check_in_range([8], 0, 8, "v")
+
+    def test_empty_array_passes(self):
+        assert check_in_range(np.empty(0, dtype=int), 0, 4, "v").size == 0
+
+    def test_as_index_array_accepts_integral_floats(self):
+        out = as_index_array(np.array([1.0, 2.0]), "v")
+        assert out.dtype == np.int64 and out.tolist() == [1, 2]
+
+    def test_as_index_array_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            as_index_array(np.array([1.5]), "v")
+
+    def test_as_index_array_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_index_array(np.array(["a"]), "v")

@@ -1,0 +1,114 @@
+"""Tests for the figure renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Particles, get_distribution
+from repro.viz import (
+    render_curve,
+    render_interaction_list,
+    render_particle_order,
+    render_particles,
+)
+
+
+class TestRenderCurve:
+    def test_shape(self):
+        art = render_curve("hilbert", 3)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 8 for line in lines)
+
+    def test_hilbert_is_fully_connected(self):
+        """A continuous curve has no open ends except the two endpoints."""
+        art = render_curve("hilbert", 4)
+        half_open = sum(art.count(c) for c in "╷╵╶╴")
+        assert half_open == 2
+        assert "·" not in art
+
+    def test_rowmajor_shows_scan_lines(self):
+        art = render_curve("rowmajor", 3)
+        # x indexes printed rows, so the row-major scan draws one straight
+        # line per printed row and no cross-row connections at all
+        assert "─" in art
+        assert "│" not in art
+        assert all(line == "╶──────╴" for line in art.splitlines())
+
+    def test_zcurve_mostly_disconnected(self):
+        art = render_curve("zcurve", 3)
+        half_open = sum(art.count(c) for c in "╷╵╶╴")
+        assert half_open > 8  # many jumps
+
+    def test_isolated_cells_possible(self):
+        # order 0 lattice: a single cell with no connections
+        assert render_curve("hilbert", 0) == "·"
+
+    def test_name_requires_order(self):
+        with pytest.raises(ValueError):
+            render_curve("hilbert")
+
+
+class TestRenderParticles:
+    def test_dimensions(self):
+        particles = get_distribution("uniform").sample(500, 6, rng=0)
+        art = render_particles(particles, width=16)
+        lines = art.splitlines()
+        assert len(lines) == 16
+        assert all(len(line) == 16 for line in lines)
+
+    def test_width_capped_at_side(self):
+        particles = get_distribution("uniform").sample(10, 3, rng=0)
+        art = render_particles(particles, width=64)
+        assert len(art.splitlines()) == 8
+
+    def test_density_contrast(self):
+        # exponential distribution: origin corner darker than far corner
+        particles = get_distribution("exponential").sample(2000, 7, rng=1)
+        lines = render_particles(particles, width=16).splitlines()
+        assert lines[0][0] != " "
+        assert lines[-1][-1] in " ."
+
+
+class TestRenderParticleOrder:
+    def test_labels_every_particle(self):
+        particles = Particles(np.array([0, 1, 2]), np.array([0, 1, 2]), order=2)
+        art = render_particle_order(particles, "hilbert")
+        for rank in range(3):
+            assert str(rank) in art
+
+    def test_order_respects_curve(self):
+        # two particles: origin is always first on the Hilbert curve
+        particles = Particles(np.array([3, 0]), np.array([3, 0]), order=2)
+        art = render_particle_order(particles, "hilbert")
+        rows = [r.split() for r in art.splitlines()]
+        assert rows[0][0] == "0"
+        assert rows[3][3] == "1"
+
+    def test_too_many_particles_rejected(self):
+        particles = get_distribution("uniform").sample(200, 5, rng=0)
+        with pytest.raises(ValueError, match="at most"):
+            render_particle_order(particles, "hilbert")
+
+
+class TestRenderInteractionList:
+    def test_fig4_counts(self):
+        art = render_interaction_list(1, 2, level=2)
+        assert art.count("a") == 1
+        assert art.count("b") == 7  # inner cell at the 4x4 level
+
+    def test_marker_positions_match_reference(self):
+        from repro.quadtree import interaction_list_cells
+
+        art = render_interaction_list(3, 4, level=4)
+        rows = [r.split() for r in art.splitlines()]
+        expected = {tuple(c) for c in interaction_list_cells(3, 4, 4).tolist()}
+        got = {
+            (x, y)
+            for x, row in enumerate(rows)
+            for y, mark in enumerate(row)
+            if mark == "b"
+        }
+        assert got == expected
+        assert rows[3][4] == "a"
