@@ -6,7 +6,6 @@ import pytest
 
 from repro.experiments.reporting import format_series
 from repro.experiments.study3d import (
-    PAPER_CURVES_3D,
     format_study3d,
     run_anns3d_study,
     run_study3d,

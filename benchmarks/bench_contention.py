@@ -9,9 +9,12 @@ when congestion is taken into account.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
-from repro.contention import link_loads
+from repro.contention import link_loads, simulate_exchange
 from repro.distributions import get_distribution
 from repro.experiments.reporting import format_rows
 from repro.fmm import nfi_events
@@ -19,6 +22,17 @@ from repro.metrics import compute_acd
 from repro.partition import partition_particles
 from repro.sfc.registry import PAPER_CURVES
 from repro.topology import make_topology
+
+
+def bench_args(scale, tiny: tuple, small: tuple, paper: tuple) -> tuple:
+    """Workload size for the active scale.
+
+    ``REPRO_BENCH_TINY=1`` overrides everything with a seconds-not-minutes
+    configuration so CI can smoke-test the bench scripts.
+    """
+    if os.environ.get("REPRO_BENCH_TINY"):
+        return tiny
+    return paper if scale.name == "paper" else small
 
 
 def contention_table(num_particles: int, order: int, num_processors: int):
@@ -43,10 +57,9 @@ def contention_table(num_particles: int, order: int, num_processors: int):
 
 @pytest.mark.paper_artifact("ext-contention")
 def test_contention_ablation(benchmark, scale, report):
-    if scale.name == "paper":
-        args = (250_000, 10, 65_536)
-    else:
-        args = (20_000, 8, 1_024)
+    args = bench_args(
+        scale, tiny=(2_000, 6, 256), small=(20_000, 8, 1_024), paper=(250_000, 10, 65_536)
+    )
     rows = benchmark.pedantic(contention_table, args=args, rounds=1, iterations=1)
     report(
         f"Contention extension — NFI link loads on a torus (scale={scale.name})",
@@ -56,3 +69,54 @@ def test_contention_ablation(benchmark, scale, report):
     # the ACD winner also carries the least total traffic
     assert by_curve["hilbert"]["total_traffic"] == min(r["total_traffic"] for r in rows)
     assert by_curve["hilbert"]["max_link_load"] <= by_curve["rowmajor"]["max_link_load"]
+
+
+@pytest.mark.paper_artifact("ext-engine-speedup")
+def test_batched_engine_speedup(benchmark, scale, report):
+    """Batched NumPy simulator vs the pure-Python reference oracle.
+
+    Stresses the engines with the paper's "all of the processors are
+    trying to communicate at the same time" scenario — every processor
+    sends to ``k`` random peers — rather than the (sparse) NFI boundary
+    traffic.  Both engines must agree exactly; the batched engine is the
+    one the experiments actually run.
+    """
+    import numpy as np
+
+    from repro.fmm import CommunicationEvents
+
+    k, p = bench_args(scale, tiny=(4, 256), small=(25, 1_024), paper=(50, 4_096))
+    rng = np.random.default_rng(23)
+    src = np.repeat(np.arange(p, dtype=np.int64), k)
+    dst = rng.integers(0, p, src.size)
+    events = CommunicationEvents(component="stress")
+    events.add(src, dst)
+    net = make_topology("torus", p, processor_curve="hilbert")
+
+    fast = benchmark.pedantic(
+        simulate_exchange, args=(events, net), kwargs={"engine": "batched"},
+        rounds=1, iterations=1,
+    )
+    t0 = time.perf_counter()
+    rebatched = simulate_exchange(events, net, engine="batched")
+    t1 = time.perf_counter()
+    slow = simulate_exchange(events, net, engine="reference")
+    t2 = time.perf_counter()
+    assert fast == slow == rebatched
+    batched_s, reference_s = t1 - t0, t2 - t1
+    speedup = reference_s / batched_s if batched_s else float("inf")
+    report(
+        f"Batched vs reference simulator engine (scale={scale.name})",
+        format_rows(
+            [
+                {
+                    "messages": fast.num_messages,
+                    "makespan": fast.makespan,
+                    "batched_s": round(batched_s, 3),
+                    "reference_s": round(reference_s, 3),
+                    "speedup": round(speedup, 1),
+                }
+            ],
+            ["messages", "makespan", "batched_s", "reference_s", "speedup"],
+        ),
+    )

@@ -16,6 +16,8 @@ and there the ACD ranking carries over to wall-clock makespan.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.contention import simulate_exchange
@@ -50,7 +52,9 @@ def simulation_table(num_particles: int, order: int, num_processors: int):
 
 @pytest.mark.paper_artifact("ext-simulation")
 def test_contention_simulation(benchmark, scale, report):
-    if scale.name == "paper":
+    if os.environ.get("REPRO_BENCH_TINY"):
+        args = (2_000, 6, 256)
+    elif scale.name == "paper":
         args = (50_000, 9, 4_096)
     else:
         args = (20_000, 8, 1_024)
@@ -62,6 +66,8 @@ def test_contention_simulation(benchmark, scale, report):
             ["curve", "acd", "makespan", "mean_latency", "congestion", "schedule_stretch"],
         ),
     )
+    if os.environ.get("REPRO_BENCH_TINY"):
+        return  # latency-dominated regime (see docstring): ranking not meaningful
     by = {r["curve"]: r for r in rows}
     # the ACD winner also finishes the contended exchange first
     assert by["hilbert"]["makespan"] == min(r["makespan"] for r in rows)

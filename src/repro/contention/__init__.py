@@ -1,7 +1,7 @@
 """Contention modelling extension: link loads and exchange simulation."""
 
 from repro.contention.linkload import LinkLoadResult, link_loads
-from repro.contention.routing import route, route_events
+from repro.contention.routing import RoutedBatch, route, route_batch, route_events
 from repro.contention.simulator import SimulationResult, simulate_exchange
 
 __all__ = [
@@ -9,6 +9,8 @@ __all__ = [
     "link_loads",
     "route",
     "route_events",
+    "route_batch",
+    "RoutedBatch",
     "SimulationResult",
     "simulate_exchange",
 ]

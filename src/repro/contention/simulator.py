@@ -18,22 +18,46 @@ Messages follow the deterministic minimal routes of
 (the paper's "all of the processors are trying to communicate at the
 same time over the same network" scenario).
 
-The core loop is event-driven per link: at every cycle each busy link
-forwards exactly one queued message one hop.  Complexity is
-``O(total hops + active links per cycle)``; tens of thousands of
-message-hops simulate in well under a second.
+Weighted events (see :mod:`repro.fmm.events`) inject proportional
+traffic: an event of weight ``w`` becomes ``w`` unit messages (flits)
+that each traverse the full route, matching the weighted-ACD semantics
+where a weighted event counts ``w`` times.  Zero-weight events send
+nothing.
+
+Two engines share identical scheduling semantics and produce identical
+results (cross-checked by the test-suite):
+
+* ``engine="batched"`` (default) — per-cycle NumPy link scheduling over
+  the CSR arrays of :func:`repro.contention.routing.route_batch`.  All
+  routes are precomputed in one vectorised pass; per-link FIFO queues
+  are intrusive linked lists in flat arrays; the set of busy links is
+  maintained incrementally, so a cycle costs ``O(active links)`` NumPy
+  work regardless of how many links the exchange ever touched.
+* ``engine="reference"`` — the retained pure-Python slow path (deque
+  per link), kept as the behavioural oracle for the batched engine.
+
+Scheduling discipline (both engines): every busy link forwards the
+message at its queue head each cycle; messages arriving at a queue in
+the same cycle enqueue in ascending order of the link they crossed,
+and the initial injection enqueues in event order.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro._typing import IntArray
+from repro.contention.routing import RoutedBatch, route_batch
 from repro.fmm.events import CommunicationEvents
-from repro.contention.routing import route
 from repro.topology.base import Topology
+from repro.topology.cache import TopologyCache
 
 __all__ = ["SimulationResult", "simulate_exchange"]
+
+_ENGINES = ("batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -45,7 +69,8 @@ class SimulationResult:
     makespan:
         Cycle at which the last message arrived (0 for no messages).
     num_messages:
-        Number of simulated messages (zero-hop self-messages excluded).
+        Number of simulated unit messages (zero-hop self-messages
+        excluded; an event of weight ``w`` contributes ``w``).
     mean_latency, max_latency:
         Delivery-cycle statistics over the simulated messages.
     congestion:
@@ -71,77 +96,187 @@ class SimulationResult:
         return self.makespan / bound if bound else 1.0
 
 
+def _network_pairs(events: CommunicationEvents) -> tuple[IntArray, IntArray]:
+    """Flatten events into unit-message pairs (weights expanded, locals dropped)."""
+    srcs: list[IntArray] = []
+    dsts: list[IntArray] = []
+    for s, d, w in events.iter_weighted_chunks():
+        keep = s != d
+        if w is not None:
+            keep &= w > 0
+        s, d = s[keep], d[keep]
+        if w is not None:
+            wk = w[keep]
+            s, d = np.repeat(s, wk), np.repeat(d, wk)
+        if s.size:
+            srcs.append(s)
+            dsts.append(d)
+    if not srcs:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(srcs), np.concatenate(dsts)
+
+
+def _overflow(max_cycles: int, in_flight: int) -> RuntimeError:
+    return RuntimeError(
+        f"simulation exceeded {max_cycles} cycles with {in_flight} messages in flight"
+    )
+
+
+def _drain_batched(batch: RoutedBatch, max_cycles: int) -> IntArray:
+    """NumPy per-cycle engine; returns the arrival cycle of every message."""
+    links, offsets = batch.links, batch.offsets
+    num_messages = batch.num_messages
+    pos = offsets[:-1].copy()  # index into ``links`` of each message's next hop
+    end = offsets[1:]
+    # Intrusive per-link FIFO: head/tail message per link, next-in-queue per message.
+    head = np.full(batch.num_links, -1, dtype=np.int64)
+    tail = np.full(batch.num_links, -1, dtype=np.int64)
+    nxt = np.full(num_messages, -1, dtype=np.int64)
+
+    def enqueue(msgs: IntArray, targets: IntArray) -> IntArray:
+        """Append ``msgs`` (already ordered) to their target queues.
+
+        Returns the sorted unique target links.  Within one call,
+        messages bound for the same link enqueue in their given order.
+        """
+        order = np.argsort(targets, kind="stable")
+        q, ql = msgs[order], targets[order]
+        starts = np.flatnonzero(np.concatenate([[True], ql[1:] != ql[:-1]]))
+        ends = np.concatenate([starts[1:], [q.size]])
+        nxt[q[:-1]] = q[1:]  # chain everything, then cut at group boundaries
+        nxt[q[ends - 1]] = -1
+        group_links = ql[starts]
+        first, last = q[starts], q[ends - 1]
+        empty = head[group_links] == -1
+        head[group_links[empty]] = first[empty]
+        occupied = ~empty
+        nxt[tail[group_links[occupied]]] = first[occupied]
+        tail[group_links] = last
+        return group_links
+
+    arrivals = np.zeros(num_messages, dtype=np.int64)
+    active = enqueue(np.arange(num_messages, dtype=np.int64), links[pos])
+    delivered = 0
+    cycle = 0
+    while delivered < num_messages:
+        cycle += 1
+        if cycle > max_cycles:
+            raise _overflow(max_cycles, num_messages - delivered)
+        moved = head[active]  # every active link forwards its queue head
+        new_heads = nxt[moved]
+        head[active] = new_heads
+        tail[active[new_heads == -1]] = -1
+        pos[moved] += 1
+        done = pos[moved] == end[moved]
+        finished = moved[done]
+        arrivals[finished] = cycle
+        delivered += finished.size
+        in_flight = moved[~done]
+        if in_flight.size:
+            # ``moved`` follows ``active`` (ascending link id), so same-cycle
+            # arrivals enqueue ordered by the link they just crossed.
+            refilled = enqueue(in_flight, links[pos[in_flight]])
+            # merge two sorted id sets (cheaper than a hashed union1d)
+            merged = np.sort(np.concatenate([active[head[active] != -1], refilled]))
+            keep = np.empty(merged.size, dtype=bool)
+            keep[:1] = True
+            np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+            active = merged[keep]
+        else:
+            active = active[head[active] != -1]
+    return arrivals
+
+
+def _drain_reference(batch: RoutedBatch, max_cycles: int) -> IntArray:
+    """Pure-Python oracle engine over the same routed link arrays.
+
+    Maintains the busy-link set incrementally (links join when their
+    queue becomes non-empty and leave when it drains) instead of
+    rescanning every queue ever touched, and applies the same
+    deterministic enqueue order as the batched engine.
+    """
+    links = batch.links.tolist()
+    offsets = batch.offsets.tolist()
+    num_messages = batch.num_messages
+    pos = list(offsets[:-1])
+    queues: dict[int, deque[int]] = {}
+    active: set[int] = set()
+    for msg in range(num_messages):
+        link = links[pos[msg]]
+        queue = queues.get(link)
+        if queue is None:
+            queues[link] = queue = deque()
+            active.add(link)
+        queue.append(msg)
+    arrivals = np.zeros(num_messages, dtype=np.int64)
+    delivered = 0
+    cycle = 0
+    while delivered < num_messages:
+        cycle += 1
+        if cycle > max_cycles:
+            raise _overflow(max_cycles, num_messages - delivered)
+        moved: list[int] = []
+        drained: list[int] = []
+        for link in sorted(active):
+            queue = queues[link]
+            moved.append(queue.popleft())
+            if not queue:
+                drained.append(link)
+        active.difference_update(drained)
+        for msg in moved:
+            pos[msg] += 1
+            if pos[msg] == offsets[msg + 1]:
+                arrivals[msg] = cycle
+                delivered += 1
+            else:
+                link = links[pos[msg]]
+                queue = queues.get(link)
+                if queue is None:
+                    queues[link] = queue = deque()
+                if not queue:
+                    active.add(link)
+                queue.append(msg)
+    return arrivals
+
+
 def simulate_exchange(
     events: CommunicationEvents,
     topology: Topology,
     *,
     max_cycles: int = 10_000_000,
+    engine: str = "batched",
+    cache: TopologyCache | None = None,
 ) -> SimulationResult:
     """Simulate the delivery of all events injected at cycle 0.
+
+    Parameters
+    ----------
+    engine:
+        ``"batched"`` (vectorised, default) or ``"reference"`` (the
+        retained pure-Python slow path); both produce identical results.
+    cache:
+        Topology cache for the batch router's lookup tables (shared
+        default when omitted).
 
     Raises ``RuntimeError`` if the exchange has not drained within
     ``max_cycles`` (a guard against pathological inputs; FIFO queueing
     over finite traffic always terminates well before this).
     """
-    # Build per-message hop lists (directed node pairs).
-    paths: list[list[tuple]] = []
-    for src, dst in events.iter_chunks():
-        for a, b in zip(src.tolist(), dst.tolist()):
-            if a == b:
-                continue  # local messages never enter the network
-            nodes = route(topology, a, b)
-            paths.append(list(zip(nodes[:-1], nodes[1:])))
-
-    if not paths:
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; use one of {_ENGINES}")
+    src, dst = _network_pairs(events)
+    if not src.size:
         return SimulationResult(0, 0, 0.0, 0, 0, 0, 0)
-
-    load: dict[tuple, int] = defaultdict(int)
-    for hops in paths:
-        for link in hops:
-            load[link] += 1
-    congestion = max(load.values())
-    dilation = max(len(hops) for hops in paths)
-    total_hops = sum(len(hops) for hops in paths)
-
-    # FIFO queues per directed link; messages identified by index.
-    queues: dict[tuple, deque[int]] = defaultdict(deque)
-    next_hop = [0] * len(paths)  # index of the hop each message waits for
-    for i, hops in enumerate(paths):
-        queues[hops[0]].append(i)
-
-    active: list[tuple] = list(queues)  # links with waiting traffic
-    arrivals: list[int] = [0] * len(paths)
-    delivered = 0
-    cycle = 0
-    while delivered < len(paths):
-        cycle += 1
-        if cycle > max_cycles:
-            raise RuntimeError(
-                f"simulation exceeded {max_cycles} cycles with "
-                f"{len(paths) - delivered} messages in flight"
-            )
-        moved: list[tuple[int, tuple]] = []  # (message, link it just crossed)
-        for link in active:
-            queue = queues[link]
-            msg = queue.popleft()
-            moved.append((msg, link))
-        # enqueue survivors onto their next links, collect new active set
-        for msg, _ in moved:
-            next_hop[msg] += 1
-            hops = paths[msg]
-            if next_hop[msg] >= len(hops):
-                arrivals[msg] = cycle
-                delivered += 1
-            else:
-                queues[hops[next_hop[msg]]].append(msg)
-        active = [link for link, queue in queues.items() if queue]
-
+    batch = route_batch(topology, src, dst, cache=cache)
+    drain = _drain_batched if engine == "batched" else _drain_reference
+    arrivals = drain(batch, max_cycles)
     return SimulationResult(
-        makespan=cycle,
-        num_messages=len(paths),
-        mean_latency=sum(arrivals) / len(paths),
-        max_latency=max(arrivals),
-        congestion=congestion,
-        dilation=dilation,
-        total_hops=total_hops,
+        makespan=int(arrivals.max()),
+        num_messages=batch.num_messages,
+        mean_latency=float(arrivals.mean()),
+        max_latency=int(arrivals.max()),
+        congestion=batch.congestion,
+        dilation=batch.dilation,
+        total_hops=batch.total_hops,
     )

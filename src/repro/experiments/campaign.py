@@ -16,8 +16,16 @@ from typing import Iterable, Sequence
 from repro._typing import SeedLike
 from repro.experiments.config import FmmCase
 from repro.experiments.reporting import format_rows
-from repro.experiments.runner import CaseResult, run_case
+from repro.experiments.runner import (
+    CaseResult,
+    aggregate_trials,
+    resolve_jobs,
+    run_case,
+    run_trial,
+    shared_executor,
+)
 from repro.topology.registry import make_topology
+from repro.util.rng import spawn_seeds
 
 __all__ = ["expand_grid", "run_campaign", "format_campaign"]
 
@@ -76,8 +84,24 @@ def run_campaign(
     trials: int = 3,
     seed: SeedLike = 0,
     parts: tuple[str, ...] = ("nfi", "ffi"),
+    jobs: int | None = None,
 ) -> list[CaseResult]:
-    """Execute every case, sharing topologies across identical networks."""
+    """Execute every case, sharing topologies across identical networks.
+
+    With ``jobs > 1`` whole cases fan out over a persistent process pool
+    (each worker runs a case's trials serially, so the per-case
+    topology/model build happens exactly once); a single-case campaign
+    falls back to trial-level fan-out.  Every trial uses the same
+    spawned child seed as the serial path, so results are identical for
+    any ``jobs``.
+    """
+    cases = list(cases)
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(cases) == 1:
+        # a single case can only parallelise over its trials
+        return [run_case(cases[0], trials=trials, seed=seed, parts=parts, jobs=jobs)]
+    if jobs > 1 and len(cases) > 1:
+        return _run_campaign_parallel(cases, trials=trials, seed=seed, parts=parts, jobs=jobs)
     cache: dict[tuple, object] = {}
     results = []
     for case in cases:
@@ -87,9 +111,48 @@ def run_campaign(
                 case.topology, case.num_processors, processor_curve=case.processor_curve
             )
         results.append(
-            run_case(case, trials=trials, seed=seed, topology=cache[key], parts=parts)
+            run_case(case, trials=trials, seed=seed, topology=cache[key], parts=parts, jobs=1)
         )
     return results
+
+
+def run_campaign_case(
+    case: FmmCase,
+    trials: int,
+    seed: SeedLike,
+    parts: tuple[str, ...],
+) -> CaseResult:
+    """One whole case, serially — the campaign's unit of parallel work.
+
+    Top-level (picklable) for process pools.  Fanning out *cases* rather
+    than individual trials keeps each case's topology/model build on a
+    single worker; the same spawned child seeds as the serial path make
+    the results bit-identical.
+    """
+    outputs = [run_trial(case, child, parts) for child in spawn_seeds(seed, trials)]
+    return aggregate_trials(case, outputs)
+
+
+def _run_campaign_parallel(
+    cases: list[FmmCase],
+    *,
+    trials: int,
+    seed: SeedLike,
+    parts: tuple[str, ...],
+    jobs: int,
+) -> list[CaseResult]:
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    pool = shared_executor(jobs)
+    return list(
+        pool.map(
+            run_campaign_case,
+            cases,
+            [trials] * len(cases),
+            [seed] * len(cases),
+            [parts] * len(cases),
+        )
+    )
 
 
 def format_campaign(results: Sequence[CaseResult]) -> str:

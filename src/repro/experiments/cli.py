@@ -39,6 +39,7 @@ from repro.experiments.parametric import (
     run_radius_sweep,
 )
 from repro.experiments.reporting import format_rows
+from repro.experiments.runner import set_default_jobs
 from repro.experiments.scaling_study import format_scaling_study, run_scaling_study
 from repro.experiments.sfc_pairs import format_sfc_pairs, run_sfc_pairs
 from repro.experiments.reporting import format_series
@@ -83,6 +84,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2013, help="experiment seed")
     parser.add_argument("--trials", type=int, default=None, help="trials per case")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for trial fan-out (default: REPRO_JOBS env var or serial); "
+        "results are identical for any value",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also save the result as JSON"
     )
     parser.add_argument(
@@ -91,6 +100,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if (args.json or args.csv) and args.experiment in ("sweeps", "ablations", "all"):
         parser.error("--json/--csv require a single-result experiment")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    set_default_jobs(args.jobs)
 
     want = args.experiment
     saved = None

@@ -11,7 +11,7 @@ suite runs in seconds (used by tests and default benchmark runs; export
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["FmmCase", "Scale", "SMALL", "PAPER", "SCALES", "active_scale"]
 

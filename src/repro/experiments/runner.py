@@ -4,10 +4,20 @@
 trials for each set of parameters" (§VI); :func:`run_case` reproduces
 that discipline with NumPy's spawned seed sequences so any single trial
 can be re-derived from the experiment seed.
+
+Because every trial draws its particles from an independent child seed,
+trials are embarrassingly parallel: ``run_case(..., jobs=4)`` fans them
+out over a ``concurrent.futures`` process pool and produces bit-for-bit
+the same averages as the serial path.  ``jobs`` defaults to the
+process-wide setting installed by :func:`set_default_jobs` (the CLI's
+``--jobs`` flag) or the ``REPRO_JOBS`` environment variable, falling
+back to serial execution.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,7 +31,66 @@ from repro.topology.base import Topology
 from repro.topology.registry import make_topology
 from repro.util.rng import spawn_seeds
 
-__all__ = ["CaseResult", "run_case"]
+__all__ = [
+    "CaseResult",
+    "run_case",
+    "run_trial",
+    "aggregate_trials",
+    "set_default_jobs",
+    "resolve_jobs",
+]
+
+_default_jobs: int | None = None
+
+#: A trial's raw output: the NFI aggregate and the per-phase FFI aggregates.
+TrialResult = tuple[ACDResult, dict[str, ACDResult]]
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Install a process-wide default for the ``jobs`` arguments.
+
+    ``None`` restores the built-in behaviour (serial unless the
+    ``REPRO_JOBS`` environment variable is set).  Worker processes never
+    inherit this setting, so nested parallelism cannot occur.
+    """
+    global _default_jobs
+    if jobs is not None and int(jobs) < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = None if jobs is None else int(jobs)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve an explicit ``jobs`` argument against the defaults."""
+    if jobs is not None:
+        if int(jobs) < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        return int(jobs)
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    return max(1, int(env)) if env else 1
+
+
+_executor: ProcessPoolExecutor | None = None
+_executor_workers = 0
+
+
+def shared_executor(jobs: int) -> ProcessPoolExecutor:
+    """A persistent process pool, grown on demand and reused across calls.
+
+    Studies invoke :func:`run_case` once per experiment case; keeping the
+    workers alive between calls means each worker pays the per-case
+    topology/model build once (its :data:`_worker_models` memo survives)
+    and the pool spawn cost is paid once per session rather than once
+    per case.
+    """
+    global _executor, _executor_workers
+    if _executor is None or _executor_workers < jobs:
+        if _executor is not None:
+            _executor.shutdown(wait=False)
+        _executor = ProcessPoolExecutor(max_workers=jobs)
+        _executor_workers = jobs
+    return _executor
 
 
 @dataclass(frozen=True)
@@ -53,30 +122,23 @@ class CaseResult:
         }
 
 
-def run_case(
-    case: FmmCase,
-    trials: int = 3,
-    seed: SeedLike = 0,
-    topology: Topology | None = None,
-    parts: tuple[str, ...] = ("nfi", "ffi"),
-) -> CaseResult:
-    """Evaluate one case over independent particle draws.
+# Worker processes rebuild the (deterministic) network and model once per
+# distinct case rather than once per trial.
+_worker_models: dict[tuple, tuple[Topology, FmmCommunicationModel]] = {}
 
-    Parameters
-    ----------
-    topology:
-        Optional pre-built network matching the case (topologies are
-        deterministic, so studies sweeping particle parameters can build
-        one network and share it across cases).
-    parts:
-        Which interaction models to evaluate; skipping one halves the
-        work when only a single paper table is being regenerated.
-    """
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    unknown = set(parts) - {"nfi", "ffi"}
-    if unknown or not parts:
-        raise ValueError(f"parts must be a non-empty subset of ('nfi', 'ffi'), got {parts}")
+
+def _case_model(case: FmmCase, topology: Topology | None) -> tuple[Topology, FmmCommunicationModel]:
+    key = (
+        case.topology,
+        case.num_processors,
+        case.processor_curve,
+        case.particle_curve,
+        case.radius,
+        case.nfi_metric,
+    )
+    cached = _worker_models.get(key)
+    if cached is not None:
+        return cached
     if topology is None:
         topology = make_topology(
             case.topology, case.num_processors, processor_curve=case.processor_curve
@@ -87,23 +149,45 @@ def run_case(
         radius=case.radius,
         nfi_metric=case.nfi_metric,
     )
+    _worker_models[key] = (topology, model)
+    return topology, model
+
+
+def run_trial(
+    case: FmmCase,
+    child_seed: SeedLike,
+    parts: tuple[str, ...] = ("nfi", "ffi"),
+    topology: Topology | None = None,
+) -> TrialResult:
+    """One independent trial: draw particles, assign, evaluate ACDs.
+
+    Top-level (picklable) so process pools can execute it; the topology
+    and model are memoised per worker process.
+    """
+    topology, model = _case_model(case, topology)
     distribution = get_distribution(case.distribution)
+    particles = distribution.sample(
+        case.num_particles, case.order, rng=np.random.default_rng(child_seed)
+    )
+    assignment = model.assign(particles)
+    if "nfi" in parts:
+        nfi = compute_acd(model.near_field_events(assignment), topology)
+    else:
+        nfi = ACDResult(0, 0)
+    if "ffi" in parts:
+        ffi = acd_breakdown(model.far_field_events(assignment).as_mapping(), topology)
+    else:
+        ffi = {"combined": ACDResult(0, 0)}
+    return nfi, ffi
+
+
+def aggregate_trials(case: FmmCase, outputs: list[TrialResult]) -> CaseResult:
+    """Pool per-trial results into the trial-averaged :class:`CaseResult`."""
+    trials = len(outputs)
     nfi_vals, ffi_vals = [], []
     nfi_counts, ffi_counts = [], []
     phase_sums: dict[str, float] = {}
-    for child_seed in spawn_seeds(seed, trials):
-        particles = distribution.sample(
-            case.num_particles, case.order, rng=np.random.default_rng(child_seed)
-        )
-        assignment = model.assign(particles)
-        if "nfi" in parts:
-            nfi = compute_acd(model.near_field_events(assignment), topology)
-        else:
-            nfi = ACDResult(0, 0)
-        if "ffi" in parts:
-            ffi = acd_breakdown(model.far_field_events(assignment).as_mapping(), topology)
-        else:
-            ffi = {"combined": ACDResult(0, 0)}
+    for nfi, ffi in outputs:
         nfi_vals.append(nfi.acd)
         ffi_vals.append(ffi["combined"].acd)
         nfi_counts.append(nfi.count)
@@ -121,3 +205,47 @@ def run_case(
         nfi_events=float(np.mean(nfi_counts)),
         ffi_events=float(np.mean(ffi_counts)),
     )
+
+
+def _check_parts(parts: tuple[str, ...]) -> None:
+    unknown = set(parts) - {"nfi", "ffi"}
+    if unknown or not parts:
+        raise ValueError(f"parts must be a non-empty subset of ('nfi', 'ffi'), got {parts}")
+
+
+def run_case(
+    case: FmmCase,
+    trials: int = 3,
+    seed: SeedLike = 0,
+    topology: Topology | None = None,
+    parts: tuple[str, ...] = ("nfi", "ffi"),
+    jobs: int | None = None,
+) -> CaseResult:
+    """Evaluate one case over independent particle draws.
+
+    Parameters
+    ----------
+    topology:
+        Optional pre-built network matching the case (topologies are
+        deterministic, so studies sweeping particle parameters can build
+        one network and share it across cases).  Serial execution uses
+        it directly; worker processes rebuild an identical network.
+    parts:
+        Which interaction models to evaluate; skipping one halves the
+        work when only a single paper table is being regenerated.
+    jobs:
+        Worker processes for the trial fan-out (default: the setting
+        from :func:`set_default_jobs` / ``REPRO_JOBS``, else serial).
+        Results are identical for any value.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    _check_parts(parts)
+    seeds = spawn_seeds(seed, trials)
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and trials > 1:
+        pool = shared_executor(jobs)
+        outputs = list(pool.map(run_trial, [case] * trials, seeds, [parts] * trials))
+    else:
+        outputs = [run_trial(case, child, parts, topology) for child in seeds]
+    return aggregate_trials(case, outputs)

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro._typing import SeedLike
 from repro.distributions.three_d import get_distribution3d
-from repro.experiments.reporting import format_matrix, format_series
+from repro.experiments.reporting import format_matrix
 from repro.fmm.model3d import FmmCommunicationModel3D
 from repro.metrics.anns3d import neighbor_stretch3d
 from repro.topology.registry import make_topology

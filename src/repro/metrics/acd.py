@@ -12,6 +12,13 @@
 :class:`~repro.topology.Topology`, streaming over event chunks so the
 peak memory stays bounded by the largest chunk.  The model is
 contention-unaware by construction (§IV step 6 note).
+
+Distance lookups go through the shared
+:class:`~repro.topology.cache.TopologyCache`, so trial-averaged studies
+that re-evaluate the same network serve hop distances from a memoised
+``p x p`` matrix instead of re-running the distance kernel; pass
+``cache=None`` to force direct kernel evaluation (results are
+identical either way).
 """
 
 from __future__ import annotations
@@ -19,10 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.errors import ConfigurationError
 from repro.fmm.events import CommunicationEvents
 from repro.topology.base import Topology
+from repro.topology.cache import TopologyCache, get_topology_cache
 
 __all__ = ["ACDResult", "compute_acd", "acd_breakdown"]
+
+_DEFAULT_CACHE = "default"  # sentinel: resolve the shared cache at call time
 
 
 @dataclass(frozen=True)
@@ -56,17 +67,30 @@ class ACDResult:
         return f"ACDResult(acd={self.acd:.4f}, count={self.count})"
 
 
-def compute_acd(events: CommunicationEvents, topology: Topology) -> ACDResult:
+def compute_acd(
+    events: CommunicationEvents,
+    topology: Topology,
+    *,
+    cache: TopologyCache | None | str = _DEFAULT_CACHE,
+) -> ACDResult:
     """Evaluate the ACD of an event multiset on a topology.
 
     Weighted events contribute ``weight * distance`` to the total and
     ``weight`` to the count, so the result is the average distance per
     unit of data volume; unweighted events behave as weight 1.
+
+    ``cache`` selects the topology cache serving the distance lookups
+    (the process-wide default when omitted, ``None`` to bypass caching).
     """
+    if cache == _DEFAULT_CACHE:
+        cache = get_topology_cache()
     total = 0
     count = 0
     for src, dst, weights in events.iter_weighted_chunks():
-        distances = topology.distance(src, dst)
+        if cache is None:
+            distances = topology.distance(src, dst)
+        else:
+            distances = cache.distances(topology, src, dst)
         if weights is None:
             total += int(distances.sum())
             count += int(src.size)
@@ -83,8 +107,16 @@ def acd_breakdown(
 
     Used for the far-field model where interpolation, anterpolation and
     interaction-list traffic are reported separately and together (§IV
-    step 10 sums over all three).
+    step 10 sums over all three).  The phase name ``"combined"`` is
+    reserved for that pooled entry; passing a phase with that name
+    raises :class:`~repro.errors.ConfigurationError` instead of silently
+    overwriting it.
     """
+    if "combined" in phases:
+        raise ConfigurationError(
+            'phase name "combined" is reserved for the pooled ACD entry; '
+            "rename the phase before calling acd_breakdown"
+        )
     out: dict[str, ACDResult] = {}
     combined = ACDResult(0, 0)
     for name, events in phases.items():

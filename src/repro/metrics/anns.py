@@ -11,6 +11,10 @@ Manhattan radii: for a pair at spatial distance ``d <= r`` the stretch is
 The computation feeds every lattice point through the curve's index
 grid and accumulates one vectorised pass per stencil offset, so a
 512x512 lattice (the paper's largest, Fig. 5) takes milliseconds.
+Index grids are memoised in the shared
+:class:`~repro.topology.cache.TopologyCache` (keyed by curve name and
+order), so sweeping the radius over the same curve decodes the lattice
+once.
 
 Analytic cross-checks
 ---------------------
@@ -29,6 +33,7 @@ import numpy as np
 from repro.quadtree.cells import neighbor_offsets
 from repro.sfc.base import SpaceFillingCurve
 from repro.sfc.registry import get_curve
+from repro.topology.cache import get_topology_cache
 from repro.util.validation import check_order
 
 __all__ = [
@@ -76,7 +81,11 @@ def neighbor_stretch(
         curve = get_curve(curve, order)
     if radius < 1:
         raise ValueError(f"radius must be >= 1, got {radius}")
-    grid = curve.index_grid().astype(np.float64)
+    the_curve = curve
+    grid = get_topology_cache().table(
+        ("index_grid", type(the_curve).__name__, the_curve.name, the_curve.order),
+        lambda: the_curve.index_grid().astype(np.float64),
+    )
     side = curve.side
     total = 0.0
     count = 0

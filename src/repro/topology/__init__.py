@@ -10,6 +10,12 @@ Quick use::
 
 from repro.topology.base import DirectTopology, Topology
 from repro.topology.bus import BusTopology
+from repro.topology.cache import (
+    TopologyCache,
+    get_topology_cache,
+    set_topology_cache,
+    topology_cache_key,
+)
 from repro.topology.grid3d import (
     GridLayout3D,
     Mesh3DTopology,
@@ -52,4 +58,8 @@ __all__ = [
     "OctreeTopology",
     "make_topology",
     "topology_names",
+    "TopologyCache",
+    "get_topology_cache",
+    "set_topology_cache",
+    "topology_cache_key",
 ]

@@ -1,0 +1,252 @@
+"""Shared per-topology memoisation: distance matrices and routing tables.
+
+Trial-averaged experiments evaluate the same network over and over —
+``run_case`` draws fresh particles per trial but the topology (and hence
+every hop distance and every routed path) is identical across trials.
+This module provides a process-wide, thread-safe, size-capped LRU cache
+so that :func:`repro.metrics.acd.compute_acd`,
+:mod:`repro.metrics.anns` and the contention simulator stop recomputing
+those invariants per call:
+
+* **distance matrices** — the full ``p x p`` hop-distance table of a
+  topology, built once and indexed thereafter (``int32``; a 4096-rank
+  torus costs 64 MiB).  Matrices are only materialised when they fit
+  the byte budget *and* the topology has seen enough query volume to
+  amortise the build (see :meth:`TopologyCache.distances`).
+* **routing/lookup tables** — arbitrary named per-topology arrays
+  (rank grids, switch-id tables, curve index grids...) memoised through
+  the generic :meth:`TopologyCache.table` hook.
+
+Cache keys are derived from the *parameters* of a topology (class, size,
+processor curve, hop convention, ...), not object identity, so two
+equal-parameter instances share entries.
+
+Knobs
+-----
+The default cache reads two environment variables at import time:
+
+* ``REPRO_CACHE_MATRIX_BYTES`` — per-matrix byte cap (default 256 MiB;
+  ``0`` disables distance-matrix caching entirely).
+* ``REPRO_CACHE_ENTRIES`` — max resident entries per section (default
+  32); least-recently-used entries are evicted beyond this.
+
+Call :func:`set_topology_cache` to swap in a differently-sized cache (or
+``TopologyCache(max_matrix_bytes=0)`` to opt out programmatically).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.topology.base import Topology
+
+__all__ = [
+    "TopologyCache",
+    "topology_cache_key",
+    "get_topology_cache",
+    "set_topology_cache",
+]
+
+
+def topology_cache_key(topology: Topology) -> tuple:
+    """A hashable key identifying a topology by its parameters.
+
+    Includes everything that determines the hop metric and the routed
+    paths: concrete class, processor count, the processor-order SFC (for
+    grid-embedded networks), the hypercube label layout and the tree hop
+    convention.  Two instances built with the same parameters map to the
+    same key.
+    """
+    parts: list[Hashable] = [type(topology).__name__, topology.num_processors]
+    layout = getattr(topology, "layout", None)
+    if layout is not None:
+        parts.append(getattr(layout, "curve_name", None))
+    parts.append(getattr(topology, "layout_name", None))  # hypercube embedding
+    parts.append(getattr(topology, "hop_convention", None))  # tree charging
+    return tuple(parts)
+
+
+class _LruSection:
+    """One bounded LRU mapping (not thread-safe; callers hold the lock)."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = max_entries
+        self.data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        if key in self.data:
+            self.data.move_to_end(key)
+            self.hits += 1
+            return self.data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        self.data[key] = value
+        self.data.move_to_end(key)
+        while len(self.data) > self.max_entries:
+            self.data.popitem(last=False)
+
+
+class TopologyCache:
+    """Thread-safe LRU cache of per-topology derived data.
+
+    Parameters
+    ----------
+    max_entries:
+        Resident entries per section (matrices / tables) before LRU
+        eviction.
+    max_matrix_bytes:
+        Upper bound on the size of any single distance matrix; larger
+        topologies transparently fall back to the vectorised distance
+        kernel.  ``0`` disables matrix caching.
+    """
+
+    _MATRIX_DTYPE = np.int32  # diameters comfortably fit 32 bits
+
+    def __init__(self, max_entries: int = 32, max_matrix_bytes: int = 256 << 20):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_matrix_bytes < 0:
+            raise ValueError(f"max_matrix_bytes must be >= 0, got {max_matrix_bytes}")
+        self.max_matrix_bytes = int(max_matrix_bytes)
+        self._lock = threading.RLock()
+        self._matrices = _LruSection(max_entries)
+        self._tables = _LruSection(max_entries)
+        self._query_volume: dict[tuple, int] = {}
+
+    # -- distance matrices ---------------------------------------------------
+    def matrix_fits(self, topology: Topology) -> bool:
+        """Whether a full distance matrix of ``topology`` is within budget."""
+        p = topology.num_processors
+        return p * p * np.dtype(self._MATRIX_DTYPE).itemsize <= self.max_matrix_bytes
+
+    def distance_matrix(self, topology: Topology) -> IntArray:
+        """The full ``p x p`` hop-distance matrix (built and cached).
+
+        Raises :class:`ValueError` when the matrix exceeds
+        ``max_matrix_bytes``; use :meth:`distances` for the transparent
+        fallback path.
+        """
+        if not self.matrix_fits(topology):
+            raise ValueError(
+                f"distance matrix of {topology!r} exceeds the "
+                f"{self.max_matrix_bytes}-byte cache budget"
+            )
+        key = topology_cache_key(topology)
+        with self._lock:
+            cached = self._matrices.get(key)
+            if cached is not None:
+                return cached
+            matrix = self._build_matrix(topology)
+            self._matrices.put(key, matrix)
+            return matrix
+
+    def _build_matrix(self, topology: Topology) -> IntArray:
+        p = topology.num_processors
+        ranks = np.arange(p, dtype=np.int64)
+        matrix = np.empty((p, p), dtype=self._MATRIX_DTYPE)
+        # Row-blocked so the int64 intermediates stay bounded (~16 MiB).
+        block = max(1, (2 << 20) // max(p, 1))
+        for lo in range(0, p, block):
+            hi = min(lo + block, p)
+            matrix[lo:hi] = topology.distance(ranks[lo:hi, None], ranks[None, :])
+        return matrix
+
+    def distances(self, topology: Topology, a, b) -> IntArray:
+        """Hop distances, served from the cached matrix when worthwhile.
+
+        The matrix is built lazily: only once the cumulative query
+        volume for this topology reaches ``p`` elements (one trial's
+        worth of lookups) does the ``O(p^2)`` build pay for itself; until
+        then — and always for over-budget topologies — the call forwards
+        to :meth:`Topology.distance`.  Results are identical either way.
+        """
+        if not self.matrix_fits(topology):
+            return topology.distance(a, b)
+        key = topology_cache_key(topology)
+        size = np.asarray(a).size
+        with self._lock:
+            matrix = self._matrices.get(key)
+            if matrix is None:
+                volume = self._query_volume.get(key, 0) + size
+                self._query_volume[key] = volume
+                if volume < topology.num_processors:
+                    return topology.distance(a, b)
+                matrix = self._build_matrix(topology)
+                self._matrices.put(key, matrix)
+        return matrix[a, b].astype(np.int64)
+
+    # -- generic per-topology tables ----------------------------------------
+    def table(self, key: Hashable, builder: Callable[[], object]) -> object:
+        """Memoise ``builder()`` under ``key`` (LRU, thread-safe).
+
+        Used by the batch router for per-topology link tables and by the
+        ANNS pipeline for curve index grids; any hashable key works.
+        """
+        with self._lock:
+            cached = self._tables.get(key)
+            if cached is None:
+                cached = builder()
+                self._tables.put(key, cached)
+            return cached
+
+    def topology_table(
+        self, topology: Topology, name: str, builder: Callable[[], object]
+    ) -> object:
+        """:meth:`table` keyed by ``(name, topology parameters)``."""
+        return self.table((name, topology_cache_key(topology)), builder)
+
+    # -- maintenance ---------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached entry and reset the statistics."""
+        with self._lock:
+            for section in (self._matrices, self._tables):
+                section.data.clear()
+                section.hits = 0
+                section.misses = 0
+            self._query_volume.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/residency counters (for tests and diagnostics)."""
+        with self._lock:
+            return {
+                "matrix_hits": self._matrices.hits,
+                "matrix_misses": self._matrices.misses,
+                "matrices": len(self._matrices.data),
+                "table_hits": self._tables.hits,
+                "table_misses": self._tables.misses,
+                "tables": len(self._tables.data),
+            }
+
+
+_default_cache = TopologyCache(
+    max_entries=int(os.environ.get("REPRO_CACHE_ENTRIES", "32")),
+    max_matrix_bytes=int(os.environ.get("REPRO_CACHE_MATRIX_BYTES", str(256 << 20))),
+)
+_default_lock = threading.Lock()
+
+
+def get_topology_cache() -> TopologyCache:
+    """The process-wide shared cache instance."""
+    return _default_cache
+
+
+def set_topology_cache(cache: TopologyCache) -> TopologyCache:
+    """Replace the process-wide cache; returns the previous instance."""
+    global _default_cache
+    if not isinstance(cache, TopologyCache):
+        raise TypeError(f"expected a TopologyCache, got {type(cache).__name__}")
+    with _default_lock:
+        previous = _default_cache
+        _default_cache = cache
+    return previous

@@ -155,6 +155,13 @@ class OctreeTopology(Topology):
         hop_convention: str = "updown",
     ):
         super().__init__(num_processors)
+        p = int(num_processors)
+        # The height/code arithmetic below assumes a complete 8-ary tree.
+        if not (is_power_of_two(p) and (p.bit_length() - 1) % 3 == 0):
+            raise TopologySizeError(
+                f"octree topologies need 8**m leaf processors "
+                f"(a complete 8-ary switch tree), got {p}"
+            )
         if hop_convention not in ("updown", "levels"):
             raise ValueError(
                 f"unknown hop_convention {hop_convention!r}; use 'updown' or 'levels'"

@@ -18,9 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro._typing import IntArray
+from repro.errors import TopologySizeError
 from repro.topology.base import Topology
 from repro.topology.layout import GridLayout
-from repro.util.bits import bit_length, interleave2
+from repro.util.bits import bit_length, interleave2, is_power_of_two
 
 __all__ = ["QuadtreeTopology"]
 
@@ -50,6 +51,14 @@ class QuadtreeTopology(Topology):
         hop_convention: str = "updown",
     ):
         super().__init__(num_processors)
+        p = int(num_processors)
+        # The height/z-code arithmetic below assumes a complete 4-ary tree;
+        # any other count would silently misprice every hop.
+        if not (is_power_of_two(p) and (p.bit_length() - 1) % 2 == 0):
+            raise TopologySizeError(
+                f"quadtree topologies need 4**m leaf processors "
+                f"(a complete 4-ary switch tree), got {p}"
+            )
         if hop_convention not in ("updown", "levels"):
             raise ValueError(
                 f"unknown hop_convention {hop_convention!r}; use 'updown' or 'levels'"

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.distributions import NormalDistribution, get_distribution
+from repro.distributions import NormalDistribution
 from repro.distributions.three_d import Normal3D
 from repro.errors import SamplingError
 

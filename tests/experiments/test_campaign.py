@@ -81,3 +81,17 @@ class TestRunCampaign:
         lines = text.splitlines()
         assert len(lines) == 5  # header + 4 cases
         assert "nfi_acd" in lines[0]
+
+    def test_parallel_equals_serial(self):
+        cases = expand_grid(
+            num_particles=200,
+            order=5,
+            num_processors=16,
+            topology=("torus", "hypercube"),
+            particle_curve="hilbert",
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+        serial = run_campaign(cases, trials=2, seed=9, jobs=1)
+        parallel = run_campaign(cases, trials=2, seed=9, jobs=2)
+        assert serial == parallel

@@ -27,3 +27,18 @@ class TestCli:
             main(["--help"])
         out = capsys.readouterr().out
         assert "tables" in out and "fig7" in out
+
+    def test_jobs_flag_validated(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--jobs", "0"])
+
+    def test_jobs_flag_installs_default(self, capsys, monkeypatch):
+        from repro.experiments.runner import resolve_jobs, set_default_jobs
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        try:
+            assert main(["fig5", "--jobs", "2"]) == 0
+            assert resolve_jobs(None) == 2
+        finally:
+            set_default_jobs(None)
+        capsys.readouterr()

@@ -63,3 +63,44 @@ class TestRunCase:
         row = run_case(case, trials=1, seed=0).row()
         assert row["topology"] == "torus"
         assert isinstance(row["nfi_acd"], float)
+
+
+class TestParallelRunner:
+    def test_parallel_equals_serial(self, case):
+        serial = run_case(case, trials=3, seed=42, jobs=1)
+        parallel = run_case(case, trials=3, seed=42, jobs=2)
+        assert serial == parallel
+
+    def test_jobs_env_var(self, case, monkeypatch):
+        from repro.experiments.runner import resolve_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(1) == 1  # explicit argument wins
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs(None) == 1
+
+    def test_set_default_jobs(self, case):
+        from repro.experiments.runner import resolve_jobs, set_default_jobs
+
+        set_default_jobs(2)
+        try:
+            assert resolve_jobs(None) == 2
+        finally:
+            set_default_jobs(None)
+        assert resolve_jobs(None) == 1
+
+    def test_invalid_jobs_rejected(self, case):
+        from repro.experiments.runner import set_default_jobs
+
+        with pytest.raises(ValueError):
+            run_case(case, trials=1, jobs=0)
+        with pytest.raises(ValueError):
+            set_default_jobs(0)
+
+    def test_run_trial_is_picklable(self):
+        import pickle
+
+        from repro.experiments.runner import run_trial
+
+        assert pickle.loads(pickle.dumps(run_trial)) is run_trial

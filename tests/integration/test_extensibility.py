@@ -8,7 +8,6 @@ that contract end-to-end.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.distributions import get_distribution
 from repro.fmm import FmmCommunicationModel

@@ -79,3 +79,25 @@ class TestBreakdown:
     def test_keys(self):
         out = acd_breakdown({"only": events_of([(0, 1)])}, make_topology("bus", 4))
         assert set(out) == {"only", "combined"}
+
+    def test_reserved_phase_name_rejected(self):
+        """A user phase named "combined" must not be silently overwritten."""
+        from repro.errors import ConfigurationError
+
+        phases = {"combined": events_of([(0, 1)]), "other": events_of([(1, 2)])}
+        with pytest.raises(ConfigurationError, match="combined"):
+            acd_breakdown(phases, make_topology("bus", 4))
+
+
+class TestCacheIntegration:
+    def test_cached_and_uncached_agree(self):
+        from repro.topology.cache import TopologyCache
+
+        net = make_topology("torus", 64, processor_curve="hilbert")
+        rng = np.random.default_rng(3)
+        ev = CommunicationEvents()
+        # enough volume to force the cache over its lazy-build threshold
+        ev.add(rng.integers(0, 64, 500), rng.integers(0, 64, 500))
+        fresh = compute_acd(ev, net, cache=None)
+        cached = compute_acd(ev, net, cache=TopologyCache())
+        assert fresh == cached

@@ -104,6 +104,15 @@ class TestOctree:
         with pytest.raises(ValueError):
             OctreeTopology(64, hop_convention="diagonal")
 
+    @pytest.mark.parametrize("p", [2, 16, 128])
+    def test_power_of_two_but_not_eight_rejected(self, p):
+        with pytest.raises(TopologySizeError, match=r"8\*\*m"):
+            OctreeTopology(p)
+
+    @pytest.mark.parametrize("p", [8, 64, 512])
+    def test_powers_of_eight_accepted(self, p):
+        assert OctreeTopology(p).num_processors == p
+
 
 class TestMetricAxioms3D:
     @pytest.mark.parametrize("name", ["mesh3d", "torus3d", "octree"])

@@ -34,6 +34,16 @@ class TestQuadtree:
         with pytest.raises(TopologySizeError):
             QuadtreeTopology(8)
 
+    @pytest.mark.parametrize("p", [2, 8, 32, 128])
+    def test_power_of_two_but_not_four_rejected(self, p):
+        """Counts the square layout alone can't catch still need 4**m."""
+        with pytest.raises(TopologySizeError, match=r"4\*\*m"):
+            QuadtreeTopology(p)
+
+    @pytest.mark.parametrize("p", [4, 16, 64, 256])
+    def test_powers_of_four_accepted(self, p):
+        assert QuadtreeTopology(p).num_processors == p
+
     def test_same_leaf_distance_zero(self):
         topo = QuadtreeTopology(16)
         assert topo.distance(5, 5) == 0
