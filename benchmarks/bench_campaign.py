@@ -1,0 +1,136 @@
+"""Campaign-grid speedup: shared event artifacts vs per-case generation.
+
+The paper's §VI grid evaluates six topologies x four processor-order
+SFCs against a fixed particle workload.  Event generation (particles →
+assignment → NFI/FFI events) depends only on the instance fields, so
+the grouped campaign runner generates each trial's events once per
+particle curve and broadcasts the compacted pair histograms across all
+six networks; the per-case path regenerates them for every network,
+exactly as the pre-artifact runner did.
+
+Both paths must produce bit-identical ``CaseResult`` rows; the measured
+speedup is appended to ``benchmarks/BENCH_campaign.json`` so the
+trajectory across commits stays visible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.artifacts import EventArtifactCache, set_event_cache
+from repro.experiments.campaign import case_groups, format_campaign, run_campaign
+from repro.experiments.config import FmmCase
+from repro.experiments.runner import run_case
+from repro.sfc.registry import PAPER_CURVES
+from repro.topology.registry import PAPER_TOPOLOGIES
+
+TRAJECTORY = Path(__file__).parent / "BENCH_campaign.json"
+
+
+def bench_args(scale, tiny: tuple, small: tuple, paper: tuple) -> tuple:
+    """Workload size for the active scale (see bench_contention)."""
+    if os.environ.get("REPRO_BENCH_TINY"):
+        return tiny
+    return paper if scale.name == "paper" else small
+
+
+def paper_grid(num_particles: int, order: int, num_processors: int, radius: int):
+    """The §VI campaign grid: 6 topologies x 4 same-SFC pairings."""
+    return [
+        FmmCase(
+            num_particles=num_particles,
+            order=order,
+            num_processors=num_processors,
+            topology=topology,
+            particle_curve=curve,
+            processor_curve=curve,
+            distribution="uniform",
+            radius=radius,
+        )
+        for curve in PAPER_CURVES
+        for topology in PAPER_TOPOLOGIES
+    ]
+
+
+def append_trajectory(record: dict) -> None:
+    history = []
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text())
+    history.append(record)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.mark.paper_artifact("ext-campaign-sharing")
+def test_shared_artifact_campaign_speedup(benchmark, scale, report):
+    n, order, p, radius, trials = bench_args(
+        scale,
+        tiny=(2_000, 6, 256, 2, 2),
+        small=(60_000, 9, 1_024, 4, 3),
+        paper=(250_000, 10, 4_096, 4, 3),
+    )
+    cases = paper_grid(n, order, p, radius)
+    groups = case_groups(cases)
+
+    previous = set_event_cache(EventArtifactCache())
+    try:
+        # Warm-up pass: pays the lazy distance-matrix builds so every
+        # timed pass below runs against the same warm topology cache.
+        shared = benchmark.pedantic(
+            run_campaign, args=(cases,), kwargs={"trials": trials, "seed": 2013},
+            rounds=1, iterations=1,
+        )
+
+        # Cold shared pass (the headline number): a fresh artifact cache
+        # forces each instance's events to be generated once per trial,
+        # then broadcast across its six networks.
+        set_event_cache(EventArtifactCache())
+        t0 = time.perf_counter()
+        cold = run_campaign(cases, trials=trials, seed=2013)
+        t1 = time.perf_counter()
+
+        # Warm shared pass: a repeated study served from the cache.
+        warm = run_campaign(cases, trials=trials, seed=2013)
+        t2 = time.perf_counter()
+
+        # Per-case baseline: disable the artifact cache so every case
+        # regenerates its events per trial, as the pre-artifact runner did.
+        set_event_cache(EventArtifactCache(max_bytes=0))
+        t3 = time.perf_counter()
+        per_case = [run_case(c, trials=trials, seed=2013, jobs=1) for c in cases]
+        t4 = time.perf_counter()
+    finally:
+        set_event_cache(previous)
+
+    assert shared == cold == warm == per_case  # bit-identical CaseResult rows
+    shared_s, warm_s, per_case_s = t1 - t0, t2 - t1, t4 - t3
+    speedup = per_case_s / shared_s if shared_s else float("inf")
+    record = {
+        "scale": scale.name,
+        "tiny": bool(os.environ.get("REPRO_BENCH_TINY")),
+        "num_cases": len(cases),
+        "instance_groups": len(groups),
+        "trials": trials,
+        "num_particles": n,
+        "order": order,
+        "num_processors": p,
+        "radius": radius,
+        "per_case_s": round(per_case_s, 3),
+        "shared_s": round(shared_s, 3),
+        "warm_cache_s": round(warm_s, 3),
+        "speedup": round(speedup, 2),
+        "warm_speedup": round(per_case_s / warm_s if warm_s else float("inf"), 2),
+    }
+    append_trajectory(record)
+    report(
+        f"Campaign grid: shared artifacts vs per-case generation (scale={scale.name})",
+        json.dumps(record, indent=2) + "\n\n" + format_campaign(shared),
+    )
+    # 6 networks share each instance's events; generation dominates, so
+    # the end-to-end win must stay >= 5x (relaxed under tiny CI sizes).
+    floor = 2.0 if record["tiny"] else 5.0
+    assert speedup >= floor, f"speedup {speedup:.2f}x below the {floor}x floor"

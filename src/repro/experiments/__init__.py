@@ -14,8 +14,31 @@ from repro.experiments.clustering_study import (
     format_clustering_study,
     run_clustering_study,
 )
-from repro.experiments.campaign import expand_grid, format_campaign, run_campaign
-from repro.experiments.config import PAPER, SCALES, SMALL, FmmCase, Scale, active_scale
+from repro.experiments.artifacts import (
+    EventArtifactCache,
+    TrialArtifact,
+    build_trial_artifact,
+    evaluate_artifact,
+    get_event_cache,
+    get_trial_artifact,
+    set_event_cache,
+)
+from repro.experiments.campaign import (
+    case_groups,
+    expand_grid,
+    format_campaign,
+    run_campaign,
+)
+from repro.experiments.config import (
+    EVALUATION_FIELDS,
+    INSTANCE_FIELDS,
+    PAPER,
+    SCALES,
+    SMALL,
+    FmmCase,
+    Scale,
+    active_scale,
+)
 from repro.experiments.io import load_result, result_to_csv_rows, save_result, write_csv
 from repro.experiments.parametric import (
     SweepResult,
@@ -95,4 +118,14 @@ __all__ = [
     "expand_grid",
     "run_campaign",
     "format_campaign",
+    "case_groups",
+    "INSTANCE_FIELDS",
+    "EVALUATION_FIELDS",
+    "TrialArtifact",
+    "EventArtifactCache",
+    "build_trial_artifact",
+    "get_trial_artifact",
+    "evaluate_artifact",
+    "get_event_cache",
+    "set_event_cache",
 ]

@@ -3,9 +3,25 @@
 The study modules regenerate the paper's fixed designs; downstream users
 usually want their *own* grid ("my three networks x my two curves x my
 input").  :func:`run_campaign` executes any iterable of
-:class:`~repro.experiments.config.FmmCase` with shared topology caching
-and returns tidy per-case results; :func:`expand_grid` builds the
-cartesian product from keyword lists.
+:class:`~repro.experiments.config.FmmCase` and returns tidy per-case
+results; :func:`expand_grid` builds the cartesian product from keyword
+lists.
+
+Shared event generation
+-----------------------
+A case's event stream depends only on its *instance* fields
+(:data:`~repro.experiments.config.INSTANCE_FIELDS`), never on the
+network, so a grid sweeping topologies and processor-order SFCs against
+a fixed workload — the paper's own §VI design — regenerates identical
+events for every network.  :func:`run_campaign` instead groups cases by
+:meth:`~repro.experiments.config.FmmCase.instance_key`, generates each
+trial's events exactly once per group (compacted to pair histograms via
+:mod:`repro.experiments.artifacts`), and broadcasts the artifact across
+every network in the group.  With ``jobs > 1`` the fan-out unit is one
+``(instance, trial)`` pair.  Every trial uses the same spawned child
+seed as :func:`~repro.experiments.runner.run_case`, and histogram ACD
+evaluation is integer-exact, so grouped campaigns are bit-identical to
+per-case execution at any job count.
 """
 
 from __future__ import annotations
@@ -14,20 +30,22 @@ import itertools
 from typing import Iterable, Sequence
 
 from repro._typing import SeedLike
+from repro.experiments.artifacts import evaluate_artifact, get_trial_artifact
 from repro.experiments.config import FmmCase
 from repro.experiments.reporting import format_rows
 from repro.experiments.runner import (
     CaseResult,
+    TrialResult,
     aggregate_trials,
+    case_topology,
     resolve_jobs,
     run_case,
     run_trial,
     shared_executor,
 )
-from repro.topology.registry import make_topology
 from repro.util.rng import spawn_seeds
 
-__all__ = ["expand_grid", "run_campaign", "format_campaign"]
+__all__ = ["expand_grid", "run_campaign", "format_campaign", "case_groups"]
 
 _GRID_FIELDS = (
     "num_particles",
@@ -38,7 +56,10 @@ _GRID_FIELDS = (
     "processor_curve",
     "distribution",
     "radius",
+    "nfi_metric",
 )
+
+_GRID_DEFAULTS = {"radius": 1, "nfi_metric": "chebyshev"}
 
 
 def expand_grid(**axes: object) -> list[FmmCase]:
@@ -54,6 +75,9 @@ def expand_grid(**axes: object) -> list[FmmCase]:
             processor_curve="hilbert",
             distribution="uniform",
         )   # 4 cases
+
+    ``radius`` (default 1) and ``nfi_metric`` (default ``"chebyshev"``)
+    may be omitted; every other field is required.
     """
     unknown = set(axes) - set(_GRID_FIELDS)
     if unknown:
@@ -65,8 +89,8 @@ def expand_grid(**axes: object) -> list[FmmCase]:
     names: list[str] = []
     for field in _GRID_FIELDS:
         if field not in axes:
-            if field == "radius":
-                axes[field] = 1
+            if field in _GRID_DEFAULTS:
+                axes[field] = _GRID_DEFAULTS[field]
             else:
                 raise ValueError(f"missing required case field {field!r}")
         raw = axes[field]
@@ -78,6 +102,34 @@ def expand_grid(**axes: object) -> list[FmmCase]:
     ]
 
 
+def case_groups(cases: Sequence[FmmCase]) -> dict[tuple, list[int]]:
+    """Indices of ``cases`` grouped by instance key (first-seen order).
+
+    Every case in a group generates bit-identical events for a given
+    trial seed; only the network they are evaluated on differs.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, case in enumerate(cases):
+        groups.setdefault(case.instance_key(), []).append(i)
+    return groups
+
+
+def run_instance_trial(
+    group: tuple[FmmCase, ...],
+    child_seed: SeedLike,
+    parts: tuple[str, ...],
+) -> list[TrialResult]:
+    """One ``(instance, trial)`` unit: build the artifact, evaluate the group.
+
+    All cases in ``group`` must share an instance key; the trial's
+    events are generated once and evaluated against every case's
+    network (memoised per process).  Top-level (picklable) so process
+    pools can execute it.
+    """
+    artifact = get_trial_artifact(group[0], child_seed, parts)
+    return [evaluate_artifact(artifact, case_topology(case), parts) for case in group]
+
+
 def run_campaign(
     cases: Iterable[FmmCase],
     *,
@@ -86,34 +138,57 @@ def run_campaign(
     parts: tuple[str, ...] = ("nfi", "ffi"),
     jobs: int | None = None,
 ) -> list[CaseResult]:
-    """Execute every case, sharing topologies across identical networks.
+    """Execute every case, generating events once per shared instance.
 
-    With ``jobs > 1`` whole cases fan out over a persistent process pool
-    (each worker runs a case's trials serially, so the per-case
-    topology/model build happens exactly once); a single-case campaign
-    falls back to trial-level fan-out.  Every trial uses the same
-    spawned child seed as the serial path, so results are identical for
-    any ``jobs``.
+    Cases agreeing on all instance fields share each trial's particle
+    draw, assignment and NFI/FFI event generation; each finished
+    artifact is broadcast across the group's networks.  With ``jobs >
+    1`` the ``(instance, trial)`` units fan out over a persistent
+    process pool.  Results are returned in input order and are
+    bit-identical to ``[run_case(c, ...) for c in cases]`` at any job
+    count (same spawned child seeds, integer-exact histogram ACD).
     """
     cases = list(cases)
+    if not cases:
+        return []
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
     jobs = resolve_jobs(jobs)
-    if jobs > 1 and len(cases) == 1:
+    if jobs > 1 and len(cases) == 1 and trials > 1:
         # a single case can only parallelise over its trials
         return [run_case(cases[0], trials=trials, seed=seed, parts=parts, jobs=jobs)]
-    if jobs > 1 and len(cases) > 1:
-        return _run_campaign_parallel(cases, trials=trials, seed=seed, parts=parts, jobs=jobs)
-    cache: dict[tuple, object] = {}
-    results = []
-    for case in cases:
-        key = (case.topology, case.num_processors, case.processor_curve)
-        if key not in cache:
-            cache[key] = make_topology(
-                case.topology, case.num_processors, processor_curve=case.processor_curve
+    groups = case_groups(cases)
+    # run_case spawns the same child seeds for every case, so one spawn
+    # serves the whole campaign and sharing preserves bit-identity.
+    seeds = spawn_seeds(seed, trials)
+    units = [
+        (tuple(cases[i] for i in idxs), child)
+        for idxs in groups.values()
+        for child in seeds
+    ]
+    if jobs > 1 and len(units) > 1:
+        pool = shared_executor(jobs)
+        unit_outputs = list(
+            pool.map(
+                run_instance_trial,
+                [group for group, _ in units],
+                [child for _, child in units],
+                [parts] * len(units),
             )
-        results.append(
-            run_case(case, trials=trials, seed=seed, topology=cache[key], parts=parts, jobs=1)
         )
-    return results
+    else:
+        unit_outputs = [
+            run_instance_trial(group, child, parts) for group, child in units
+        ]
+    # scatter the unit results back to (case, trial) slots in trial order
+    outputs: list[list[TrialResult | None]] = [[None] * trials for _ in cases]
+    unit_iter = iter(unit_outputs)
+    for idxs in groups.values():
+        for t in range(trials):
+            group_results = next(unit_iter)
+            for case_pos, i in enumerate(idxs):
+                outputs[i][t] = group_results[case_pos]
+    return [aggregate_trials(case, outputs[i]) for i, case in enumerate(cases)]
 
 
 def run_campaign_case(
@@ -122,37 +197,13 @@ def run_campaign_case(
     seed: SeedLike,
     parts: tuple[str, ...],
 ) -> CaseResult:
-    """One whole case, serially — the campaign's unit of parallel work.
+    """One whole case, serially — kept for per-case (ungrouped) execution.
 
-    Top-level (picklable) for process pools.  Fanning out *cases* rather
-    than individual trials keeps each case's topology/model build on a
-    single worker; the same spawned child seeds as the serial path make
-    the results bit-identical.
+    Top-level (picklable) for process pools; the same spawned child
+    seeds as the grouped path make the results bit-identical.
     """
     outputs = [run_trial(case, child, parts) for child in spawn_seeds(seed, trials)]
     return aggregate_trials(case, outputs)
-
-
-def _run_campaign_parallel(
-    cases: list[FmmCase],
-    *,
-    trials: int,
-    seed: SeedLike,
-    parts: tuple[str, ...],
-    jobs: int,
-) -> list[CaseResult]:
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    pool = shared_executor(jobs)
-    return list(
-        pool.map(
-            run_campaign_case,
-            cases,
-            [trials] * len(cases),
-            [seed] * len(cases),
-            [parts] * len(cases),
-        )
-    )
 
 
 def format_campaign(results: Sequence[CaseResult]) -> str:

@@ -13,12 +13,48 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["FmmCase", "Scale", "SMALL", "PAPER", "SCALES", "active_scale"]
+__all__ = [
+    "FmmCase",
+    "INSTANCE_FIELDS",
+    "EVALUATION_FIELDS",
+    "Scale",
+    "SMALL",
+    "PAPER",
+    "SCALES",
+    "active_scale",
+]
+
+
+#: The :class:`FmmCase` fields that determine the generated event stream
+#: (particles → assignment → NFI/FFI events).  Two cases agreeing on all
+#: of these produce bit-identical events for the same trial seed — the
+#: network never enters event generation, only ACD evaluation.
+INSTANCE_FIELDS: tuple[str, ...] = (
+    "distribution",
+    "num_particles",
+    "order",
+    "particle_curve",
+    "num_processors",
+    "radius",
+    "nfi_metric",
+)
+
+#: The fields that determine how a fixed event stream is *evaluated*:
+#: the network and its processor-order embedding.
+EVALUATION_FIELDS: tuple[str, ...] = ("topology", "num_processors", "processor_curve")
 
 
 @dataclass(frozen=True)
 class FmmCase:
-    """One fully specified FMM communication experiment."""
+    """One fully specified FMM communication experiment.
+
+    A case factors into an *instance* (the event-generating fields, see
+    :data:`INSTANCE_FIELDS`) and an *evaluation* (the network fields,
+    see :data:`EVALUATION_FIELDS`); ``num_processors`` belongs to both
+    because the particle chunking and the network share the rank space.
+    The campaign runner exploits this split to generate events once per
+    instance and evaluate them against every network in the grid.
+    """
 
     num_particles: int
     order: int
@@ -29,6 +65,14 @@ class FmmCase:
     distribution: str
     radius: int = 1
     nfi_metric: str = "chebyshev"
+
+    def instance_key(self) -> tuple:
+        """Hashable key of the event-generating fields."""
+        return tuple(getattr(self, f) for f in INSTANCE_FIELDS)
+
+    def evaluation_key(self) -> tuple:
+        """Hashable key of the network-evaluation fields."""
+        return tuple(getattr(self, f) for f in EVALUATION_FIELDS)
 
     def describe(self) -> str:
         """Short human-readable summary used in logs and reports."""

@@ -16,6 +16,7 @@ back to serial execution.
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -23,10 +24,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._typing import SeedLike
-from repro.distributions.registry import get_distribution
+from repro.experiments.artifacts import evaluate_artifact, get_trial_artifact
 from repro.experiments.config import FmmCase
-from repro.fmm.model import FmmCommunicationModel
-from repro.metrics.acd import ACDResult, acd_breakdown, compute_acd
+from repro.metrics.acd import ACDResult
 from repro.topology.base import Topology
 from repro.topology.registry import make_topology
 from repro.util.rng import spawn_seeds
@@ -38,6 +38,8 @@ __all__ = [
     "aggregate_trials",
     "set_default_jobs",
     "resolve_jobs",
+    "shared_executor",
+    "shutdown_shared_executor",
 ]
 
 _default_jobs: int | None = None
@@ -80,17 +82,29 @@ def shared_executor(jobs: int) -> ProcessPoolExecutor:
 
     Studies invoke :func:`run_case` once per experiment case; keeping the
     workers alive between calls means each worker pays the per-case
-    topology/model build once (its :data:`_worker_models` memo survives)
+    topology build once (its :data:`_worker_topologies` memo survives)
     and the pool spawn cost is paid once per session rather than once
-    per case.
+    per case.  Growing the pool retires the old one with ``wait=True``
+    so its (idle) workers terminate instead of being orphaned, and the
+    final pool is shut down at interpreter exit.
     """
     global _executor, _executor_workers
     if _executor is None or _executor_workers < jobs:
         if _executor is not None:
-            _executor.shutdown(wait=False)
+            _executor.shutdown(wait=True)
         _executor = ProcessPoolExecutor(max_workers=jobs)
         _executor_workers = jobs
     return _executor
+
+
+@atexit.register
+def shutdown_shared_executor(wait: bool = True) -> None:
+    """Shut down the persistent pool (no-op when none is alive)."""
+    global _executor, _executor_workers
+    if _executor is not None:
+        _executor.shutdown(wait=wait)
+        _executor = None
+        _executor_workers = 0
 
 
 @dataclass(frozen=True)
@@ -122,35 +136,23 @@ class CaseResult:
         }
 
 
-# Worker processes rebuild the (deterministic) network and model once per
-# distinct case rather than once per trial.
-_worker_models: dict[tuple, tuple[Topology, FmmCommunicationModel]] = {}
+# Worker processes rebuild the (deterministic) network once per distinct
+# evaluation key rather than once per trial.
+_worker_topologies: dict[tuple, Topology] = {}
 
 
-def _case_model(case: FmmCase, topology: Topology | None) -> tuple[Topology, FmmCommunicationModel]:
-    key = (
-        case.topology,
-        case.num_processors,
-        case.processor_curve,
-        case.particle_curve,
-        case.radius,
-        case.nfi_metric,
-    )
-    cached = _worker_models.get(key)
+def case_topology(case: FmmCase, topology: Topology | None = None) -> Topology:
+    """The case's network, memoised per process by evaluation key."""
+    key = case.evaluation_key()
+    cached = _worker_topologies.get(key)
     if cached is not None:
         return cached
     if topology is None:
         topology = make_topology(
             case.topology, case.num_processors, processor_curve=case.processor_curve
         )
-    model = FmmCommunicationModel(
-        topology,
-        particle_curve=case.particle_curve,
-        radius=case.radius,
-        nfi_metric=case.nfi_metric,
-    )
-    _worker_models[key] = (topology, model)
-    return topology, model
+    _worker_topologies[key] = topology
+    return topology
 
 
 def run_trial(
@@ -161,24 +163,18 @@ def run_trial(
 ) -> TrialResult:
     """One independent trial: draw particles, assign, evaluate ACDs.
 
-    Top-level (picklable) so process pools can execute it; the topology
-    and model are memoised per worker process.
+    Event generation goes through the shared artifact layer
+    (:mod:`repro.experiments.artifacts`): the trial's events are
+    compacted into pair histograms — reused across every case that
+    shares the instance key — and the ACD falls out of one gather + dot
+    product against the (cached) distance matrix.  Integer arithmetic
+    end to end keeps the result bit-identical to streaming the raw
+    events.  Top-level (picklable) so process pools can execute it; the
+    topology is memoised per worker process.
     """
-    topology, model = _case_model(case, topology)
-    distribution = get_distribution(case.distribution)
-    particles = distribution.sample(
-        case.num_particles, case.order, rng=np.random.default_rng(child_seed)
-    )
-    assignment = model.assign(particles)
-    if "nfi" in parts:
-        nfi = compute_acd(model.near_field_events(assignment), topology)
-    else:
-        nfi = ACDResult(0, 0)
-    if "ffi" in parts:
-        ffi = acd_breakdown(model.far_field_events(assignment).as_mapping(), topology)
-    else:
-        ffi = {"combined": ACDResult(0, 0)}
-    return nfi, ffi
+    topology = case_topology(case, topology)
+    artifact = get_trial_artifact(case, child_seed, parts)
+    return evaluate_artifact(artifact, topology, parts)
 
 
 def aggregate_trials(case: FmmCase, outputs: list[TrialResult]) -> CaseResult:

@@ -1,6 +1,6 @@
 """Fast Multipole Method communication model (near field + far field)."""
 
-from repro.fmm.events import CommunicationEvents
+from repro.fmm.events import CommunicationEvents, PairHistogram
 from repro.fmm.ffi import FfiEvents, ffi_events, interaction_events, interpolation_events
 from repro.fmm.ffi3d import FfiEvents3D, ffi_events3d
 from repro.fmm.model import FmmCommunicationModel, FmmReport
@@ -12,6 +12,7 @@ from repro.fmm.volume import weighted_ffi_events
 
 __all__ = [
     "CommunicationEvents",
+    "PairHistogram",
     "nfi_events",
     "shifted_occupied_pairs",
     "FfiEvents",

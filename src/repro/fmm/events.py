@@ -12,10 +12,19 @@ arbitrary volume units); a weighted event counts ``w`` times toward the
 ACD, which turns the metric into "average distance per unit of data
 moved" — the data-volume refinement §VIII lists as future work.
 Unweighted chunks behave as weight 1 throughout.
+
+:meth:`CommunicationEvents.compact` collapses the multiset into a
+:class:`PairHistogram` — the aggregated weight of every distinct
+``(src, dst)`` rank pair.  The histogram determines every metric that
+only looks at endpoints (the ACD in particular) and is bounded by
+``p**2`` entries regardless of how many million events produced it,
+which makes it the natural artifact to cache and share when the same
+event stream is evaluated against many networks.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -23,7 +32,66 @@ import numpy as np
 from repro._typing import IntArray
 from repro.util.validation import as_index_array
 
-__all__ = ["CommunicationEvents"]
+__all__ = ["CommunicationEvents", "PairHistogram"]
+
+#: Largest dense ``p**2`` scratch table ``compact`` will allocate (elements);
+#: beyond this the sort-based sparse path is used.  Both paths produce the
+#: identical histogram.
+_DENSE_COMPACT_CELLS = 1 << 22
+
+
+@dataclass(frozen=True)
+class PairHistogram:
+    """Aggregated event weight per distinct ``(src, dst)`` rank pair.
+
+    Entries are sorted by the flattened key ``src * p + dst`` and carry
+    strictly positive integer weights, so two histograms built from the
+    same multiset — in any chunk order, by either compaction path — are
+    bit-identical.  All ACD arithmetic on a histogram stays in integers,
+    which keeps it exactly equivalent to streaming over the raw events.
+
+    Attributes
+    ----------
+    src, dst:
+        The distinct communicating rank pairs (``int64``, equal length).
+    weights:
+        Total event weight per pair (``int64``, all ``> 0``).
+    num_processors:
+        The rank space ``p`` the pairs live in (flattening base).
+    num_events:
+        Number of raw events the histogram was compacted from.
+    """
+
+    src: IntArray
+    dst: IntArray
+    weights: IntArray
+    num_processors: int
+    num_events: int
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all pair weights (= raw event count when unweighted)."""
+        return int(self.weights.sum()) if self.weights.size else 0
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct communicating rank pairs."""
+        return int(self.src.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the three entry arrays."""
+        return int(self.src.nbytes + self.dst.nbytes + self.weights.nbytes)
+
+    def flat_keys(self) -> IntArray:
+        """The flattened ``src * p + dst`` keys (row-major ``p x p`` index)."""
+        return self.src * self.num_processors + self.dst
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PairHistogram(pairs={self.num_pairs}, events={self.num_events}, "
+            f"p={self.num_processors})"
+        )
 
 
 class CommunicationEvents:
@@ -111,6 +179,65 @@ class CommunicationEvents:
         for s, d, w in self._chunks:
             out.add(d, s, w)
         return out
+
+    def compact(self, num_processors: int | None = None) -> PairHistogram:
+        """Collapse the multiset into a :class:`PairHistogram`.
+
+        Parameters
+        ----------
+        num_processors:
+            The rank space ``p``; defaults to ``max_rank() + 1``.  Every
+            referenced rank must satisfy ``0 <= rank < p``.
+
+        For small rank spaces the aggregation is one dense
+        ``np.bincount`` over the flattened ``src * p + dst`` keys; large
+        rank spaces (``p**2`` beyond the dense scratch budget) use a
+        sort-based sparse path.  The result is identical either way and
+        independent of chunk boundaries and chunk order.
+        """
+        p = self.max_rank() + 1 if num_processors is None else int(num_processors)
+        if p < 1:
+            p = 1
+        if self.max_rank() >= p:
+            raise ValueError(
+                f"events reference rank {self.max_rank()} outside the "
+                f"{p}-processor rank space"
+            )
+        empty = np.empty(0, dtype=np.int64)
+        if not self._chunks:
+            return PairHistogram(empty, empty.copy(), empty.copy(), p, 0)
+        keys = np.concatenate(
+            [s.astype(np.int64) * p + d for s, d, _ in self._chunks]
+        )
+        unweighted = all(w is None for _, _, w in self._chunks)
+        if unweighted:
+            weights = None
+        else:
+            weights = np.concatenate(
+                [
+                    w.astype(np.int64) if w is not None else np.ones(s.size, np.int64)
+                    for s, d, w in self._chunks
+                ]
+            )
+        if p * p <= _DENSE_COMPACT_CELLS:
+            if weights is None:
+                dense = np.bincount(keys, minlength=p * p)
+            else:
+                # float64 bincount sums of int weights are exact below 2**53
+                dense = np.bincount(keys, weights=weights, minlength=p * p)
+            flat = np.nonzero(dense)[0]
+            agg = np.rint(dense[flat]).astype(np.int64)
+        else:
+            flat, inverse = np.unique(keys, return_inverse=True)
+            if weights is None:
+                agg = np.bincount(inverse, minlength=flat.size).astype(np.int64)
+            else:
+                agg = np.rint(
+                    np.bincount(inverse, weights=weights, minlength=flat.size)
+                ).astype(np.int64)
+            keep = agg > 0  # zero-weight events contribute no histogram mass
+            flat, agg = flat[keep], agg[keep]
+        return PairHistogram(flat // p, flat % p, agg, p, self._count)
 
     def max_rank(self) -> int:
         """Largest rank referenced by any event (-1 when empty)."""

@@ -19,19 +19,30 @@ that re-evaluate the same network serve hop distances from a memoised
 ``p x p`` matrix instead of re-running the distance kernel; pass
 ``cache=None`` to force direct kernel evaluation (results are
 identical either way).
+
+Both entry points also accept a pre-compacted
+:class:`~repro.fmm.events.PairHistogram` in place of raw events.  A
+histogram evaluation is one gather + dot product against the (cached)
+``p x p`` distance matrix — ``O(p**2)`` worst case instead of
+``O(#events)`` — and, because every sum stays in integer arithmetic, is
+bit-identical to streaming over the events the histogram was compacted
+from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Union
 
 from repro.errors import ConfigurationError
-from repro.fmm.events import CommunicationEvents
+from repro.fmm.events import CommunicationEvents, PairHistogram
 from repro.topology.base import Topology
 from repro.topology.cache import TopologyCache, get_topology_cache
 
 __all__ = ["ACDResult", "compute_acd", "acd_breakdown"]
+
+#: Either form of an event multiset accepted by the ACD evaluators.
+EventsLike = Union[CommunicationEvents, PairHistogram]
 
 _DEFAULT_CACHE = "default"  # sentinel: resolve the shared cache at call time
 
@@ -67,8 +78,29 @@ class ACDResult:
         return f"ACDResult(acd={self.acd:.4f}, count={self.count})"
 
 
+def _histogram_acd(
+    histogram: PairHistogram,
+    topology: Topology,
+    cache: TopologyCache | None,
+) -> ACDResult:
+    """ACD of a compacted histogram: one distance gather + dot product."""
+    if histogram.num_processors > topology.num_processors:
+        raise ValueError(
+            f"histogram spans {histogram.num_processors} ranks but the "
+            f"topology only has {topology.num_processors}"
+        )
+    if histogram.num_pairs == 0:
+        return ACDResult(0, 0)
+    if cache is None:
+        distances = topology.distance(histogram.src, histogram.dst)
+    else:
+        distances = cache.distances(topology, histogram.src, histogram.dst)
+    total = int(distances.astype("int64") @ histogram.weights)
+    return ACDResult(total_distance=total, count=histogram.total_weight)
+
+
 def compute_acd(
-    events: CommunicationEvents,
+    events: EventsLike,
     topology: Topology,
     *,
     cache: TopologyCache | None | str = _DEFAULT_CACHE,
@@ -79,11 +111,17 @@ def compute_acd(
     ``weight`` to the count, so the result is the average distance per
     unit of data volume; unweighted events behave as weight 1.
 
+    ``events`` may be raw :class:`CommunicationEvents` (streamed chunk
+    by chunk) or a :class:`PairHistogram` (one gather + dot product on
+    the distinct rank pairs); the results are bit-identical.
+
     ``cache`` selects the topology cache serving the distance lookups
     (the process-wide default when omitted, ``None`` to bypass caching).
     """
     if cache == _DEFAULT_CACHE:
         cache = get_topology_cache()
+    if isinstance(events, PairHistogram):
+        return _histogram_acd(events, topology, cache)
     total = 0
     count = 0
     for src, dst, weights in events.iter_weighted_chunks():
@@ -101,15 +139,16 @@ def compute_acd(
 
 
 def acd_breakdown(
-    phases: Mapping[str, CommunicationEvents], topology: Topology
+    phases: Mapping[str, EventsLike], topology: Topology
 ) -> dict[str, ACDResult]:
     """Per-phase ACD plus a pooled ``"combined"`` entry.
 
     Used for the far-field model where interpolation, anterpolation and
     interaction-list traffic are reported separately and together (§IV
-    step 10 sums over all three).  The phase name ``"combined"`` is
-    reserved for that pooled entry; passing a phase with that name
-    raises :class:`~repro.errors.ConfigurationError` instead of silently
+    step 10 sums over all three).  Each phase may be raw events or a
+    :class:`PairHistogram`.  The phase name ``"combined"`` is reserved
+    for that pooled entry; passing a phase with that name raises
+    :class:`~repro.errors.ConfigurationError` instead of silently
     overwriting it.
     """
     if "combined" in phases:

@@ -13,6 +13,8 @@ what lets the far-field event generation stay fully vectorised.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro._typing import IntArray
@@ -20,8 +22,30 @@ from repro._typing import IntArray
 __all__ = ["interaction_offsets", "interaction_list_cells"]
 
 
+@lru_cache(maxsize=4)
+def _interaction_offsets_table(px: int, py: int) -> IntArray:
+    offsets = []
+    for ox in (-1, 0, 1):
+        for oy in (-1, 0, 1):
+            if ox == 0 and oy == 0:
+                continue  # the parent's own children are all adjacent
+            for ix in (0, 1):
+                for iy in (0, 1):
+                    dx = 2 * ox + ix - px
+                    dy = 2 * oy + iy - py
+                    if max(abs(dx), abs(dy)) > 1:
+                        offsets.append((dx, dy))
+    table = np.asarray(offsets, dtype=np.int64)
+    table.setflags(write=False)  # cached instances are shared — keep immutable
+    return table
+
+
 def interaction_offsets(parity_x: int, parity_y: int) -> IntArray:
     """Offsets from a cell with the given parity to its interaction list.
+
+    The four parity classes are tabulated once per process (the
+    far-field generator asks for them at every level of every trial) and
+    returned as shared read-only arrays.
 
     Parameters
     ----------
@@ -34,19 +58,7 @@ def interaction_offsets(parity_x: int, parity_y: int) -> IntArray:
     offset to the cell's coordinates yields an interaction-list
     candidate, still subject to domain-boundary and occupancy checks.
     """
-    px, py = int(parity_x) & 1, int(parity_y) & 1
-    offsets = []
-    for ox in (-1, 0, 1):
-        for oy in (-1, 0, 1):
-            if ox == 0 and oy == 0:
-                continue  # the parent's own children are all adjacent
-            for ix in (0, 1):
-                for iy in (0, 1):
-                    dx = 2 * ox + ix - px
-                    dy = 2 * oy + iy - py
-                    if max(abs(dx), abs(dy)) > 1:
-                        offsets.append((dx, dy))
-    return np.asarray(offsets, dtype=np.int64)
+    return _interaction_offsets_table(int(parity_x) & 1, int(parity_y) & 1)
 
 
 def interaction_list_cells(cx: int, cy: int, level: int) -> IntArray:

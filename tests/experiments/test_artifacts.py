@@ -1,0 +1,174 @@
+"""Tests for the shared trial-artifact layer and its process-wide cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments.artifacts import (
+    EventArtifactCache,
+    artifact_seed_key,
+    build_trial_artifact,
+    evaluate_artifact,
+    get_event_cache,
+    get_trial_artifact,
+    set_event_cache,
+)
+from repro.experiments.config import FmmCase
+from repro.topology.registry import make_topology
+from repro.util.rng import spawn_seeds
+
+
+def case_for(topology="torus", processor_curve="hilbert", **overrides) -> FmmCase:
+    params = dict(
+        num_particles=300,
+        order=5,
+        num_processors=16,
+        topology=topology,
+        particle_curve="hilbert",
+        processor_curve=processor_curve,
+        distribution="uniform",
+        radius=1,
+    )
+    params.update(overrides)
+    return FmmCase(**params)
+
+
+@pytest.fixture
+def fresh_cache():
+    previous = set_event_cache(EventArtifactCache())
+    try:
+        yield get_event_cache()
+    finally:
+        set_event_cache(previous)
+
+
+class TestInstanceEvaluationSplit:
+    def test_instance_key_ignores_network_fields(self):
+        a = case_for(topology="torus", processor_curve="hilbert")
+        b = case_for(topology="hypercube", processor_curve="zcurve")
+        assert a.instance_key() == b.instance_key()
+        assert a.evaluation_key() != b.evaluation_key()
+
+    def test_instance_key_tracks_event_fields(self):
+        assert case_for().instance_key() != case_for(radius=2).instance_key()
+        assert case_for().instance_key() != case_for(nfi_metric="manhattan").instance_key()
+
+    def test_artifact_identical_across_networks(self):
+        (child,) = spawn_seeds(3, 1)
+        a = build_trial_artifact(case_for(topology="torus"), child)
+        b = build_trial_artifact(case_for(topology="hypercube"), child)
+        np.testing.assert_array_equal(a.nfi.src, b.nfi.src)
+        np.testing.assert_array_equal(a.nfi.weights, b.nfi.weights)
+        for phase in a.ffi:
+            np.testing.assert_array_equal(a.ffi[phase].weights, b.ffi[phase].weights)
+
+    def test_evaluate_artifact_parts(self):
+        (child,) = spawn_seeds(3, 1)
+        artifact = build_trial_artifact(case_for(), child, parts=("nfi",))
+        assert artifact.parts == frozenset({"nfi"})
+        topology = make_topology("torus", 16, processor_curve="hilbert")
+        nfi, ffi = evaluate_artifact(artifact, topology, parts=("nfi",))
+        assert nfi.count > 0
+        assert ffi == {"combined": type(nfi)(0, 0)}
+        with pytest.raises(ValueError, match="far-field"):
+            evaluate_artifact(artifact, topology, parts=("ffi",))
+
+
+class TestSeedKey:
+    def test_spawned_seeds_stable_and_distinct(self):
+        a1, a2 = spawn_seeds(5, 2)
+        b1, _ = spawn_seeds(5, 2)
+        assert artifact_seed_key(a1) == artifact_seed_key(b1)
+        assert artifact_seed_key(a1) != artifact_seed_key(a2)
+
+    def test_int_and_none_seeds(self):
+        assert artifact_seed_key(7) == ("raw", 7)
+        assert artifact_seed_key(None) == ("raw", None)
+
+    def test_generator_is_uncacheable(self):
+        assert artifact_seed_key(np.random.default_rng(0)) is None
+
+
+class TestEventArtifactCache:
+    def test_hit_on_shared_instance(self, fresh_cache):
+        (child,) = spawn_seeds(0, 1)
+        a = get_trial_artifact(case_for(topology="torus"), child)
+        b = get_trial_artifact(case_for(topology="hypercube"), child)
+        assert a is b
+        assert fresh_cache.stats["hits"] == 1 and fresh_cache.stats["misses"] == 1
+
+    def test_distinct_seeds_miss(self, fresh_cache):
+        c1, c2 = spawn_seeds(0, 2)
+        assert get_trial_artifact(case_for(), c1) is not get_trial_artifact(case_for(), c2)
+        assert fresh_cache.stats["misses"] == 2
+
+    def test_partial_hit_upgrades_parts(self, fresh_cache):
+        (child,) = spawn_seeds(0, 1)
+        first = get_trial_artifact(case_for(), child, parts=("nfi",))
+        assert first.parts == frozenset({"nfi"})
+        upgraded = get_trial_artifact(case_for(), child, parts=("ffi",))
+        assert upgraded.parts == frozenset({"nfi", "ffi"})
+        assert get_trial_artifact(case_for(), child, parts=("nfi", "ffi")) is upgraded
+        assert fresh_cache.stats["artifacts"] == 1
+
+    def test_byte_budget_evicts_lru(self):
+        cache = EventArtifactCache(max_bytes=1, max_entries=8)
+        (child,) = spawn_seeds(0, 1)
+        built = get_trial_artifact(case_for(), child, cache=cache)
+        assert built.nbytes > 1  # over budget: returned but not retained
+        assert cache.stats["artifacts"] == 0
+
+    def test_entry_cap_evicts_lru(self, fresh_cache):
+        cache = EventArtifactCache(max_bytes=1 << 30, max_entries=2)
+        seeds = spawn_seeds(0, 3)
+        for child in seeds:
+            get_trial_artifact(case_for(), child, cache=cache)
+        assert cache.stats["artifacts"] == 2
+        # the oldest seed was evicted: fetching it again is a miss
+        misses = cache.stats["misses"]
+        get_trial_artifact(case_for(), seeds[0], cache=cache)
+        assert cache.stats["misses"] == misses + 1
+
+    def test_zero_budget_disables_caching(self):
+        cache = EventArtifactCache(max_bytes=0)
+        (child,) = spawn_seeds(0, 1)
+        a = get_trial_artifact(case_for(), child, cache=cache)
+        b = get_trial_artifact(case_for(), child, cache=cache)
+        assert a is not b and cache.stats["artifacts"] == 0
+
+    def test_generator_seed_bypasses_cache(self, fresh_cache):
+        a = get_trial_artifact(case_for(), np.random.default_rng(0))
+        assert fresh_cache.stats == {"hits": 0, "misses": 0, "artifacts": 0, "bytes": 0}
+        assert a.nfi is not None
+
+    def test_clear_resets(self, fresh_cache):
+        (child,) = spawn_seeds(0, 1)
+        get_trial_artifact(case_for(), child)
+        fresh_cache.clear()
+        assert fresh_cache.stats == {"hits": 0, "misses": 0, "artifacts": 0, "bytes": 0}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EventArtifactCache(max_bytes=-1)
+        with pytest.raises(ValueError):
+            EventArtifactCache(max_entries=0)
+        with pytest.raises(TypeError):
+            set_event_cache(object())
+
+    def test_thread_safety_single_build(self, fresh_cache):
+        (child,) = spawn_seeds(0, 1)
+        results = []
+
+        def fetch():
+            results.append(get_trial_artifact(case_for(), child))
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)
+        assert fresh_cache.stats["misses"] == 1

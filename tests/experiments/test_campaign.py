@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.campaign import expand_grid, format_campaign, run_campaign
+from repro.experiments.campaign import (
+    case_groups,
+    expand_grid,
+    format_campaign,
+    run_campaign,
+)
+from repro.experiments.runner import run_case
 
 
 class TestExpandGrid:
@@ -25,6 +31,29 @@ class TestExpandGrid:
     def test_missing_field_rejected(self):
         with pytest.raises(ValueError, match="missing required"):
             expand_grid(num_particles=10)
+
+    def test_nfi_metric_axis(self):
+        cases = expand_grid(
+            num_particles=100,
+            order=5,
+            num_processors=16,
+            topology="torus",
+            particle_curve="hilbert",
+            processor_curve="hilbert",
+            distribution="uniform",
+            nfi_metric=("chebyshev", "manhattan"),
+        )
+        assert {c.nfi_metric for c in cases} == {"chebyshev", "manhattan"}
+        default = expand_grid(
+            num_particles=100,
+            order=5,
+            num_processors=16,
+            topology="torus",
+            particle_curve="hilbert",
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+        assert all(c.nfi_metric == "chebyshev" for c in default)
 
     def test_unknown_field_rejected(self):
         with pytest.raises(ValueError, match="unknown case fields"):
@@ -95,3 +124,58 @@ class TestRunCampaign:
         serial = run_campaign(cases, trials=2, seed=9, jobs=1)
         parallel = run_campaign(cases, trials=2, seed=9, jobs=2)
         assert serial == parallel
+
+    def test_empty_campaign(self):
+        assert run_campaign([]) == []
+
+
+class TestSharedEventGeneration:
+    """Grouped campaigns must be bit-identical to per-case execution."""
+
+    #: Mixed grid: the topology axis shares instances (one group per
+    #: particle curve), the particle-curve axis splits them.
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return expand_grid(
+            num_particles=300,
+            order=5,
+            num_processors=16,
+            topology=("torus", "hypercube", "mesh", "ring"),
+            particle_curve=("hilbert", "zcurve"),
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+
+    def test_grouping_by_instance_key(self, cases):
+        groups = case_groups(cases)
+        assert len(groups) == 2  # one per particle curve
+        assert sorted(i for idxs in groups.values() for i in idxs) == list(
+            range(len(cases))
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_campaign_bit_identical_to_per_case(self, cases, jobs):
+        grouped = run_campaign(cases, trials=2, seed=13, jobs=jobs)
+        per_case = [run_case(c, trials=2, seed=13, jobs=1) for c in cases]
+        assert grouped == per_case  # CaseResult equality is exact (floats included)
+
+    def test_heterogeneous_instances_still_exact(self):
+        # no two cases share an instance: grouping must be a no-op
+        cases = expand_grid(
+            num_particles=200,
+            order=5,
+            num_processors=16,
+            topology="torus",
+            particle_curve="hilbert",
+            processor_curve="hilbert",
+            distribution=("uniform", "normal", "exponential"),
+        )
+        assert len(case_groups(cases)) == 3
+        grouped = run_campaign(cases, trials=1, seed=4)
+        per_case = [run_case(c, trials=1, seed=4) for c in cases]
+        assert grouped == per_case
+
+    def test_nfi_only_campaign_matches_per_case(self, cases):
+        grouped = run_campaign(cases, trials=1, seed=2, parts=("nfi",))
+        per_case = [run_case(c, trials=1, seed=2, parts=("nfi",)) for c in cases]
+        assert grouped == per_case

@@ -104,3 +104,32 @@ class TestParallelRunner:
         from repro.experiments.runner import run_trial
 
         assert pickle.loads(pickle.dumps(run_trial)) is run_trial
+
+
+class TestSharedExecutor:
+    def test_growth_retires_old_pool(self):
+        from repro.experiments import runner
+
+        runner.shutdown_shared_executor()  # earlier tests may have left a pool
+        try:
+            first = runner.shared_executor(1)
+            assert runner.shared_executor(1) is first  # reused, not rebuilt
+            second = runner.shared_executor(2)
+            assert second is not first
+            # the old pool was shut down, not orphaned
+            with pytest.raises(RuntimeError):
+                first.submit(int)
+            assert second.submit(int).result() == 0
+        finally:
+            runner.shutdown_shared_executor()
+
+    def test_shutdown_is_idempotent(self):
+        from repro.experiments import runner
+
+        runner.shutdown_shared_executor()
+        runner.shutdown_shared_executor()  # no pool alive: no-op
+        pool = runner.shared_executor(1)
+        assert pool.submit(int).result() == 0
+        runner.shutdown_shared_executor()
+        with pytest.raises(RuntimeError):
+            pool.submit(int)
