@@ -1,0 +1,195 @@
+"""Study-driver speedup: shared campaign lowering and the result store.
+
+PR 3 routes every paper study through one driver
+(:func:`repro.experiments.study.run_study`) that lowers the declared
+case grid through the grouped campaign engine and persists per-case
+results in the :class:`~repro.experiments.store.ResultStore`.  This
+benchmark measures the fig6+fig7 pair — the two studies whose grids the
+old hand-rolled loops executed case by case — three ways:
+
+* **per-case baseline** — serial ``run_case`` per grid point with the
+  event-artifact cache disabled, exactly what the pre-framework study
+  loops did;
+* **cold shared engine** — ``run_study`` into an empty store: instances
+  share event generation (all six fig6 topologies of a curve reuse each
+  trial's events) and every finished case is persisted;
+* **warm store** — the same ``run_study`` calls again: every case loads
+  from disk and zero trial computations run (asserted by patching the
+  instance-trial entry point).
+
+All three must agree bit-for-bit.  Timings are appended to
+``benchmarks/BENCH_studies.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.artifacts import EventArtifactCache, set_event_cache
+from repro.experiments.config import SMALL
+from repro.experiments.runner import run_case
+from repro.experiments.scaling_study import SCALING_STUDY, plan_scaling_study
+from repro.experiments.store import ResultStore
+from repro.experiments.study import StudyContext, run_study
+from repro.experiments.topology_study import TOPOLOGY_STUDY, plan_topology_study
+
+TRAJECTORY = Path(__file__).parent / "BENCH_studies.json"
+
+# Per-tier workloads (cf. bench_campaign.bench_args): fig6 carries all
+# of the pair's instance sharing (six topologies per curve), while fig7
+# sweeps the processor count — an *instance* field, so its points share
+# nothing and only ride the engine's fan-out.  The bench keeps fig7's
+# axis modest so the measured speedup reflects the sharing the grouped
+# engine exists to exploit.
+TINY = dataclasses.replace(
+    SMALL,
+    name="bench-tiny",
+    topo_particles=2_000,
+    topo_order=6,
+    topo_processors=256,
+    topo_radius=2,
+    scaling_particles=2_000,
+    scaling_order=6,
+    scaling_processors=(16, 64),
+    trials=2,
+)
+
+SMALL_BENCH = dataclasses.replace(
+    SMALL,
+    name="bench-small",
+    topo_particles=60_000,
+    topo_order=9,
+    topo_processors=1_024,
+    topo_radius=4,
+    scaling_particles=20_000,
+    scaling_order=8,
+    scaling_processors=(16, 64, 256),
+    trials=3,
+)
+
+PAPER_BENCH = dataclasses.replace(
+    SMALL,
+    name="bench-paper",
+    topo_particles=250_000,
+    topo_order=10,
+    topo_processors=4_096,
+    topo_radius=4,
+    scaling_particles=100_000,
+    scaling_order=9,
+    scaling_processors=(64, 256, 1_024, 4_096),
+    trials=3,
+)
+
+SEED = 2013
+
+
+def append_trajectory(record: dict) -> None:
+    history = []
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text())
+    history.append(record)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _run_pair(ctx):
+    """fig6 then fig7 through the shared study driver."""
+    fig6 = run_study(TOPOLOGY_STUDY, ctx)
+    fig7 = run_study(SCALING_STUDY, ctx)
+    return fig6, fig7
+
+
+@pytest.mark.paper_artifact("ext-study-driver")
+def test_study_driver_speedup(benchmark, scale, report, tmp_path, monkeypatch):
+    tiny = bool(os.environ.get("REPRO_BENCH_TINY"))
+    if tiny:
+        preset = TINY
+    else:
+        preset = PAPER_BENCH if scale.name == "paper" else SMALL_BENCH
+    trials = preset.trials
+    store = ResultStore(tmp_path / "store")
+    ctx = StudyContext(scale=preset, seed=SEED, trials=trials, store=store)
+
+    previous = set_event_cache(EventArtifactCache())
+    try:
+        # Warm-up pass (no store): pays the lazy distance-matrix builds
+        # so the timed passes all see the same warm topology cache.
+        benchmark.pedantic(
+            _run_pair,
+            args=(StudyContext(scale=preset, seed=SEED, trials=trials, store=None),),
+            rounds=1,
+            iterations=1,
+        )
+
+        # Per-case baseline: what the pre-framework study loops did —
+        # one run_case per grid point, no event sharing at all.
+        plans = (plan_topology_study(ctx), plan_scaling_study(ctx))
+        cases = [unit.case for plan in plans for unit in plan.units]
+        set_event_cache(EventArtifactCache(max_bytes=0))
+        t0 = time.perf_counter()
+        per_case = {
+            c: run_case(c, trials=trials, seed=SEED, jobs=1) for c in cases
+        }
+        t1 = time.perf_counter()
+
+        # Cold shared engine into an empty store.
+        set_event_cache(EventArtifactCache())
+        t2 = time.perf_counter()
+        cold6, cold7 = _run_pair(ctx)
+        t3 = time.perf_counter()
+
+        # Warm store: zero trial computations allowed.
+        import repro.experiments.campaign as campaign_mod
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("trial computed despite warm store")
+
+        monkeypatch.setattr(campaign_mod, "run_instance_trial", forbidden)
+        t4 = time.perf_counter()
+        warm6, warm7 = _run_pair(ctx)
+        t5 = time.perf_counter()
+    finally:
+        set_event_cache(previous)
+
+    # The shared engine and the store must change nothing but the speed.
+    assert (warm6, warm7) == (cold6, cold7)
+    fig6_plan, fig7_plan = plans
+    for unit in fig6_plan.units:
+        topo, curve = unit.key
+        assert cold6.nfi[topo][curve] == per_case[unit.case].nfi_acd
+        assert cold6.ffi[topo][curve] == per_case[unit.case].ffi_acd
+    counts = fig7_plan.meta["processor_counts"]
+    for unit in fig7_plan.units:
+        p, curve = unit.key
+        assert cold7.nfi[curve][counts.index(p)] == per_case[unit.case].nfi_acd
+        assert cold7.ffi[curve][counts.index(p)] == per_case[unit.case].ffi_acd
+
+    per_case_s, shared_s, warm_s = t1 - t0, t3 - t2, t5 - t4
+    speedup = per_case_s / shared_s if shared_s else float("inf")
+    record = {
+        "scale": preset.name,
+        "tiny": tiny,
+        "num_cases": len(cases),
+        "trials": trials,
+        "per_case_s": round(per_case_s, 3),
+        "shared_s": round(shared_s, 3),
+        "warm_store_s": round(warm_s, 3),
+        "speedup": round(speedup, 2),
+        "store_entries": len(store),
+        "store_hits": store.hits,
+    }
+    append_trajectory(record)
+    report(
+        f"Study driver: per-case loops vs shared engine vs warm store (scale={preset.name})",
+        json.dumps(record, indent=2),
+    )
+    assert len(store) == len(cases)
+    # fig6's six topologies share each curve's events; the pair must win
+    # >= 3x end to end (relaxed under tiny CI sizes).
+    floor = 1.5 if tiny else 3.0
+    assert speedup >= floor, f"speedup {speedup:.2f}x below the {floor}x floor"

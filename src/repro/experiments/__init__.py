@@ -1,12 +1,22 @@
-"""Experiment harness: one runner per paper table/figure, plus presets."""
+"""Experiment harness: one registered study per paper table/figure.
+
+Every paper artefact is a :class:`~repro.experiments.study.Study` in the
+:data:`~repro.experiments.study.STUDIES` registry; the per-study
+``run_*`` functions remain as thin wrappers over
+:func:`~repro.experiments.study.run_study`.
+"""
 
 from repro.experiments.ablation import (
+    ABLATION_STUDIES,
+    AblationResult,
     AblationRow,
     continuity_ablation,
     ffi_granularity_ablation,
+    format_ablation,
     hypercube_layout_ablation,
     interpolation_reading_ablation,
     quadtree_convention_ablation,
+    run_ablation,
 )
 from repro.experiments.anns_study import AnnsStudyResult, format_anns_study, run_anns_study
 from repro.experiments.clustering_study import (
@@ -27,6 +37,7 @@ from repro.experiments.campaign import (
     case_groups,
     expand_grid,
     format_campaign,
+    iter_campaign,
     run_campaign,
 )
 from repro.experiments.config import (
@@ -55,9 +66,30 @@ from repro.experiments.scaling_study import (
     run_scaling_study,
 )
 from repro.experiments.sfc_pairs import SfcPairsResult, format_sfc_pairs, run_sfc_pairs
+from repro.experiments.store import (
+    MISS,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    default_store,
+    register_store_codec,
+)
+from repro.experiments.study import (
+    STUDIES,
+    ComputeUnit,
+    FmmUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    get_study,
+    register_study,
+    run_study,
+    study_names,
+)
 from repro.experiments.study3d import (
     PAPER_CURVES_3D,
+    Anns3dStudyResult,
     Study3DResult,
+    format_anns3d_study,
     format_study3d,
     run_anns3d_study,
     run_study3d,
@@ -117,8 +149,30 @@ __all__ = [
     "format_clustering_study",
     "expand_grid",
     "run_campaign",
+    "iter_campaign",
     "format_campaign",
     "case_groups",
+    "Study",
+    "StudyContext",
+    "StudyPlan",
+    "FmmUnit",
+    "ComputeUnit",
+    "STUDIES",
+    "register_study",
+    "get_study",
+    "study_names",
+    "run_study",
+    "ResultStore",
+    "default_store",
+    "register_store_codec",
+    "MISS",
+    "STORE_SCHEMA_VERSION",
+    "AblationResult",
+    "ABLATION_STUDIES",
+    "run_ablation",
+    "format_ablation",
+    "Anns3dStudyResult",
+    "format_anns3d_study",
     "INSTANCE_FIELDS",
     "EVALUATION_FIELDS",
     "TrialArtifact",

@@ -14,6 +14,11 @@ function here measures how much one of those choices matters:
 * :func:`continuity_ablation` — snake vs row-major: does geometric
   continuity alone help the ACD, or is the recursive structure doing
   the work?
+
+Each ablation is also a registered study (``ablation_*``) wrapping its
+function in a single :class:`~repro.experiments.study.ComputeUnit`, so
+the CLI's ``ablations`` command goes through the shared driver and the
+result store like every other study.
 """
 
 from __future__ import annotations
@@ -22,6 +27,17 @@ from dataclasses import dataclass
 
 from repro._typing import SeedLike
 from repro.distributions.registry import get_distribution
+from repro.experiments.io import ResultSchema
+from repro.experiments.reporting import format_rows
+from repro.experiments.store import register_store_codec
+from repro.experiments.study import (
+    ComputeUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    register_study,
+    run_study,
+)
 from repro.fmm.model import FmmCommunicationModel
 from repro.metrics.acd import acd_breakdown, compute_acd
 from repro.topology.hypercube import HypercubeTopology
@@ -30,11 +46,15 @@ from repro.topology.registry import make_topology
 
 __all__ = [
     "AblationRow",
+    "AblationResult",
+    "ABLATION_STUDIES",
     "quadtree_convention_ablation",
     "ffi_granularity_ablation",
     "interpolation_reading_ablation",
     "hypercube_layout_ablation",
     "continuity_ablation",
+    "run_ablation",
+    "format_ablation",
 ]
 
 
@@ -174,3 +194,99 @@ def continuity_ablation(
         report = model.evaluate(particles)
         rows.append(AblationRow(curve, report.nfi_acd, report.ffi_acd))
     return rows
+
+
+# --- study registrations -------------------------------------------------
+
+register_store_codec(
+    "AblationRow",
+    AblationRow,
+    lambda row: row.as_dict(),
+    lambda data: AblationRow(**data),
+)
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """One ablation's rows, tagged with the ablation's registry name."""
+
+    ablation: str
+    title: str
+    rows: list[AblationRow]
+
+
+def format_ablation(result: AblationResult) -> str:
+    """Render one ablation as the CLI's fixed-width table."""
+    rows = [r.as_dict() for r in result.rows]
+    return f"Ablation: {result.title}\n" + format_rows(rows, ["variant", "nfi_acd", "ffi_acd"])
+
+
+def _flatten_ablation(result: AblationResult) -> list[dict]:
+    return [{"ablation": result.ablation, **row.as_dict()} for row in result.rows]
+
+
+def _restore_ablation(data: dict) -> dict:
+    data["rows"] = [
+        row if isinstance(row, AblationRow) else AblationRow(**row) for row in data["rows"]
+    ]
+    return data
+
+
+_ABLATION_SCHEMA = ResultSchema(
+    AblationResult, flatten=_flatten_ablation, restore=_restore_ablation
+)
+
+#: registry name -> (display title, ablation function), in CLI print order.
+ABLATION_STUDIES: dict[str, tuple[str, object]] = {}
+
+
+def _register_ablation(name: str, title: str, fn) -> Study:
+    def plan(ctx: StudyContext, _name=name, _fn=fn) -> StudyPlan:
+        return StudyPlan(
+            units=(
+                ComputeUnit(key=(_name,), fn=_fn, kwargs=(("seed", ctx.seed),)),
+            ),
+            seed=ctx.seed,
+            meta={"ablation": _name, "title": title},
+        )
+
+    def collect(plan: StudyPlan, outputs: list, _name=name, _title=title) -> AblationResult:
+        rows = [
+            row if isinstance(row, AblationRow) else AblationRow(**row)
+            for row in outputs[0]
+        ]
+        return AblationResult(ablation=_name, title=_title, rows=rows)
+
+    study = register_study(
+        Study(
+            name=f"ablation_{name}",
+            title=f"Ablation — {title}",
+            result_type=AblationResult,
+            plan=plan,
+            collect=collect,
+            render=format_ablation,
+            schema=_ABLATION_SCHEMA,
+        )
+    )
+    ABLATION_STUDIES[name] = (title, fn)
+    return study
+
+
+_register_ablation(
+    "quadtree_convention", "quadtree hop convention", quadtree_convention_ablation
+)
+_register_ablation("ffi_granularity", "FFI granularity", ffi_granularity_ablation)
+_register_ablation(
+    "interpolation_reading",
+    "far-field upward-pass reading",
+    interpolation_reading_ablation,
+)
+_register_ablation("hypercube_layout", "hypercube layout", hypercube_layout_ablation)
+_register_ablation("continuity", "continuity vs recursion", continuity_ablation)
+
+
+def run_ablation(name: str, *, seed: SeedLike = 0) -> AblationResult:
+    """Run one registered ablation through the study driver."""
+    from repro.experiments.study import get_study
+
+    return run_study(get_study(f"ablation_{name}"), StudyContext(seed=seed))

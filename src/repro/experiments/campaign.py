@@ -27,7 +27,7 @@ per-case execution at any job count.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro._typing import SeedLike
 from repro.experiments.artifacts import evaluate_artifact, get_trial_artifact
@@ -36,16 +36,16 @@ from repro.experiments.reporting import format_rows
 from repro.experiments.runner import (
     CaseResult,
     TrialResult,
+    _check_parts,
     aggregate_trials,
     case_topology,
+    map_units,
     resolve_jobs,
-    run_case,
     run_trial,
-    shared_executor,
 )
 from repro.util.rng import spawn_seeds
 
-__all__ = ["expand_grid", "run_campaign", "format_campaign", "case_groups"]
+__all__ = ["expand_grid", "run_campaign", "iter_campaign", "format_campaign", "case_groups"]
 
 _GRID_FIELDS = (
     "num_particles",
@@ -130,6 +130,54 @@ def run_instance_trial(
     return [evaluate_artifact(artifact, case_topology(case), parts) for case in group]
 
 
+def iter_campaign(
+    cases: Sequence[FmmCase],
+    *,
+    trials: int = 3,
+    seed: SeedLike = 0,
+    parts: tuple[str, ...] = ("nfi", "ffi"),
+    jobs: int | None = None,
+) -> Iterator[tuple[int, CaseResult]]:
+    """Stream ``(index, CaseResult)`` pairs as instance groups complete.
+
+    The incremental face of the campaign engine: cases are grouped by
+    instance key, ``(instance, trial)`` units fan out through
+    :func:`~repro.experiments.runner.map_units` (all units are scheduled
+    up front, so ``jobs > 1`` parallelism is unaffected by streaming),
+    and every case of a group is yielded as soon as the group's last
+    trial lands.  Consumers — notably the study driver's result store —
+    can persist each case before the sweep finishes.  Results are
+    bit-identical to :func:`run_campaign` (which is this iterator,
+    drained).
+    """
+    cases = list(cases)
+    if not cases:
+        return
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    _check_parts(parts)
+    jobs = resolve_jobs(jobs)
+    groups = case_groups(cases)
+    # run_case spawns the same child seeds for every case, so one spawn
+    # serves the whole campaign and sharing preserves bit-identity.
+    seeds = spawn_seeds(seed, trials)
+    units = [
+        (tuple(cases[i] for i in idxs), child, parts)
+        for idxs in groups.values()
+        for child in seeds
+    ]
+    unit_outputs = map_units(run_instance_trial, units, jobs)
+    # gather each group's trials in order, then emit its finished cases
+    for idxs in groups.values():
+        trial_results: list[list[TrialResult]] = [
+            next(unit_outputs) for _ in range(trials)
+        ]
+        for case_pos, i in enumerate(idxs):
+            yield i, aggregate_trials(
+                cases[i], [trial_results[t][case_pos] for t in range(trials)]
+            )
+
+
 def run_campaign(
     cases: Iterable[FmmCase],
     *,
@@ -149,46 +197,12 @@ def run_campaign(
     count (same spawned child seeds, integer-exact histogram ACD).
     """
     cases = list(cases)
-    if not cases:
-        return []
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
-    jobs = resolve_jobs(jobs)
-    if jobs > 1 and len(cases) == 1 and trials > 1:
-        # a single case can only parallelise over its trials
-        return [run_case(cases[0], trials=trials, seed=seed, parts=parts, jobs=jobs)]
-    groups = case_groups(cases)
-    # run_case spawns the same child seeds for every case, so one spawn
-    # serves the whole campaign and sharing preserves bit-identity.
-    seeds = spawn_seeds(seed, trials)
-    units = [
-        (tuple(cases[i] for i in idxs), child)
-        for idxs in groups.values()
-        for child in seeds
-    ]
-    if jobs > 1 and len(units) > 1:
-        pool = shared_executor(jobs)
-        unit_outputs = list(
-            pool.map(
-                run_instance_trial,
-                [group for group, _ in units],
-                [child for _, child in units],
-                [parts] * len(units),
-            )
-        )
-    else:
-        unit_outputs = [
-            run_instance_trial(group, child, parts) for group, child in units
-        ]
-    # scatter the unit results back to (case, trial) slots in trial order
-    outputs: list[list[TrialResult | None]] = [[None] * trials for _ in cases]
-    unit_iter = iter(unit_outputs)
-    for idxs in groups.values():
-        for t in range(trials):
-            group_results = next(unit_iter)
-            for case_pos, i in enumerate(idxs):
-                outputs[i][t] = group_results[case_pos]
-    return [aggregate_trials(case, outputs[i]) for i, case in enumerate(cases)]
+    results: list[CaseResult | None] = [None] * len(cases)
+    for i, result in iter_campaign(
+        cases, trials=trials, seed=seed, parts=parts, jobs=jobs
+    ):
+        results[i] = result
+    return results  # type: ignore[return-value]
 
 
 def run_campaign_case(

@@ -12,53 +12,53 @@ Usage::
     repro-experiments all                    # everything, in paper order
 
     repro-experiments fig5 --json fig5.json --csv fig5.csv
+    repro-experiments all --json out/ --csv out/   # one file per study
+    repro-experiments fig7 --store results/        # resumable result store
+
+Every command resolves to one or more registered studies (see
+:mod:`repro.experiments.study`) executed by the shared driver — grouped
+campaign lowering, ``--jobs`` fan-out and the persistent result store
+apply uniformly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.experiments.ablation import (
-    continuity_ablation,
-    ffi_granularity_ablation,
-    hypercube_layout_ablation,
-    interpolation_reading_ablation,
-    quadtree_convention_ablation,
-)
-from repro.experiments.anns_study import format_anns_study, run_anns_study
-from repro.experiments.clustering_study import (
-    format_clustering_study,
-    run_clustering_study,
-)
+# Importing the study modules populates the STUDIES registry.
+import repro.experiments  # noqa: F401
+from repro.experiments.config import active_scale
 from repro.experiments.io import save_result, write_csv
-from repro.experiments.parametric import (
-    format_sweep,
-    run_distribution_sweep,
-    run_input_size_sweep,
-    run_radius_sweep,
-)
-from repro.experiments.reporting import format_rows
 from repro.experiments.runner import set_default_jobs
-from repro.experiments.scaling_study import format_scaling_study, run_scaling_study
-from repro.experiments.sfc_pairs import format_sfc_pairs, run_sfc_pairs
-from repro.experiments.reporting import format_series
-from repro.experiments.study3d import format_study3d, run_anns3d_study, run_study3d
-from repro.experiments.topology_study import format_topology_study, run_topology_study
+from repro.experiments.store import ResultStore
+from repro.experiments.study import ENV_STORE, StudyContext, get_study, run_study
 
-__all__ = ["main"]
+__all__ = ["main", "COMMANDS", "EXPERIMENTS"]
 
-EXPERIMENTS = (
-    "fig5",
-    "tables",
-    "fig6",
-    "fig7",
-    "sweeps",
-    "ablations",
-    "validate3d",
-    "clustering",
-    "all",
-)
+#: CLI command -> the registered studies it runs, in print order.
+COMMANDS: dict[str, tuple[str, ...]] = {
+    "fig5": ("fig5",),
+    "tables": ("tables",),
+    "fig6": ("fig6",),
+    "fig7": ("fig7",),
+    "sweeps": ("sweep_radius", "sweep_input_size", "sweep_distribution"),
+    "ablations": (
+        "ablation_quadtree_convention",
+        "ablation_ffi_granularity",
+        "ablation_interpolation_reading",
+        "ablation_hypercube_layout",
+        "ablation_continuity",
+    ),
+    "validate3d": ("validate3d", "anns3d"),
+    "clustering": ("clustering",),
+}
+
+#: ``all`` regenerates every artefact in the paper's order.
+ALL_ORDER = ("fig5", "tables", "fig6", "fig7", "sweeps", "ablations", "validate3d", "clustering")
+
+EXPERIMENTS = (*COMMANDS, "all")
 
 
 def _print(text: str) -> None:
@@ -92,69 +92,82 @@ def main(argv: list[str] | None = None) -> int:
         "results are identical for any value",
     )
     parser.add_argument(
-        "--json", default=None, metavar="PATH", help="also save the result as JSON"
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store directory (default: REPRO_STORE env var); "
+        "finished cases are reused, interrupted sweeps resume",
     )
     parser.add_argument(
-        "--csv", default=None, metavar="PATH", help="also save the result as CSV"
+        "--no-store",
+        action="store_true",
+        help="bypass the result store even if REPRO_STORE is set",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also save results as JSON (a directory when the command runs several studies)",
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="also save results as CSV (a directory when the command runs several studies)",
     )
     args = parser.parse_args(argv)
-    if (args.json or args.csv) and args.experiment in ("sweeps", "ablations", "all"):
-        parser.error("--json/--csv require a single-result experiment")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.store and args.no_store:
+        parser.error("--store and --no-store are mutually exclusive")
     set_default_jobs(args.jobs)
 
-    want = args.experiment
-    saved = None
-    if want in ("fig5", "all"):
-        result = run_anns_study(args.scale)
-        _print(format_anns_study(result))
-        saved = result
-    if want in ("tables", "all"):
-        result = run_sfc_pairs(args.scale, seed=args.seed, trials=args.trials)
-        _print(format_sfc_pairs(result))
-        saved = result
-    if want in ("fig6", "all"):
-        result = run_topology_study(args.scale, seed=args.seed, trials=args.trials)
-        _print(format_topology_study(result))
-        saved = result
-    if want in ("fig7", "all"):
-        result = run_scaling_study(args.scale, seed=args.seed, trials=args.trials)
-        _print(format_scaling_study(result))
-        saved = result
-    if want in ("sweeps", "all"):
-        for runner in (run_radius_sweep, run_input_size_sweep, run_distribution_sweep):
-            _print(format_sweep(runner(args.scale, seed=args.seed, trials=args.trials)))
-    if want in ("ablations", "all"):
-        for title, runner in (
-            ("quadtree hop convention", quadtree_convention_ablation),
-            ("FFI granularity", ffi_granularity_ablation),
-            ("far-field upward-pass reading", interpolation_reading_ablation),
-            ("hypercube layout", hypercube_layout_ablation),
-            ("continuity vs recursion", continuity_ablation),
-        ):
-            rows = [r.as_dict() for r in runner(seed=args.seed)]
-            _print(f"Ablation: {title}\n" + format_rows(rows, ["variant", "nfi_acd", "ffi_acd"]))
-    if want in ("validate3d", "all"):
-        _print(format_study3d(run_study3d(seed=args.seed)))
-        orders = (1, 2, 3, 4)
-        _print(
-            format_series(
-                run_anns3d_study(orders=orders),
-                [1 << k for k in orders],
-                "3D ANNS (r=1)",
-                "cube side",
-            )
-        )
-    if want in ("clustering", "all"):
-        _print(format_clustering_study(run_clustering_study(seed=args.seed)))
+    if args.no_store:
+        store = None
+    elif args.store:
+        store = ResultStore(args.store)
+    else:
+        store = ENV_STORE
+    ctx = StudyContext(
+        scale=None if args.scale is None else active_scale(args.scale),
+        seed=args.seed,
+        trials=args.trials,
+        store=store,
+    )
 
-    if args.json and saved is not None:
-        save_result(saved, args.json)
-        print(f"saved JSON to {args.json}")
-    if args.csv and saved is not None:
-        write_csv(saved, args.csv)
-        print(f"saved CSV to {args.csv}")
+    names = [
+        study
+        for command in (ALL_ORDER if args.experiment == "all" else (args.experiment,))
+        for study in COMMANDS[command]
+    ]
+    results: dict[str, object] = {}
+    for name in names:
+        study = get_study(name)
+        result = run_study(study, ctx)
+        _print(study.render(result))
+        results[name] = result
+
+    for flag, path, writer, label in (
+        ("--json", args.json, save_result, "JSON"),
+        ("--csv", args.csv, write_csv, "CSV"),
+    ):
+        if not path:
+            continue
+        ext = label.lower()
+        if len(results) == 1:
+            ((name, result),) = results.items()
+            target = Path(path)
+            if target.is_dir() or str(path).endswith(("/", "\\")):
+                target.mkdir(parents=True, exist_ok=True)
+                target = target / f"{name}.{ext}"
+            writer(result, target)
+            print(f"saved {label} to {target}")
+        else:
+            out_dir = Path(path)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for name, result in results.items():
+                writer(result, out_dir / f"{name}.{ext}")
+            print(f"saved {label} for {len(results)} studies to {out_dir}")
     return 0
 
 

@@ -6,7 +6,9 @@ al. 2001).  Its surprising §V result — Hilbert *loses* the ANNS — is
 surprising exactly because Hilbert *wins* clustering.  This study
 regenerates that contrast inside one framework: average cluster counts
 over random square range queries, swept over query sizes, for every
-curve.
+curve.  Each ``(query size, curve)`` cell is one declared
+:class:`~repro.experiments.study.ComputeUnit`, so the sweep fans out
+over ``--jobs`` and persists per-cell in the result store.
 """
 
 from __future__ import annotations
@@ -14,11 +16,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._typing import SeedLike
+from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_series
+from repro.experiments.study import (
+    ComputeUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    outputs_by_key,
+    register_study,
+    run_study,
+)
 from repro.metrics.clustering import average_clusters
 from repro.sfc.registry import PAPER_CURVES
 
-__all__ = ["ClusteringStudyResult", "run_clustering_study", "format_clustering_study"]
+__all__ = [
+    "ClusteringStudyResult",
+    "CLUSTERING_STUDY",
+    "run_clustering_study",
+    "format_clustering_study",
+]
+
+#: Default sweep (lattice 2^7, query sides 2..16, snake as extra curve).
+DEFAULT_ORDER = 7
+DEFAULT_QUERY_SIZES: tuple[int, ...] = (2, 4, 8, 16)
+CLUSTERING_CURVES: tuple[str, ...] = PAPER_CURVES + ("snake",)
+DEFAULT_SAMPLES = 400
 
 
 @dataclass(frozen=True)
@@ -32,26 +55,47 @@ class ClusteringStudyResult:
     values: dict[str, list[float]]
 
 
-def run_clustering_study(
-    order: int = 7,
-    query_sizes: tuple[int, ...] = (2, 4, 8, 16),
-    *,
-    curves: tuple[str, ...] = PAPER_CURVES + ("snake",),
-    samples: int = 400,
-    seed: SeedLike = 2013,
-) -> ClusteringStudyResult:
-    """Sweep query sizes and average cluster counts per curve."""
+def clustering_point(curve: str, order: int, query_size: int, samples: int, seed) -> float:
+    """One sweep cell: mean clusters for a curve at one query size."""
+    return average_clusters(curve, order, query_size=query_size, rng=seed, samples=samples)
+
+
+def plan_clustering_study(
+    ctx: StudyContext,
+    order: int = DEFAULT_ORDER,
+    query_sizes: tuple[int, ...] = DEFAULT_QUERY_SIZES,
+    curves: tuple[str, ...] = CLUSTERING_CURVES,
+    samples: int = DEFAULT_SAMPLES,
+) -> StudyPlan:
+    """Declare the clustering sweep: every (query size, curve) cell."""
     side = 1 << order
     if max(query_sizes) > side:
         raise ValueError(f"query size {max(query_sizes)} exceeds lattice side {side}")
-    values: dict[str, list[float]] = {c: [] for c in curves}
-    for q in query_sizes:
-        for curve in curves:
-            values[curve].append(
-                average_clusters(curve, order, query_size=q, rng=seed, samples=samples)
-            )
+    units = tuple(
+        ComputeUnit(
+            key=(q, curve),
+            fn=clustering_point,
+            args=(curve, order, q, samples, ctx.seed),
+        )
+        for q in query_sizes
+        for curve in curves
+    )
+    return StudyPlan(
+        units=units,
+        seed=ctx.seed,
+        meta={"order": order, "query_sizes": tuple(query_sizes), "curves": tuple(curves)},
+    )
+
+
+def collect_clustering_study(plan: StudyPlan, outputs: list) -> ClusteringStudyResult:
+    """Assemble the per-curve series in sweep order."""
+    by_key = outputs_by_key(plan, outputs)
+    order, query_sizes, curves = (
+        plan.meta[k] for k in ("order", "query_sizes", "curves")
+    )
+    values = {c: [by_key[(q, c)] for q in query_sizes] for c in curves}
     return ClusteringStudyResult(
-        order=order, query_sizes=tuple(query_sizes), curves=tuple(curves), values=values
+        order=order, query_sizes=query_sizes, curves=curves, values=values
     )
 
 
@@ -66,4 +110,42 @@ def format_clustering_study(result: ClusteringStudyResult) -> str:
     return table + (
         "\n(Hilbert minimises clustering — the literature's classic result — "
         "while §V shows it *loses* the ANNS: the two proximity notions disagree.)"
+    )
+
+
+def _flatten(result: ClusteringStudyResult) -> list[dict]:
+    return [
+        {"curve": curve, "query_size": q, "clusters": val}
+        for curve in result.curves
+        for q, val in zip(result.query_sizes, result.values[curve])
+    ]
+
+
+CLUSTERING_STUDY = register_study(
+    Study(
+        name="clustering",
+        title="Range-query clustering vs ANNS contrast",
+        result_type=ClusteringStudyResult,
+        plan=plan_clustering_study,
+        collect=collect_clustering_study,
+        render=format_clustering_study,
+        schema=ResultSchema(ClusteringStudyResult, flatten=_flatten),
+    )
+)
+
+
+def run_clustering_study(
+    order: int = DEFAULT_ORDER,
+    query_sizes: tuple[int, ...] = DEFAULT_QUERY_SIZES,
+    *,
+    curves: tuple[str, ...] = CLUSTERING_CURVES,
+    samples: int = DEFAULT_SAMPLES,
+    seed: SeedLike = 2013,
+) -> ClusteringStudyResult:
+    """Sweep query sizes and average cluster counts per curve."""
+    ctx = StudyContext(seed=seed)
+    return run_study(
+        CLUSTERING_STUDY,
+        ctx,
+        plan=plan_clustering_study(ctx, order, tuple(query_sizes), curves, samples),
     )

@@ -115,6 +115,10 @@ class Scale:
         if self.topo_particles > 4**self.topo_order:
             raise ValueError("topology study: more particles than lattice cells")
 
+    def resolve_trials(self, trials: int | None = None) -> int:
+        """An explicit trial count, or this scale's default."""
+        return trials if trials is not None else self.trials
+
 
 SMALL = Scale(
     name="small",

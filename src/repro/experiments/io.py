@@ -1,30 +1,105 @@
-"""Persistence of experiment results (JSON and CSV).
+"""Persistence of experiment results (JSON and CSV), registry-driven.
 
 Every study result in :mod:`repro.experiments` is a frozen dataclass of
 plain containers, so it serialises losslessly to JSON.  A thin type tag
 lets :func:`load_result` reconstruct the right dataclass, and
 :func:`result_to_csv_rows` flattens matrix/series results into rows for
 spreadsheet-style downstream analysis.
+
+Result types are no longer hard-coded here: each study registers a
+:class:`ResultSchema` (via :func:`~repro.experiments.study.register_study`)
+declaring how its result flattens to rows and how JSON-mangled fields
+are repaired on load — ``int_key_fields`` names dict fields whose keys
+JSON stringified (the generalisation of the old ``AnnsStudyResult``
+special case), and ``restore`` hooks arbitrary reconstruction (nested
+row dataclasses, ...).  Adding a study therefore never touches this
+module.
+
+All writes are atomic (temp file + ``os.replace``) and CSV output is
+RFC-4180 quoted via the :mod:`csv` module, so values containing commas,
+quotes or newlines round-trip instead of corrupting the file.
 """
 
 from __future__ import annotations
 
+import csv
 import dataclasses
+import io as _io
 import json
+import os
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
-from repro.experiments.anns_study import AnnsStudyResult
-from repro.experiments.scaling_study import ScalingStudyResult
-from repro.experiments.sfc_pairs import SfcPairsResult
-from repro.experiments.topology_study import TopologyStudyResult
+__all__ = [
+    "ResultSchema",
+    "register_result",
+    "registered_result_types",
+    "save_result",
+    "load_result",
+    "result_to_csv_rows",
+    "write_csv",
+    "atomic_write_text",
+]
 
-__all__ = ["save_result", "load_result", "result_to_csv_rows", "write_csv"]
 
-_RESULT_TYPES: dict[str, type] = {
-    cls.__name__: cls
-    for cls in (AnnsStudyResult, SfcPairsResult, TopologyStudyResult, ScalingStudyResult)
-}
+@dataclass(frozen=True)
+class ResultSchema:
+    """How one result dataclass persists and flattens.
+
+    ``flatten(result)`` returns uniform row dicts for CSV/tabular use;
+    ``int_key_fields`` lists dict-valued fields whose keys are integers
+    (stringified by JSON, repaired on load); ``restore(data)`` runs on
+    the loaded field dict for anything structural (e.g. rebuilding
+    nested row dataclasses) before the result dataclass is constructed.
+    """
+
+    result_type: type
+    flatten: Callable[[Any], list[dict[str, Any]]]
+    int_key_fields: tuple[str, ...] = ()
+    restore: Callable[[dict], dict] | None = None
+
+
+_SCHEMAS: dict[str, ResultSchema] = {}
+
+
+def register_result(schema: ResultSchema) -> ResultSchema:
+    """Register (or re-register) the schema for one result type."""
+    _SCHEMAS[schema.result_type.__name__] = schema
+    return schema
+
+
+def registered_result_types() -> tuple[str, ...]:
+    """Names of every registered result type."""
+    return tuple(_SCHEMAS)
+
+
+def _schema_for(result: Any) -> ResultSchema:
+    name = type(result).__name__
+    try:
+        return _SCHEMAS[name]
+    except KeyError:
+        raise TypeError(
+            f"unknown result type {name}; known: {', '.join(_SCHEMAS)}"
+        ) from None
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename."""
+    out = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=out.parent or Path("."), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, out)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+    return out
 
 
 def _jsonable(value: Any) -> Any:
@@ -39,16 +114,13 @@ def _jsonable(value: Any) -> Any:
 
 
 def save_result(result: Any, path: str | Path) -> Path:
-    """Serialise a study-result dataclass to a JSON file."""
-    name = type(result).__name__
-    if name not in _RESULT_TYPES:
-        raise TypeError(
-            f"unknown result type {name}; known: {', '.join(_RESULT_TYPES)}"
-        )
-    payload = {"type": name, "data": _jsonable(dataclasses.asdict(result))}
-    out = Path(path)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return out
+    """Serialise a study-result dataclass to a JSON file (atomically)."""
+    schema = _schema_for(result)
+    payload = {
+        "type": schema.result_type.__name__,
+        "data": _jsonable(dataclasses.asdict(result)),
+    }
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _tuplify(cls: type, data: dict) -> dict:
@@ -65,65 +137,33 @@ def load_result(path: str | Path) -> Any:
     """Reconstruct a study-result dataclass from :func:`save_result` output."""
     payload = json.loads(Path(path).read_text())
     try:
-        cls = _RESULT_TYPES[payload["type"]]
+        schema = _SCHEMAS[payload["type"]]
     except KeyError:
         raise ValueError(f"file does not contain a known result type: {path}") from None
-    data = payload["data"]
-    # integer dict keys (the ANNS radii) were stringified by JSON
-    if cls is AnnsStudyResult:
-        data["values"] = {int(k): v for k, v in data["values"].items()}
+    data = dict(payload["data"])
+    # integer dict keys were stringified by JSON; the schema names them
+    for field in schema.int_key_fields:
+        if isinstance(data.get(field), dict):
+            data[field] = {int(k): v for k, v in data[field].items()}
+    if schema.restore is not None:
+        data = schema.restore(data)
+    cls = schema.result_type
     return cls(**_tuplify(cls, data))
 
 
 def result_to_csv_rows(result: Any) -> list[dict[str, Any]]:
-    """Flatten any study result into a list of uniform row dicts."""
-    if isinstance(result, AnnsStudyResult):
-        return [
-            {"radius": radius, "curve": curve, "side": 1 << order, "stretch": val}
-            for radius, per_curve in result.values.items()
-            for curve, series in per_curve.items()
-            for order, val in zip(result.orders, series)
-        ]
-    if isinstance(result, SfcPairsResult):
-        return [
-            {
-                "model": model,
-                "distribution": dist,
-                "processor_curve": proc,
-                "particle_curve": part,
-                "acd": table[dist][proc][part],
-            }
-            for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
-            for dist in result.distributions
-            for proc in result.processor_curves
-            for part in result.particle_curves
-        ]
-    if isinstance(result, TopologyStudyResult):
-        return [
-            {"model": model, "topology": topo, "curve": curve, "acd": table[topo][curve]}
-            for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
-            for topo in result.topologies
-            for curve in result.curves
-        ]
-    if isinstance(result, ScalingStudyResult):
-        return [
-            {"model": model, "curve": curve, "processors": p, "acd": series[curve][i]}
-            for model, series in (("nfi", result.nfi), ("ffi", result.ffi))
-            for curve in result.curves
-            for i, p in enumerate(result.processor_counts)
-        ]
-    raise TypeError(f"cannot flatten result of type {type(result).__name__}")
+    """Flatten any registered study result into uniform row dicts."""
+    return _schema_for(result).flatten(result)
 
 
 def write_csv(result: Any, path: str | Path) -> Path:
-    """Flatten a study result and write it as a CSV file."""
+    """Flatten a study result and write it as an RFC-4180 CSV file."""
     rows = result_to_csv_rows(result)
-    out = Path(path)
     if not rows:
-        out.write_text("")
-        return out
+        return atomic_write_text(path, "")
     columns = list(rows[0])
-    lines = [",".join(columns)]
-    lines.extend(",".join(str(row[c]) for c in columns) for row in rows)
-    out.write_text("\n".join(lines) + "\n")
-    return out
+    buffer = _io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    return atomic_write_text(path, buffer.getvalue())

@@ -9,7 +9,11 @@ The text of §VI-C reports three observations beyond Fig. 7:
 * across distributions the NFI ACD is best for uniform, then
   exponential, then normal, while the FFI ACD is largely insensitive.
 
-These runners regenerate each sweep.
+Each sweep is a registered study sharing one :class:`SweepResult`
+reducer; a ``(value, curve)`` grid point is one declared unit, so the
+campaign engine shares event generation across points with equal
+instance keys (e.g. every radius of a curve reuses the same particle
+assignment) and fans the grid out over ``--jobs``.
 """
 
 from __future__ import annotations
@@ -19,18 +23,33 @@ from dataclasses import dataclass
 from repro._typing import SeedLike
 from repro.distributions.registry import PAPER_DISTRIBUTIONS
 from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import run_case
+from repro.experiments.study import (
+    FmmUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    outputs_by_key,
+    register_study,
+    run_study,
+)
 from repro.sfc.registry import PAPER_CURVES
-from repro.topology.registry import make_topology
 
 __all__ = [
     "SweepResult",
+    "RADIUS_SWEEP_STUDY",
+    "INPUT_SIZE_SWEEP_STUDY",
+    "DISTRIBUTION_SWEEP_STUDY",
     "run_radius_sweep",
     "run_input_size_sweep",
     "run_distribution_sweep",
     "format_sweep",
 ]
+
+#: Default sweep axes (§VI-C text).
+DEFAULT_RADII: tuple[int, ...] = (1, 2, 4, 6)
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0)
 
 
 @dataclass(frozen=True)
@@ -44,115 +63,96 @@ class SweepResult:
     ffi: dict[str, list[float]]
 
 
-def _sweep(
+def _sweep_plan(
+    ctx: StudyContext,
     parameter: str,
     values: tuple[object, ...],
     case_for,
     curves: tuple[str, ...],
-    trials: int,
-    seed: SeedLike,
-    topology_cache: dict | None = None,
-) -> SweepResult:
-    nfi: dict[str, list[float]] = {c: [] for c in curves}
-    ffi: dict[str, list[float]] = {c: [] for c in curves}
-    cache = topology_cache if topology_cache is not None else {}
-    for value in values:
-        for curve in curves:
-            case: FmmCase = case_for(value, curve)
-            key = (case.topology, case.num_processors, case.processor_curve)
-            if key not in cache:
-                cache[key] = make_topology(
-                    case.topology, case.num_processors, processor_curve=case.processor_curve
-                )
-            result = run_case(case, trials=trials, seed=seed, topology=cache[key])
-            nfi[curve].append(result.nfi_acd)
-            ffi[curve].append(result.ffi_acd)
+) -> StudyPlan:
+    preset = ctx.preset()
+    units = tuple(
+        FmmUnit(key=(value, curve), case=case_for(preset, value, curve))
+        for value in values
+        for curve in curves
+    )
+    return StudyPlan(
+        units=units,
+        trials=preset.resolve_trials(ctx.trials),
+        seed=ctx.seed,
+        meta={"parameter": parameter, "values": values, "curves": tuple(curves)},
+    )
+
+
+def collect_sweep(plan: StudyPlan, outputs: list) -> SweepResult:
+    """Assemble the per-curve series in sweep order (shared by all sweeps)."""
+    by_key = outputs_by_key(plan, outputs)
+    values, curves = plan.meta["values"], plan.meta["curves"]
+    nfi = {c: [by_key[(v, c)].nfi_acd for v in values] for c in curves}
+    ffi = {c: [by_key[(v, c)].ffi_acd for v in values] for c in curves}
     return SweepResult(
-        parameter=parameter, values=values, curves=tuple(curves), nfi=nfi, ffi=ffi
+        parameter=plan.meta["parameter"], values=values, curves=curves, nfi=nfi, ffi=ffi
     )
 
 
-def run_radius_sweep(
-    scale: Scale | str | None = None,
-    *,
-    radii: tuple[int, ...] = (1, 2, 4, 6),
+def _torus_case(preset: Scale, *, n=None, radius=1, distribution="uniform", curve):
+    return FmmCase(
+        num_particles=int(n) if n is not None else preset.pairs_particles,
+        order=preset.pairs_order,
+        num_processors=preset.pairs_processors,
+        topology="torus",
+        particle_curve=curve,
+        processor_curve=curve,
+        distribution=distribution,
+        radius=int(radius),
+    )
+
+
+def plan_radius_sweep(
+    ctx: StudyContext,
+    radii: tuple[int, ...] = DEFAULT_RADII,
     curves: tuple[str, ...] = PAPER_CURVES,
-    seed: SeedLike = 2013,
-    trials: int | None = None,
-) -> SweepResult:
+) -> StudyPlan:
     """Near-field radius sweep on the torus (fixed uniform input)."""
-    preset = scale if isinstance(scale, Scale) else active_scale(scale)
-
-    def case_for(radius, curve):
-        return FmmCase(
-            num_particles=preset.pairs_particles,
-            order=preset.pairs_order,
-            num_processors=preset.pairs_processors,
-            topology="torus",
-            particle_curve=curve,
-            processor_curve=curve,
-            distribution="uniform",
-            radius=int(radius),
-        )
-
-    return _sweep("radius", radii, case_for, curves, trials or preset.trials, seed)
-
-
-def run_input_size_sweep(
-    scale: Scale | str | None = None,
-    *,
-    fractions: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
-    curves: tuple[str, ...] = PAPER_CURVES,
-    seed: SeedLike = 2013,
-    trials: int | None = None,
-) -> SweepResult:
-    """Particle-count sweep (multiples of the preset size) on the torus."""
-    preset = scale if isinstance(scale, Scale) else active_scale(scale)
-    cells = 4**preset.pairs_order
-    sizes = tuple(
-        min(int(preset.pairs_particles * f), cells // 2) for f in fractions
+    return _sweep_plan(
+        ctx,
+        "radius",
+        tuple(radii),
+        lambda preset, radius, curve: _torus_case(preset, radius=radius, curve=curve),
+        curves,
     )
 
-    def case_for(n, curve):
-        return FmmCase(
-            num_particles=int(n),
-            order=preset.pairs_order,
-            num_processors=preset.pairs_processors,
-            topology="torus",
-            particle_curve=curve,
-            processor_curve=curve,
-            distribution="uniform",
-            radius=1,
-        )
 
-    return _sweep("num_particles", sizes, case_for, curves, trials or preset.trials, seed)
+def plan_input_size_sweep(
+    ctx: StudyContext,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    curves: tuple[str, ...] = PAPER_CURVES,
+) -> StudyPlan:
+    """Particle-count sweep (multiples of the preset size) on the torus."""
+    preset = ctx.preset()
+    cells = 4**preset.pairs_order
+    sizes = tuple(min(int(preset.pairs_particles * f), cells // 2) for f in fractions)
+    return _sweep_plan(
+        ctx,
+        "num_particles",
+        sizes,
+        lambda preset, n, curve: _torus_case(preset, n=n, curve=curve),
+        curves,
+    )
 
 
-def run_distribution_sweep(
-    scale: Scale | str | None = None,
-    *,
+def plan_distribution_sweep(
+    ctx: StudyContext,
     distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
     curves: tuple[str, ...] = PAPER_CURVES,
-    seed: SeedLike = 2013,
-    trials: int | None = None,
-) -> SweepResult:
+) -> StudyPlan:
     """Distribution sweep on the torus (fixed size, same-SFC pairing)."""
-    preset = scale if isinstance(scale, Scale) else active_scale(scale)
-
-    def case_for(dist, curve):
-        return FmmCase(
-            num_particles=preset.pairs_particles,
-            order=preset.pairs_order,
-            num_processors=preset.pairs_processors,
-            topology="torus",
-            particle_curve=curve,
-            processor_curve=curve,
-            distribution=str(dist),
-            radius=1,
-        )
-
-    return _sweep(
-        "distribution", distributions, case_for, curves, trials or preset.trials, seed
+    return _sweep_plan(
+        ctx,
+        "distribution",
+        tuple(distributions),
+        lambda preset, dist, curve: _torus_case(preset, distribution=str(dist), curve=curve),
+        curves,
     )
 
 
@@ -167,4 +167,105 @@ def format_sweep(result: SweepResult) -> str:
                 result.ffi, result.values, f"FFI ACD vs {result.parameter}", result.parameter
             ),
         ]
+    )
+
+
+def _flatten(result: SweepResult) -> list[dict]:
+    return [
+        {"model": model, "curve": curve, result.parameter: value, "acd": val}
+        for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
+        for curve in result.curves
+        for value, val in zip(result.values, table[curve])
+    ]
+
+
+_SWEEP_SCHEMA = ResultSchema(SweepResult, flatten=_flatten)
+
+RADIUS_SWEEP_STUDY = register_study(
+    Study(
+        name="sweep_radius",
+        title="§VI-C — ACD vs near-field radius",
+        result_type=SweepResult,
+        plan=plan_radius_sweep,
+        collect=collect_sweep,
+        render=format_sweep,
+        schema=_SWEEP_SCHEMA,
+    )
+)
+
+INPUT_SIZE_SWEEP_STUDY = register_study(
+    Study(
+        name="sweep_input_size",
+        title="§VI-C — ACD vs input size",
+        result_type=SweepResult,
+        plan=plan_input_size_sweep,
+        collect=collect_sweep,
+        render=format_sweep,
+        schema=_SWEEP_SCHEMA,
+    )
+)
+
+DISTRIBUTION_SWEEP_STUDY = register_study(
+    Study(
+        name="sweep_distribution",
+        title="§VI-C — ACD vs input distribution",
+        result_type=SweepResult,
+        plan=plan_distribution_sweep,
+        collect=collect_sweep,
+        render=format_sweep,
+        schema=_SWEEP_SCHEMA,
+    )
+)
+
+
+def _ctx(scale, seed, trials) -> StudyContext:
+    return StudyContext(
+        scale=scale if isinstance(scale, Scale) else active_scale(scale),
+        seed=seed,
+        trials=trials,
+    )
+
+
+def run_radius_sweep(
+    scale: Scale | str | None = None,
+    *,
+    radii: tuple[int, ...] = DEFAULT_RADII,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+) -> SweepResult:
+    """Near-field radius sweep on the torus (fixed uniform input)."""
+    ctx = _ctx(scale, seed, trials)
+    return run_study(RADIUS_SWEEP_STUDY, ctx, plan=plan_radius_sweep(ctx, tuple(radii), curves))
+
+
+def run_input_size_sweep(
+    scale: Scale | str | None = None,
+    *,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+) -> SweepResult:
+    """Particle-count sweep (multiples of the preset size) on the torus."""
+    ctx = _ctx(scale, seed, trials)
+    return run_study(
+        INPUT_SIZE_SWEEP_STUDY, ctx, plan=plan_input_size_sweep(ctx, tuple(fractions), curves)
+    )
+
+
+def run_distribution_sweep(
+    scale: Scale | str | None = None,
+    *,
+    distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+) -> SweepResult:
+    """Distribution sweep on the torus (fixed size, same-SFC pairing)."""
+    ctx = _ctx(scale, seed, trials)
+    return run_study(
+        DISTRIBUTION_SWEEP_STUDY,
+        ctx,
+        plan=plan_distribution_sweep(ctx, tuple(distributions), curves),
     )

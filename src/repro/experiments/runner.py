@@ -38,6 +38,7 @@ __all__ = [
     "aggregate_trials",
     "set_default_jobs",
     "resolve_jobs",
+    "map_units",
     "shared_executor",
     "shutdown_shared_executor",
 ]
@@ -95,6 +96,26 @@ def shared_executor(jobs: int) -> ProcessPoolExecutor:
         _executor = ProcessPoolExecutor(max_workers=jobs)
         _executor_workers = jobs
     return _executor
+
+
+def map_units(fn, arglists, jobs: int):
+    """Apply ``fn`` across argument tuples, serially or over the pool.
+
+    The shared fan-out primitive of the experiments stack: the campaign
+    engine maps ``(instance, trial)`` units and the study driver maps
+    compute units through the same code path.  With ``jobs > 1`` (and
+    more than one unit) the calls run on the persistent process pool —
+    ``fn`` and its arguments must be picklable — otherwise in-process.
+    Results are yielded in input order as they complete, so callers can
+    act on each one (e.g. persist it) before the batch finishes.
+    """
+    arglists = list(arglists)
+    if jobs > 1 and len(arglists) > 1:
+        pool = shared_executor(jobs)
+        yield from pool.map(fn, *zip(*arglists))
+    else:
+        for args in arglists:
+            yield fn(*args)
 
 
 @atexit.register
@@ -240,8 +261,7 @@ def run_case(
     seeds = spawn_seeds(seed, trials)
     jobs = resolve_jobs(jobs)
     if jobs > 1 and trials > 1:
-        pool = shared_executor(jobs)
-        outputs = list(pool.map(run_trial, [case] * trials, seeds, [parts] * trials))
+        outputs = list(map_units(run_trial, [(case, child, parts) for child in seeds], jobs))
     else:
         outputs = [run_trial(case, child, parts, topology) for child in seeds]
     return aggregate_trials(case, outputs)

@@ -1,7 +1,10 @@
 """Fig. 7 — ACD as a function of the processor count (§VI-C).
 
 Fixed uniform input, torus network, same SFC for particle and processor
-ordering; the processor count sweeps over powers of four.
+ordering; the processor count sweeps over powers of four.  Each
+``(processor count, curve)`` point is one declared unit; the campaign
+engine shares event generation between points with equal instance keys
+and fans the sweep out over ``--jobs``.
 """
 
 from __future__ import annotations
@@ -10,11 +13,25 @@ from dataclasses import dataclass
 
 from repro._typing import SeedLike
 from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import run_case
+from repro.experiments.study import (
+    FmmUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    outputs_by_key,
+    register_study,
+    run_study,
+)
 from repro.sfc.registry import PAPER_CURVES
 
-__all__ = ["ScalingStudyResult", "run_scaling_study", "format_scaling_study"]
+__all__ = [
+    "ScalingStudyResult",
+    "SCALING_STUDY",
+    "run_scaling_study",
+    "format_scaling_study",
+]
 
 
 @dataclass(frozen=True)
@@ -28,23 +45,19 @@ class ScalingStudyResult:
     ffi: dict[str, list[float]]
 
 
-def run_scaling_study(
-    scale: Scale | str | None = None,
-    *,
-    seed: SeedLike = 2013,
-    trials: int | None = None,
+def plan_scaling_study(
+    ctx: StudyContext,
     curves: tuple[str, ...] = PAPER_CURVES,
     topology: str = "torus",
     distribution: str = "uniform",
-) -> ScalingStudyResult:
-    """Run the Fig. 7 processor sweep."""
-    preset = scale if isinstance(scale, Scale) else active_scale(scale)
-    n_trials = trials if trials is not None else preset.trials
-    nfi: dict[str, list[float]] = {c: [] for c in curves}
-    ffi: dict[str, list[float]] = {c: [] for c in curves}
-    for p in preset.scaling_processors:
-        for curve in curves:
-            case = FmmCase(
+) -> StudyPlan:
+    """Declare the Fig. 7 grid: every (processor count, curve) point."""
+    preset = ctx.preset()
+    counts = tuple(preset.scaling_processors)
+    units = tuple(
+        FmmUnit(
+            key=(p, curve),
+            case=FmmCase(
                 num_particles=preset.scaling_particles,
                 order=preset.scaling_order,
                 num_processors=p,
@@ -53,15 +66,27 @@ def run_scaling_study(
                 processor_curve=curve,
                 distribution=distribution,
                 radius=1,
-            )
-            result = run_case(case, trials=n_trials, seed=seed)
-            nfi[curve].append(result.nfi_acd)
-            ffi[curve].append(result.ffi_acd)
+            ),
+        )
+        for p in counts
+        for curve in curves
+    )
+    return StudyPlan(
+        units=units,
+        trials=preset.resolve_trials(ctx.trials),
+        seed=ctx.seed,
+        meta={"processor_counts": counts, "curves": tuple(curves)},
+    )
+
+
+def collect_scaling_study(plan: StudyPlan, outputs: list) -> ScalingStudyResult:
+    """Assemble the per-curve series in sweep order."""
+    by_key = outputs_by_key(plan, outputs)
+    counts, curves = plan.meta["processor_counts"], plan.meta["curves"]
+    nfi = {c: [by_key[(p, c)].nfi_acd for p in counts] for c in curves}
+    ffi = {c: [by_key[(p, c)].ffi_acd for p in counts] for c in curves}
     return ScalingStudyResult(
-        processor_counts=tuple(preset.scaling_processors),
-        curves=tuple(curves),
-        nfi=nfi,
-        ffi=ffi,
+        processor_counts=counts, curves=curves, nfi=nfi, ffi=ffi
     )
 
 
@@ -72,6 +97,50 @@ def format_scaling_study(result: ScalingStudyResult) -> str:
         format_series(result.ffi, result.processor_counts, "Fig. 7(b) FFI ACD vs processors", "processors"),
     ]
     return "\n\n".join(blocks)
+
+
+def _flatten(result: ScalingStudyResult) -> list[dict]:
+    return [
+        {"model": model, "curve": curve, "processors": p, "acd": val}
+        for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
+        for curve in result.curves
+        for p, val in zip(result.processor_counts, table[curve])
+    ]
+
+
+SCALING_STUDY = register_study(
+    Study(
+        name="fig7",
+        title="Fig. 7 — ACD vs processor count",
+        result_type=ScalingStudyResult,
+        plan=plan_scaling_study,
+        collect=collect_scaling_study,
+        render=format_scaling_study,
+        schema=ResultSchema(ScalingStudyResult, flatten=_flatten),
+    )
+)
+
+
+def run_scaling_study(
+    scale: Scale | str | None = None,
+    *,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    topology: str = "torus",
+    distribution: str = "uniform",
+) -> ScalingStudyResult:
+    """Run the Fig. 7 processor sweep."""
+    ctx = StudyContext(
+        scale=scale if isinstance(scale, Scale) else active_scale(scale),
+        seed=seed,
+        trials=trials,
+    )
+    return run_study(
+        SCALING_STUDY,
+        ctx,
+        plan=plan_scaling_study(ctx, curves, topology, distribution),
+    )
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI test

@@ -2,6 +2,11 @@
 
 16 curve pairings x 3 input distributions on a torus; near-field
 (Table I) and far-field (Table II) ACD are produced by the same runs.
+The study declares one :class:`~repro.experiments.study.FmmUnit` per
+``(distribution, processor_curve, particle_curve)`` cell; the shared
+driver lowers the whole grid through the grouped campaign engine, so
+all 4 processor orderings of a given ``(distribution, particle_curve)``
+instance share each trial's generated events.
 """
 
 from __future__ import annotations
@@ -11,12 +16,20 @@ from dataclasses import dataclass
 from repro._typing import SeedLike
 from repro.distributions.registry import PAPER_DISTRIBUTIONS
 from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_matrix, pretty
-from repro.experiments.runner import run_case
+from repro.experiments.study import (
+    FmmUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    outputs_by_key,
+    register_study,
+    run_study,
+)
 from repro.sfc.registry import PAPER_CURVES
-from repro.topology.registry import make_topology
 
-__all__ = ["SfcPairsResult", "run_sfc_pairs", "format_sfc_pairs"]
+__all__ = ["SfcPairsResult", "SFC_PAIRS_STUDY", "run_sfc_pairs", "format_sfc_pairs"]
 
 
 @dataclass(frozen=True)
@@ -35,50 +48,58 @@ class SfcPairsResult:
     ffi: dict[str, dict[str, dict[str, float]]]
 
 
-def run_sfc_pairs(
-    scale: Scale | str | None = None,
-    *,
-    seed: SeedLike = 2013,
-    trials: int | None = None,
+def plan_sfc_pairs(
+    ctx: StudyContext,
     distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
     curves: tuple[str, ...] = PAPER_CURVES,
     topology: str = "torus",
     parts: tuple[str, ...] = ("nfi", "ffi"),
-) -> SfcPairsResult:
-    """Run the full 16-combination study of §VI-A.
+) -> StudyPlan:
+    """Declare the §VI-A grid: 16 pairings x 3 distributions."""
+    preset = ctx.preset()
+    units = tuple(
+        FmmUnit(
+            key=(dist, proc_curve, part_curve),
+            case=FmmCase(
+                num_particles=preset.pairs_particles,
+                order=preset.pairs_order,
+                num_processors=preset.pairs_processors,
+                topology=topology,
+                particle_curve=part_curve,
+                processor_curve=proc_curve,
+                distribution=dist,
+                radius=1,
+            ),
+        )
+        for proc_curve in curves
+        for dist in distributions
+        for part_curve in curves
+    )
+    return StudyPlan(
+        units=units,
+        trials=preset.resolve_trials(ctx.trials),
+        seed=ctx.seed,
+        parts=tuple(parts),
+        meta={"distributions": tuple(distributions), "curves": tuple(curves)},
+    )
 
-    ``parts`` restricts the evaluation to one interaction model when only
-    Table I (``("nfi",)``) or Table II (``("ffi",)``) is required.
-    """
-    preset = scale if isinstance(scale, Scale) else active_scale(scale)
-    n_trials = trials if trials is not None else preset.trials
-    nfi: dict[str, dict[str, dict[str, float]]] = {}
-    ffi: dict[str, dict[str, dict[str, float]]] = {}
+
+def collect_sfc_pairs(plan: StudyPlan, outputs: list) -> SfcPairsResult:
+    """Assemble both tables from the per-cell case results."""
+    by_key = outputs_by_key(plan, outputs)
+    distributions, curves = plan.meta["distributions"], plan.meta["curves"]
+    nfi = {d: {c: {} for c in curves} for d in distributions}
+    ffi = {d: {c: {} for c in curves} for d in distributions}
     for dist in distributions:
-        nfi[dist] = {c: {} for c in curves}
-        ffi[dist] = {c: {} for c in curves}
-    for proc_curve in curves:
-        # One network per processor ordering, shared across all cases.
-        net = make_topology(topology, preset.pairs_processors, processor_curve=proc_curve)
-        for dist in distributions:
-            for part_curve in curves:
-                case = FmmCase(
-                    num_particles=preset.pairs_particles,
-                    order=preset.pairs_order,
-                    num_processors=preset.pairs_processors,
-                    topology=topology,
-                    particle_curve=part_curve,
-                    processor_curve=proc_curve,
-                    distribution=dist,
-                    radius=1,
-                )
-                result = run_case(case, trials=n_trials, seed=seed, topology=net, parts=parts)
-                nfi[dist][proc_curve][part_curve] = result.nfi_acd
-                ffi[dist][proc_curve][part_curve] = result.ffi_acd
+        for proc in curves:
+            for part in curves:
+                result = by_key[(dist, proc, part)]
+                nfi[dist][proc][part] = result.nfi_acd
+                ffi[dist][proc][part] = result.ffi_acd
     return SfcPairsResult(
-        distributions=tuple(distributions),
-        processor_curves=tuple(curves),
-        particle_curves=tuple(curves),
+        distributions=distributions,
+        processor_curves=curves,
+        particle_curves=curves,
         nfi=nfi,
         ffi=ffi,
     )
@@ -98,6 +119,62 @@ def format_sfc_pairs(result: SfcPairsResult) -> str:
                 )
             )
     return "\n\n".join(blocks)
+
+
+def _flatten(result: SfcPairsResult) -> list[dict]:
+    return [
+        {
+            "model": model,
+            "distribution": dist,
+            "processor_curve": proc,
+            "particle_curve": part,
+            "acd": table[dist][proc][part],
+        }
+        for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
+        for dist in result.distributions
+        for proc in result.processor_curves
+        for part in result.particle_curves
+    ]
+
+
+SFC_PAIRS_STUDY = register_study(
+    Study(
+        name="tables",
+        title="Tables I & II — SFC pairings x distributions",
+        result_type=SfcPairsResult,
+        plan=plan_sfc_pairs,
+        collect=collect_sfc_pairs,
+        render=format_sfc_pairs,
+        schema=ResultSchema(SfcPairsResult, flatten=_flatten),
+    )
+)
+
+
+def run_sfc_pairs(
+    scale: Scale | str | None = None,
+    *,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+    distributions: tuple[str, ...] = PAPER_DISTRIBUTIONS,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    topology: str = "torus",
+    parts: tuple[str, ...] = ("nfi", "ffi"),
+) -> SfcPairsResult:
+    """Run the full 16-combination study of §VI-A.
+
+    ``parts`` restricts the evaluation to one interaction model when only
+    Table I (``("nfi",)``) or Table II (``("ffi",)``) is required.
+    """
+    ctx = StudyContext(
+        scale=scale if isinstance(scale, Scale) else active_scale(scale),
+        seed=seed,
+        trials=trials,
+    )
+    return run_study(
+        SFC_PAIRS_STUDY,
+        ctx,
+        plan=plan_sfc_pairs(ctx, distributions, curves, topology, parts),
+    )
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI test

@@ -1,0 +1,223 @@
+"""Persistent, content-addressed store of per-case study results.
+
+Large SFC sweeps are exactly the workloads where repeated re-computation
+wastes the most time and energy: a paper-scale campaign takes tens of
+minutes, and extending a sweep by one more processor count (or resuming
+after an interruption) used to mean recomputing every finished case.
+This module gives the study driver a durable memo:
+
+* **Content-addressed keys** — every case is identified by the SHA-256
+  of a canonical-JSON key covering the full case specification, the
+  trial count, the experiment seed and the code-schema version
+  (:data:`STORE_SCHEMA_VERSION`, bumped whenever the computation
+  changes meaning).  Identical inputs hit; anything else misses.
+* **Per-case granularity** — one file per case, written *as each case
+  completes* (the campaign engine streams finished cases), so an
+  interrupted sweep resumes from the cases already done and an extended
+  sweep computes only the new cases.
+* **Atomic writes** — values land in a temp file in the store directory
+  and are published with ``os.replace``; a crash mid-write never leaves
+  a corrupt entry, and concurrent writers of the same key are safe.
+
+The store is enabled by pointing ``REPRO_STORE`` at a directory (or the
+CLI's ``--store DIR``; ``--no-store`` bypasses it).  Values round-trip
+through JSON: Python's float repr is exact, so a resumed result is
+bit-identical to a recomputed one.  Tuples inside stored values come
+back as lists — study unit outputs are therefore defined in JSON-native
+shapes, with dataclass values (``CaseResult`` and friends) handled by a
+small extensible codec (:func:`register_store_codec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.experiments.config import FmmCase
+from repro.experiments.runner import CaseResult
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "MISS",
+    "ResultStore",
+    "default_store",
+    "canonical_key",
+    "register_store_codec",
+    "encode_value",
+    "decode_value",
+]
+
+#: Version of the result semantics.  Part of every store key: bump it
+#: when a change makes previously stored results non-comparable (event
+#: generation, ACD accounting, seed discipline, ...), and stale entries
+#: become unreachable instead of silently wrong.
+STORE_SCHEMA_VERSION = 1
+
+#: Sentinel returned by :meth:`ResultStore.get` on a miss (stored values
+#: may legitimately be any JSON value, including ``null``).
+MISS = object()
+
+_TAG = "__store__"
+
+#: tag -> (type, encode to JSON tree, decode from JSON tree)
+_CODECS: dict[str, tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {}
+
+
+def register_store_codec(
+    tag: str,
+    cls: type,
+    encode: Callable[[Any], Any],
+    decode: Callable[[Any], Any],
+) -> None:
+    """Teach the store to round-trip instances of ``cls``.
+
+    ``encode`` must return a JSON-able tree (it may contain further
+    codec-registered values); ``decode`` inverts it.  Registration is
+    idempotent per tag; studies register their row dataclasses at import
+    time, so any future result type persists without touching this
+    module.
+    """
+    existing = _CODECS.get(tag)
+    if existing is not None and existing[0] is not cls:
+        raise ValueError(f"store codec tag {tag!r} already bound to {existing[0].__name__}")
+    _CODECS[tag] = (cls, encode, decode)
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively convert a unit output to a JSON-able tree."""
+    for tag, (cls, encode, _) in _CODECS.items():
+        if isinstance(value, cls):
+            return {_TAG: tag, "data": encode_value(encode(value))}
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(f"store values need string dict keys, got {k!r}")
+            out[k] = encode_value(v)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot store value of type {type(value).__name__}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag is not None:
+            try:
+                _, _, decode = _CODECS[tag]
+            except KeyError:
+                raise ValueError(f"stored value has unknown codec tag {tag!r}") from None
+            return decode(decode_value(value["data"]))
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+def canonical_key(key: Any) -> str:
+    """Canonical JSON text of a key tree (sorted keys, no whitespace).
+
+    Raises ``TypeError`` for non-JSON-able keys — callers treat that as
+    "this unit cannot be addressed" and bypass the store.
+    """
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """A directory of content-addressed, atomically written results.
+
+    Each entry is ``<sha256(canonical key)>.json`` holding the canonical
+    key (for audit/debugging — the hash alone is write-only) and the
+    encoded value.  ``get`` verifies the stored key against the request,
+    so a corrupt or colliding file reads as a miss rather than a wrong
+    answer.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: Any) -> Path:
+        """The entry file a key addresses."""
+        digest = hashlib.sha256(canonical_key(key).encode()).hexdigest()
+        return self.root / f"{digest}.json"
+
+    def get(self, key: Any) -> Any:
+        """The stored value for ``key``, or :data:`MISS`."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return MISS
+        if payload.get("key") != json.loads(canonical_key(key)):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return decode_value(payload["value"])
+
+    def put(self, key: Any, value: Any) -> Path:
+        """Persist ``value`` under ``key`` (atomic temp file + rename)."""
+        path = self.path_for(key)
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": json.loads(canonical_key(key)),
+            "value": encode_value(value),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        """Delete every entry (keeps the directory)."""
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/residency counters (for tests and diagnostics)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+
+
+def default_store() -> ResultStore | None:
+    """The store named by ``REPRO_STORE``, or ``None`` when unset."""
+    root = os.environ.get("REPRO_STORE", "").strip()
+    return ResultStore(root) if root else None
+
+
+def _encode_case_result(result: CaseResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def _decode_case_result(data: dict) -> CaseResult:
+    return CaseResult(**{**data, "case": FmmCase(**data["case"])})
+
+
+register_store_codec("CaseResult", CaseResult, _encode_case_result, _decode_case_result)

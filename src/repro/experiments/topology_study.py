@@ -6,6 +6,10 @@ particles on a 4096-lattice with r = 4 at paper scale).  The paper plots
 mesh/torus/quadtree/hypercube and omits bus/ring (and the near-field
 row-major entries) as off-scale; we compute everything and let the
 formatter annotate the omissions.
+
+All topologies of one curve share a single event-generating instance, so
+the grouped campaign engine generates each trial's events once per curve
+and evaluates all six networks against them.
 """
 
 from __future__ import annotations
@@ -14,12 +18,26 @@ from dataclasses import dataclass
 
 from repro._typing import SeedLike
 from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_matrix
-from repro.experiments.runner import run_case
+from repro.experiments.study import (
+    FmmUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    outputs_by_key,
+    register_study,
+    run_study,
+)
 from repro.sfc.registry import PAPER_CURVES
 from repro.topology.registry import PAPER_TOPOLOGIES
 
-__all__ = ["TopologyStudyResult", "run_topology_study", "format_topology_study"]
+__all__ = [
+    "TopologyStudyResult",
+    "TOPOLOGY_STUDY",
+    "run_topology_study",
+    "format_topology_study",
+]
 
 #: The four topologies Fig. 6 actually plots.
 FIG6_TOPOLOGIES: tuple[str, ...] = ("mesh", "torus", "quadtree", "hypercube")
@@ -39,23 +57,18 @@ class TopologyStudyResult:
     ffi: dict[str, dict[str, float]]
 
 
-def run_topology_study(
-    scale: Scale | str | None = None,
-    *,
-    seed: SeedLike = 2013,
-    trials: int | None = None,
+def plan_topology_study(
+    ctx: StudyContext,
     topologies: tuple[str, ...] = PAPER_TOPOLOGIES,
     curves: tuple[str, ...] = PAPER_CURVES,
     distribution: str = "uniform",
-) -> TopologyStudyResult:
-    """Run the 24-sub-case study of §VI-B."""
-    preset = scale if isinstance(scale, Scale) else active_scale(scale)
-    n_trials = trials if trials is not None else preset.trials
-    nfi: dict[str, dict[str, float]] = {t: {} for t in topologies}
-    ffi: dict[str, dict[str, float]] = {t: {} for t in topologies}
-    for topo in topologies:
-        for curve in curves:
-            case = FmmCase(
+) -> StudyPlan:
+    """Declare the §VI-B grid: every {topology, curve} pair."""
+    preset = ctx.preset()
+    units = tuple(
+        FmmUnit(
+            key=(topo, curve),
+            case=FmmCase(
                 num_particles=preset.topo_particles,
                 order=preset.topo_order,
                 num_processors=preset.topo_processors,
@@ -64,13 +77,26 @@ def run_topology_study(
                 processor_curve=curve,  # same SFC for both roles (§VI-B)
                 distribution=distribution,
                 radius=preset.topo_radius,
-            )
-            result = run_case(case, trials=n_trials, seed=seed)
-            nfi[topo][curve] = result.nfi_acd
-            ffi[topo][curve] = result.ffi_acd
-    return TopologyStudyResult(
-        topologies=tuple(topologies), curves=tuple(curves), nfi=nfi, ffi=ffi
+            ),
+        )
+        for topo in topologies
+        for curve in curves
     )
+    return StudyPlan(
+        units=units,
+        trials=preset.resolve_trials(ctx.trials),
+        seed=ctx.seed,
+        meta={"topologies": tuple(topologies), "curves": tuple(curves)},
+    )
+
+
+def collect_topology_study(plan: StudyPlan, outputs: list) -> TopologyStudyResult:
+    """Assemble the topology x curve matrices from per-pair results."""
+    by_key = outputs_by_key(plan, outputs)
+    topologies, curves = plan.meta["topologies"], plan.meta["curves"]
+    nfi = {t: {c: by_key[(t, c)].nfi_acd for c in curves} for t in topologies}
+    ffi = {t: {c: by_key[(t, c)].ffi_acd for c in curves} for t in topologies}
+    return TopologyStudyResult(topologies=topologies, curves=curves, nfi=nfi, ffi=ffi)
 
 
 def format_topology_study(result: TopologyStudyResult) -> str:
@@ -91,6 +117,50 @@ def format_topology_study(result: TopologyStudyResult) -> str:
         "(the paper's plot omits bus/ring and the NFI row-major entries as off-scale)"
     )
     return "\n\n".join(blocks)
+
+
+def _flatten(result: TopologyStudyResult) -> list[dict]:
+    return [
+        {"model": model, "topology": topo, "curve": curve, "acd": table[topo][curve]}
+        for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
+        for topo in result.topologies
+        for curve in result.curves
+    ]
+
+
+TOPOLOGY_STUDY = register_study(
+    Study(
+        name="fig6",
+        title="Fig. 6 — network-topology comparison",
+        result_type=TopologyStudyResult,
+        plan=plan_topology_study,
+        collect=collect_topology_study,
+        render=format_topology_study,
+        schema=ResultSchema(TopologyStudyResult, flatten=_flatten),
+    )
+)
+
+
+def run_topology_study(
+    scale: Scale | str | None = None,
+    *,
+    seed: SeedLike = 2013,
+    trials: int | None = None,
+    topologies: tuple[str, ...] = PAPER_TOPOLOGIES,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    distribution: str = "uniform",
+) -> TopologyStudyResult:
+    """Run the 24-sub-case study of §VI-B."""
+    ctx = StudyContext(
+        scale=scale if isinstance(scale, Scale) else active_scale(scale),
+        seed=seed,
+        trials=trials,
+    )
+    return run_study(
+        TOPOLOGY_STUDY,
+        ctx,
+        plan=plan_topology_study(ctx, topologies, curves, distribution),
+    )
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI test

@@ -42,3 +42,61 @@ class TestCli:
         finally:
             set_default_jobs(None)
         capsys.readouterr()
+
+    def test_store_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--store", "somewhere", "--no-store"])
+
+    def test_single_result_outputs(self, capsys, monkeypatch, tmp_path):
+        from repro.experiments.io import load_result
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        json_path = tmp_path / "fig5.json"
+        csv_path = tmp_path / "fig5.csv"
+        assert main(["fig5", "--json", str(json_path), "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        assert load_result(json_path).orders
+        assert csv_path.read_text().startswith("radius,curve,side,stretch")
+
+    def test_multi_result_outputs_write_directories(self, capsys, monkeypatch, tmp_path):
+        from repro.experiments.io import load_result
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        out = tmp_path / "out"
+        assert main(["ablations", "--json", str(out), "--csv", str(out)]) == 0
+        capsys.readouterr()
+        json_files = sorted(p.name for p in out.glob("*.json"))
+        assert json_files == [
+            "ablation_continuity.json",
+            "ablation_ffi_granularity.json",
+            "ablation_hypercube_layout.json",
+            "ablation_interpolation_reading.json",
+            "ablation_quadtree_convention.json",
+        ]
+        assert len(list(out.glob("*.csv"))) == 5
+        loaded = load_result(out / "ablation_continuity.json")
+        assert loaded.ablation == "continuity"
+
+    def test_store_flag_persists_and_resumes(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        store_dir = tmp_path / "store"
+        assert main(["clustering", "--store", str(store_dir)]) == 0
+        first = capsys.readouterr().out
+        entries = len(list(store_dir.glob("*.json")))
+        assert entries > 0
+
+        import repro.experiments.study as study_mod
+
+        def boom(unit):  # the warm rerun must not compute anything
+            raise AssertionError("compute unit executed despite warm store")
+
+        monkeypatch.setattr(study_mod, "execute_compute_unit", boom)
+        assert main(["clustering", "--store", str(store_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_store_bypasses_env(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        assert main(["clustering", "--no-store"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "envstore").exists()

@@ -1,0 +1,197 @@
+"""Golden-equivalence tests for the Study-framework refactor.
+
+The goldens under ``tests/experiments/goldens/`` were captured from the
+pre-refactor study runners (hand-rolled serial ``run_case`` loops) at a
+tiny scale::
+
+    PYTHONPATH=src python tests/experiments/test_golden_equivalence.py capture
+
+Every refactored study must reproduce them bit-for-bit — same floats,
+same structure — at any job count, proving that lowering the studies
+through the shared campaign engine changed the execution strategy and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments.runner import set_default_jobs
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+TINY = Scale(
+    name="golden-tiny",
+    pairs_particles=400,
+    pairs_order=5,
+    pairs_processors=16,
+    topo_particles=400,
+    topo_order=6,
+    topo_processors=16,
+    topo_radius=2,
+    scaling_particles=400,
+    scaling_order=6,
+    scaling_processors=(4, 16),
+    anns_orders=(1, 2, 3),
+    trials=2,
+)
+
+SEED = 7
+TRIALS = 2
+
+
+def _run_fig5():
+    from repro.experiments import run_anns_study
+
+    return run_anns_study(TINY)
+
+
+def _run_tables():
+    from repro.experiments import run_sfc_pairs
+
+    return run_sfc_pairs(TINY, seed=SEED, trials=TRIALS)
+
+
+def _run_fig6():
+    from repro.experiments import run_topology_study
+
+    return run_topology_study(TINY, seed=SEED, trials=TRIALS)
+
+
+def _run_fig7():
+    from repro.experiments import run_scaling_study
+
+    return run_scaling_study(TINY, seed=SEED, trials=TRIALS)
+
+
+def _run_sweep_radius():
+    from repro.experiments import run_radius_sweep
+
+    return run_radius_sweep(TINY, radii=(1, 2), seed=SEED, trials=TRIALS)
+
+
+def _run_sweep_input_size():
+    from repro.experiments import run_input_size_sweep
+
+    return run_input_size_sweep(TINY, fractions=(0.5, 1.0), seed=SEED, trials=TRIALS)
+
+
+def _run_sweep_distribution():
+    from repro.experiments import run_distribution_sweep
+
+    return run_distribution_sweep(TINY, seed=SEED, trials=TRIALS)
+
+
+def _run_clustering():
+    from repro.experiments import run_clustering_study
+
+    return run_clustering_study(order=5, query_sizes=(2, 4), samples=50, seed=SEED)
+
+
+def _run_validate3d():
+    from repro.experiments import run_study3d
+
+    return run_study3d(
+        num_particles=500, order=3, num_processors=64, trials=TRIALS, seed=SEED
+    )
+
+
+def _run_anns3d():
+    from repro.experiments import run_anns3d_study
+
+    return run_anns3d_study(orders=(1, 2))
+
+
+def _run_ablations():
+    from repro.experiments.ablation import (
+        continuity_ablation,
+        ffi_granularity_ablation,
+        hypercube_layout_ablation,
+        interpolation_reading_ablation,
+        quadtree_convention_ablation,
+    )
+
+    kwargs = dict(num_particles=2_000, order=6, num_processors=64, seed=SEED)
+    return {
+        "quadtree_convention": quadtree_convention_ablation(**kwargs),
+        "ffi_granularity": ffi_granularity_ablation(**kwargs),
+        "interpolation_reading": interpolation_reading_ablation(**kwargs),
+        "hypercube_layout": hypercube_layout_ablation(**kwargs),
+        "continuity": continuity_ablation(**kwargs),
+    }
+
+
+STUDIES = {
+    "fig5": _run_fig5,
+    "tables": _run_tables,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "sweep_radius": _run_sweep_radius,
+    "sweep_input_size": _run_sweep_input_size,
+    "sweep_distribution": _run_sweep_distribution,
+    "clustering": _run_clustering,
+    "validate3d": _run_validate3d,
+    "anns3d": _run_anns3d,
+    "ablations": _run_ablations,
+}
+
+
+def _tree(result) -> object:
+    """Canonical JSON tree of a study result (exact float round-trip)."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        result = dataclasses.asdict(result)
+    elif isinstance(result, dict):
+        result = {
+            k: [
+                dataclasses.asdict(r) if dataclasses.is_dataclass(r) else r
+                for r in v
+            ]
+            if isinstance(v, list)
+            else v
+            for k, v in result.items()
+        }
+    return json.loads(json.dumps(result))
+
+
+def capture() -> None:
+    """Write one golden file per study from the *current* implementation."""
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, runner in STUDIES.items():
+        set_default_jobs(1)
+        try:
+            tree = _tree(runner())
+        finally:
+            set_default_jobs(None)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps({"study": name, "data": tree}, indent=2, sort_keys=True))
+        print(f"captured {path}")
+
+
+@pytest.mark.parametrize("name", sorted(STUDIES))
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_matches_pre_refactor_golden(name, jobs):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"golden for {name!r} missing; regenerate with "
+        "`python tests/experiments/test_golden_equivalence.py capture`"
+    )
+    expected = json.loads(path.read_text())["data"]
+    set_default_jobs(jobs)
+    try:
+        actual = _tree(STUDIES[name]())
+    finally:
+        set_default_jobs(None)
+    assert actual == expected
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 2 and sys.argv[1] == "capture":
+        capture()
+    else:
+        print(__doc__)

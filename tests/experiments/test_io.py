@@ -81,3 +81,55 @@ class TestCsv:
     def test_unknown_type_rejected(self):
         with pytest.raises(TypeError):
             result_to_csv_rows(42)
+
+
+class TestCsvQuoting:
+    """Values with commas, quotes or newlines must round-trip (RFC 4180)."""
+
+    def _evil_result(self):
+        from repro.experiments.ablation import AblationResult, AblationRow
+
+        return AblationResult(
+            ablation="quoting",
+            title="quoting",
+            rows=[
+                AblationRow('comma,separated', 1.0, 2.0),
+                AblationRow('has "quotes"', 3.0, 4.0),
+                AblationRow("multi\nline", 5.0, 6.0),
+            ],
+        )
+
+    def test_special_characters_round_trip(self, tmp_path):
+        import csv
+
+        path = write_csv(self._evil_result(), tmp_path / "evil.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert [r["variant"] for r in rows] == [
+            "comma,separated", 'has "quotes"', "multi\nline"
+        ]
+        assert [float(r["nfi_acd"]) for r in rows] == [1.0, 3.0, 5.0]
+
+    def test_comma_value_does_not_add_columns(self, tmp_path):
+        import csv
+
+        path = write_csv(self._evil_result(), tmp_path / "evil.csv")
+        with open(path, newline="") as handle:
+            widths = {len(row) for row in csv.reader(handle)}
+        assert widths == {4}  # ablation, variant, nfi_acd, ffi_acd
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_after_save(self, tmp_path, anns_result):
+        save_result(anns_result, tmp_path / "a.json")
+        write_csv(anns_result, tmp_path / "a.csv")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_atomic_write_text_replaces(self, tmp_path):
+        from repro.experiments.io import atomic_write_text
+
+        target = tmp_path / "t.txt"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+        assert not list(tmp_path.glob("*.tmp"))

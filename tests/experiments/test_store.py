@@ -1,0 +1,280 @@
+"""Tests for the persistent result store and resumable study runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.campaign as campaign_mod
+import repro.experiments.study as study_mod
+from repro.experiments import Scale
+from repro.experiments.ablation import AblationRow
+from repro.experiments.anns_study import ANNS_STUDY, plan_anns_study
+from repro.experiments.config import FmmCase
+from repro.experiments.runner import CaseResult
+from repro.experiments.sfc_pairs import SFC_PAIRS_STUDY, plan_sfc_pairs
+from repro.experiments.store import MISS, ResultStore, default_store
+from repro.experiments.study import StudyContext, run_study, store_key
+
+TINY = Scale(
+    name="store-tiny",
+    pairs_particles=200,
+    pairs_order=4,
+    pairs_processors=16,
+    topo_particles=200,
+    topo_order=5,
+    topo_processors=16,
+    topo_radius=1,
+    scaling_particles=200,
+    scaling_order=5,
+    scaling_processors=(4, 16),
+    anns_orders=(1, 2),
+    trials=2,
+)
+
+SEED = 5
+
+
+def _case(**overrides) -> FmmCase:
+    base = dict(
+        num_particles=100,
+        order=4,
+        num_processors=16,
+        topology="torus",
+        particle_curve="hilbert",
+        processor_curve="hilbert",
+        distribution="uniform",
+    )
+    base.update(overrides)
+    return FmmCase(**base)
+
+
+class TestResultStore:
+    def test_scalar_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = {"kind": "test", "x": 1}
+        assert store.get(key) is MISS
+        store.put(key, 3.25)
+        assert store.get(key) == 3.25
+        assert store.stats["entries"] == 1
+
+    def test_container_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        value = {"a": [1, 2.5, "s", None, True], "b": {"c": [0.1]}}
+        store.put("k", value)
+        assert store.get("k") == value
+
+    def test_tuples_come_back_as_lists(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", (1, 2))
+        assert store.get("k") == [1, 2]
+
+    def test_case_result_codec(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = CaseResult(
+            case=_case(), trials=2, nfi_acd=1.5, nfi_acd_std=0.1,
+            ffi_acd=2.5, ffi_acd_std=0.2,
+            ffi_phases={"combined": 2.5}, nfi_events=10.0, ffi_events=20.0,
+        )
+        store.put("k", result)
+        loaded = store.get("k")
+        assert isinstance(loaded, CaseResult)
+        assert loaded.case == result.case
+        assert loaded.nfi_acd == result.nfi_acd
+
+    def test_ablation_row_codec(self, tmp_path):
+        store = ResultStore(tmp_path)
+        rows = [AblationRow("a,b", 1.0, 2.0), AblationRow("c", 3.0, 4.0)]
+        store.put("k", rows)
+        assert store.get("k") == rows
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        store.path_for("k").write_text("not json{")
+        assert store.get("k") is MISS
+
+    def test_key_mismatch_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        # simulate a hash collision / tampered entry: same file, other key
+        payload = json.loads(store.path_for("k").read_text())
+        payload["key"] = "other"
+        store.path_for("k").write_text(json.dumps(payload))
+        assert store.get("k") is MISS
+
+    def test_unstorable_value_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(TypeError):
+            store.put("k", object())
+        with pytest.raises(TypeError):
+            store.put("k", {1: "non-string key"})
+
+    def test_no_temp_files_left(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(5):
+            store.put(f"k{i}", i)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        store.clear()
+        assert len(store) == 0
+        assert store.get("k") is MISS
+
+    def test_default_store_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert default_store() is None
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "s"))
+        store = default_store()
+        assert store is not None and store.root == tmp_path / "s"
+
+
+class TestStoreKey:
+    def test_covers_case_and_campaign_params(self):
+        plan = plan_sfc_pairs(
+            StudyContext(scale=TINY, seed=SEED, trials=2),
+            distributions=("uniform",),
+            curves=("hilbert",),
+        )
+        (unit,) = plan.units
+        key = store_key(unit, plan)
+        assert key["trials"] == 2 and key["seed"] == SEED
+        assert key["case"]["particle_curve"] == "hilbert"
+        # a different trial count addresses a different entry
+        other = plan_sfc_pairs(
+            StudyContext(scale=TINY, seed=SEED, trials=1),
+            distributions=("uniform",),
+            curves=("hilbert",),
+        )
+        assert store_key(other.units[0], other) != key
+
+    def test_unkeyable_seed_bypasses_store(self):
+        plan = plan_sfc_pairs(
+            StudyContext(scale=TINY, seed=object(), trials=1),
+            distributions=("uniform",),
+            curves=("hilbert",),
+        )
+        assert store_key(plan.units[0], plan) is None
+
+
+@pytest.fixture
+def count_instance_trials(monkeypatch):
+    """Count grouped-campaign instance-trial computations (jobs=1 path)."""
+    calls = {"n": 0}
+    orig = campaign_mod.run_instance_trial
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return orig(*args, **kwargs)
+
+    monkeypatch.setattr(campaign_mod, "run_instance_trial", counting)
+    return calls
+
+
+@pytest.fixture
+def count_compute_units(monkeypatch):
+    """Count compute-unit executions (jobs=1 path)."""
+    calls = {"n": 0}
+    orig = study_mod.execute_compute_unit
+
+    def counting(unit):
+        calls["n"] += 1
+        return orig(unit)
+
+    monkeypatch.setattr(study_mod, "execute_compute_unit", counting)
+    return calls
+
+
+def _pairs_plan(ctx, curves=("hilbert", "rowmajor")):
+    return plan_sfc_pairs(ctx, distributions=("uniform",), curves=curves)
+
+
+class TestResumableStudies:
+    def test_warm_rerun_computes_nothing(self, tmp_path, count_instance_trials):
+        store = ResultStore(tmp_path)
+        ctx = StudyContext(scale=TINY, seed=SEED, trials=2, store=store)
+        cold = run_study(SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx))
+        # 2 particle-curve instance groups x 2 trials
+        assert count_instance_trials["n"] == 4
+        assert len(store) == 4  # one entry per case
+        count_instance_trials["n"] = 0
+        warm = run_study(SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx))
+        assert count_instance_trials["n"] == 0
+        assert warm == cold
+
+    def test_store_results_bit_identical_to_direct_run(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stored_ctx = StudyContext(scale=TINY, seed=SEED, trials=2, store=store)
+        run_study(SFC_PAIRS_STUDY, stored_ctx, plan=_pairs_plan(stored_ctx))
+        warm = run_study(SFC_PAIRS_STUDY, stored_ctx, plan=_pairs_plan(stored_ctx))
+        plain_ctx = StudyContext(scale=TINY, seed=SEED, trials=2, store=None)
+        plain = run_study(SFC_PAIRS_STUDY, plain_ctx, plan=_pairs_plan(plain_ctx))
+        assert warm == plain
+
+    def test_extended_sweep_computes_only_new_cases(self, tmp_path, count_instance_trials):
+        store = ResultStore(tmp_path)
+        ctx = StudyContext(scale=TINY, seed=SEED, trials=2, store=store)
+        run_study(SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx))
+        count_instance_trials["n"] = 0
+        extended = run_study(
+            SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx, curves=("hilbert", "rowmajor", "zcurve"))
+        )
+        # 9 cases total, 4 stored; the 5 pending span 3 instance groups
+        assert count_instance_trials["n"] == 6
+        assert len(store) == 9
+        assert set(extended.nfi["uniform"]) == {"hilbert", "rowmajor", "zcurve"}
+
+    def test_interrupted_sweep_resumes_from_finished_cases(
+        self, tmp_path, monkeypatch, count_instance_trials
+    ):
+        store = ResultStore(tmp_path)
+        ctx = StudyContext(scale=TINY, seed=SEED, trials=2, store=store)
+
+        orig = campaign_mod.run_instance_trial
+        budget = {"left": 2}
+
+        def failing(*args, **kwargs):
+            if budget["left"] == 0:
+                raise RuntimeError("simulated crash")
+            budget["left"] -= 1
+            return orig(*args, **kwargs)
+
+        monkeypatch.setattr(campaign_mod, "run_instance_trial", failing)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_study(SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx))
+        # the first instance group (2 trials) finished and was persisted
+        assert len(store) == 2
+
+        monkeypatch.setattr(campaign_mod, "run_instance_trial", orig)
+        count_instance_trials["n"] = 0
+        resumed = run_study(SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx))
+        assert count_instance_trials["n"] == 2  # only the unfinished group
+        plain_ctx = StudyContext(scale=TINY, seed=SEED, trials=2, store=None)
+        assert resumed == run_study(SFC_PAIRS_STUDY, plain_ctx, plan=_pairs_plan(plain_ctx))
+
+    def test_compute_unit_studies_resume(self, tmp_path, count_compute_units):
+        store = ResultStore(tmp_path)
+        ctx = StudyContext(scale=TINY, store=store)
+        cold = run_study(ANNS_STUDY, ctx, plan=plan_anns_study(ctx))
+        assert count_compute_units["n"] == len(plan_anns_study(ctx).units)
+        count_compute_units["n"] = 0
+        warm = run_study(ANNS_STUDY, ctx, plan=plan_anns_study(ctx))
+        assert count_compute_units["n"] == 0
+        assert warm == cold
+
+    def test_store_none_bypasses_env(self, tmp_path, monkeypatch, count_compute_units):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        ctx = StudyContext(scale=TINY, store=None)
+        run_study(ANNS_STUDY, ctx, plan=plan_anns_study(ctx))
+        assert not (tmp_path / "envstore").exists()
+
+    def test_env_store_used_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        ctx = StudyContext(scale=TINY)
+        run_study(ANNS_STUDY, ctx, plan=plan_anns_study(ctx))
+        assert len(list((tmp_path / "envstore").glob("*.json"))) == len(
+            plan_anns_study(ctx).units
+        )
