@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro._typing import IntArray
 from repro.contention.routing import RoutedBatch, route_batch
 from repro.fmm.events import CommunicationEvents
@@ -265,12 +266,18 @@ def simulate_exchange(
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; use one of {_ENGINES}")
-    src, dst = _network_pairs(events)
-    if not src.size:
-        return SimulationResult(0, 0, 0.0, 0, 0, 0, 0)
-    batch = route_batch(topology, src, dst, cache=cache)
-    drain = _drain_batched if engine == "batched" else _drain_reference
-    arrivals = drain(batch, max_cycles)
+    with obs.span("simulate", engine=engine, processors=topology.num_processors):
+        with obs.span("simulate.route"):
+            src, dst = _network_pairs(events)
+            if not src.size:
+                return SimulationResult(0, 0, 0.0, 0, 0, 0, 0)
+            batch = route_batch(topology, src, dst, cache=cache)
+        obs.count("sim.messages", batch.num_messages)
+        obs.count("sim.hops", batch.total_hops)
+        with obs.span("simulate.drain"):
+            drain = _drain_batched if engine == "batched" else _drain_reference
+            arrivals = drain(batch, max_cycles)
+        obs.count("sim.cycles", int(arrivals.max()))
     return SimulationResult(
         makespan=int(arrivals.max()),
         num_messages=batch.num_messages,

@@ -1,10 +1,23 @@
 """Experiment harness: one registered study per paper table/figure.
 
 Every paper artefact is a :class:`~repro.experiments.study.Study` in the
-:data:`~repro.experiments.study.STUDIES` registry; the per-study
-``run_*`` functions remain as thin wrappers over
-:func:`~repro.experiments.study.run_study`.
+:data:`~repro.experiments.study.STUDIES` registry.  The stable public
+surface is:
+
+* :func:`~repro.experiments.study.run_study` /
+  :func:`~repro.experiments.study.list_studies` — execute and discover
+  studies by name (``run_study("fig6")``);
+* :class:`~repro.runtime.RuntimeConfig` /
+  :func:`~repro.runtime.configure` — every runtime knob (scale, jobs,
+  store, cache budgets, trace/metrics sinks) in one declarative object;
+* :class:`~repro.obs.RunManifest` — the per-run observability document.
+
+The per-study ``run_*`` functions are deprecated thin wrappers over
+``run_study(name)`` and will be removed in a future release.
 """
+
+from repro.obs import RunManifest
+from repro.runtime import RuntimeConfig, configure, runtime_config
 
 from repro.experiments.ablation import (
     ABLATION_STUDIES,
@@ -81,6 +94,7 @@ from repro.experiments.study import (
     StudyContext,
     StudyPlan,
     get_study,
+    list_studies,
     register_study,
     run_study,
     study_names,
@@ -101,6 +115,11 @@ from repro.experiments.topology_study import (
 )
 
 __all__ = [
+    "RunManifest",
+    "RuntimeConfig",
+    "configure",
+    "runtime_config",
+    "list_studies",
     "FmmCase",
     "Scale",
     "SMALL",

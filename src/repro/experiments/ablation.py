@@ -35,6 +35,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     register_study,
     run_study,
 )
@@ -287,6 +288,7 @@ _register_ablation("continuity", "continuity vs recursion", continuity_ablation)
 
 def run_ablation(name: str, *, seed: SeedLike = 0) -> AblationResult:
     """Run one registered ablation through the study driver."""
+    _warn_legacy_runner("run_ablation", f"ablation_{name}")
     from repro.experiments.study import get_study
 
     return run_study(get_study(f"ablation_{name}"), StudyContext(seed=seed))

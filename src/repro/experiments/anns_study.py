@@ -21,6 +21,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     outputs_by_key,
     register_study,
     run_study,
@@ -121,6 +122,7 @@ def run_anns_study(
     radii: tuple[int, ...] = FIG5_RADII,
 ) -> AnnsStudyResult:
     """Run the Fig. 5 sweep at the given scale."""
+    _warn_legacy_runner("run_anns_study", "fig5")
     ctx = StudyContext(scale=scale if isinstance(scale, Scale) else active_scale(scale))
     return run_study(ANNS_STUDY, ctx, plan=plan_anns_study(ctx, curves, radii))
 

@@ -30,18 +30,23 @@ events.
 
 Knobs
 -----
-The default cache reads two environment variables at import time:
+The default cache sizes come from the runtime config
+(:func:`repro.runtime.runtime_config`), read once at import time:
 
-* ``REPRO_EVENT_CACHE_BYTES`` — total byte budget across resident
-  artifacts (default 256 MiB; ``0`` disables artifact caching).
-* ``REPRO_EVENT_CACHE_ENTRIES`` — max resident artifacts (default 256).
+* ``event_cache_bytes`` (``REPRO_EVENT_CACHE_BYTES``) — total byte
+  budget across resident artifacts (default 256 MiB; ``0`` disables
+  artifact caching).
+* ``event_cache_entries`` (``REPRO_EVENT_CACHE_ENTRIES``) — max
+  resident artifacts (default 256).
 
-Call :func:`set_event_cache` to swap in a differently-sized cache.
+Call :func:`set_event_cache` (or :func:`repro.runtime.configure`) to
+swap in a differently-sized cache.  Hits, misses, evictions and the
+generated-vs-reused event balance are reported to :mod:`repro.obs`
+(``event_cache.*`` / ``events.*`` counters).
 """
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,6 +54,7 @@ from typing import Callable, Hashable
 
 import numpy as np
 
+from repro import obs
 from repro._typing import SeedLike
 from repro.distributions.registry import get_distribution
 from repro.experiments.config import FmmCase
@@ -57,6 +63,7 @@ from repro.fmm.ffi import ffi_events
 from repro.fmm.nfi import nfi_events
 from repro.metrics.acd import ACDResult, acd_breakdown, compute_acd
 from repro.partition.assignment import partition_particles
+from repro.runtime import runtime_config
 from repro.topology.base import Topology
 
 __all__ = [
@@ -118,6 +125,7 @@ def build_trial_artifact(
     the case's rank space.  Only :data:`INSTANCE_FIELDS` of ``case`` are
     read — the network fields never influence the result.
     """
+    obs.count("events.generated")
     distribution = get_distribution(case.distribution)
     particles = distribution.sample(
         case.num_particles, case.order, rng=np.random.default_rng(child_seed)
@@ -212,6 +220,7 @@ class EventArtifactCache:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _evict(self) -> None:
         while self._data and (
@@ -219,6 +228,9 @@ class EventArtifactCache:
         ):
             _, evicted = self._data.popitem(last=False)
             self._bytes -= evicted.nbytes
+            self.evictions += 1
+            obs.count("event_cache.evictions")
+            obs.count("event_cache.bytes_evicted", evicted.nbytes)
 
     def get_or_build(
         self,
@@ -245,17 +257,21 @@ class EventArtifactCache:
                 if set(want) <= cached.parts:
                     self._data.move_to_end(key)
                     self.hits += 1
+                    obs.count("event_cache.hits")
+                    obs.count("events.reused")
                     return cached
                 # partial hit: rebuild the union, replace the stale entry
                 want = tuple(sorted(set(want) | cached.parts))
                 self._bytes -= cached.nbytes
                 del self._data[key]
             self.misses += 1
+            obs.count("event_cache.misses")
             artifact = builder(want)
             if artifact.nbytes <= self.max_bytes:
                 self._data[key] = artifact
                 self._bytes += artifact.nbytes
                 self._evict()
+                obs.gauge("event_cache.resident_bytes", self._bytes)
             return artifact
 
     def clear(self) -> None:
@@ -265,6 +281,7 @@ class EventArtifactCache:
             self._bytes = 0
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     @property
     def stats(self) -> dict[str, int]:
@@ -273,15 +290,18 @@ class EventArtifactCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "artifacts": len(self._data),
                 "bytes": self._bytes,
             }
 
 
+_runtime = runtime_config()
 _default_cache = EventArtifactCache(
-    max_bytes=int(os.environ.get("REPRO_EVENT_CACHE_BYTES", str(256 << 20))),
-    max_entries=int(os.environ.get("REPRO_EVENT_CACHE_ENTRIES", "256")),
+    max_bytes=_runtime.event_cache_bytes,
+    max_entries=_runtime.event_cache_entries,
 )
+del _runtime
 _default_lock = threading.Lock()
 
 

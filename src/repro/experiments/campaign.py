@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Sequence
 
+from repro import obs
 from repro._typing import SeedLike
 from repro.experiments.artifacts import evaluate_artifact, get_trial_artifact
 from repro.experiments.config import FmmCase
@@ -126,6 +127,8 @@ def run_instance_trial(
     network (memoised per process).  Top-level (picklable) so process
     pools can execute it.
     """
+    obs.count("campaign.trials")
+    obs.count("campaign.case_evaluations", len(group))
     artifact = get_trial_artifact(group[0], child_seed, parts)
     return [evaluate_artifact(artifact, case_topology(case), parts) for case in group]
 
@@ -158,6 +161,8 @@ def iter_campaign(
     _check_parts(parts)
     jobs = resolve_jobs(jobs)
     groups = case_groups(cases)
+    obs.count("campaign.cases", len(cases))
+    obs.count("campaign.instance_groups", len(groups))
     # run_case spawns the same child seeds for every case, so one spawn
     # serves the whole campaign and sharing preserves bit-identity.
     seeds = spawn_seeds(seed, trials)
@@ -211,11 +216,20 @@ def run_campaign_case(
     seed: SeedLike,
     parts: tuple[str, ...],
 ) -> CaseResult:
-    """One whole case, serially — kept for per-case (ungrouped) execution.
+    """Deprecated per-case entry point; use :func:`run_campaign`.
 
-    Top-level (picklable) for process pools; the same spawned child
-    seeds as the grouped path make the results bit-identical.
+    Kept as a shim for old callers — the grouped campaign engine
+    produces bit-identical results (same spawned child seeds) while
+    sharing event generation across cases.
     """
+    import warnings
+
+    warnings.warn(
+        "run_campaign_case() is deprecated; use "
+        "repro.experiments.run_campaign([case], ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     outputs = [run_trial(case, child, parts) for child in spawn_seeds(seed, trials)]
     return aggregate_trials(case, outputs)
 

@@ -29,11 +29,13 @@ from pathlib import Path
 
 # Importing the study modules populates the STUDIES registry.
 import repro.experiments  # noqa: F401
+from repro.obs import RunManifest, recording, render_trace
 from repro.experiments.config import active_scale
 from repro.experiments.io import save_result, write_csv
 from repro.experiments.runner import set_default_jobs
 from repro.experiments.store import ResultStore
 from repro.experiments.study import ENV_STORE, StudyContext, get_study, run_study
+from repro.runtime import runtime_config
 
 __all__ = ["main", "COMMANDS", "EXPERIMENTS"]
 
@@ -115,6 +117,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also save results as CSV (a directory when the command runs several studies)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the run and print a span/counter summary to stderr "
+        "(also enabled by REPRO_TRACE=1)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="record the run and write a RunManifest JSON to PATH "
+        "(a directory receives run_manifest.json; also REPRO_METRICS)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -135,17 +150,42 @@ def main(argv: list[str] | None = None) -> int:
         store=store,
     )
 
+    runtime = runtime_config()
+    trace = args.trace or runtime.trace
+    metrics_path = args.metrics or runtime.metrics_path
+
     names = [
         study
         for command in (ALL_ORDER if args.experiment == "all" else (args.experiment,))
         for study in COMMANDS[command]
     ]
     results: dict[str, object] = {}
-    for name in names:
-        study = get_study(name)
-        result = run_study(study, ctx)
-        _print(study.render(result))
-        results[name] = result
+
+    def execute() -> None:
+        for name in names:
+            study = get_study(name)
+            result = run_study(study, ctx)
+            _print(study.render(result))
+            results[name] = result
+
+    if trace or metrics_path:
+        with recording() as rec:
+            execute()
+        # stderr keeps stdout byte-stable across recorded and plain runs
+        if metrics_path:
+            manifest = RunManifest.from_recorder(
+                rec,
+                config=runtime.as_dict(),
+                scale=ctx.preset().name,
+                seed=args.seed,
+                command=list(sys.argv[1:] if argv is None else argv),
+            )
+            target = manifest.write(metrics_path)
+            print(f"wrote run manifest to {target}", file=sys.stderr)
+        if trace:
+            print(render_trace(rec), file=sys.stderr)
+    else:
+        execute()
 
     for flag, path, writer, label in (
         ("--json", args.json, save_result, "JSON"),

@@ -23,6 +23,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     outputs_by_key,
     register_study,
     run_study,
@@ -143,6 +144,7 @@ def run_clustering_study(
     seed: SeedLike = 2013,
 ) -> ClusteringStudyResult:
     """Sweep query sizes and average cluster counts per curve."""
+    _warn_legacy_runner("run_clustering_study", "clustering")
     ctx = StudyContext(seed=seed)
     return run_study(
         CLUSTERING_STUDY,

@@ -1,4 +1,4 @@
-"""Experiment configuration: cases and scale presets.
+"""Experiment configuration: cases, scale presets and runtime knobs.
 
 Every study in the paper's evaluation (§V–§VI) is expressed as a set of
 :class:`FmmCase` instances plus a :class:`Scale` preset that pins the
@@ -6,12 +6,25 @@ workload sizes.  ``PAPER`` uses the exact published parameters;
 ``SMALL`` keeps the same shape at roughly 16x smaller sizes so the whole
 suite runs in seconds (used by tests and default benchmark runs; export
 ``REPRO_SCALE=paper`` to regenerate the full-size numbers).
+
+The *how* of a run — worker processes, store directory, cache budgets,
+trace/metrics sinks — is the :class:`RuntimeConfig` (re-exported here
+from :mod:`repro.runtime`, its import-light home): the ``REPRO_*``
+environment variables are its documented defaults, parsed in exactly
+one place, and :func:`configure` installs overrides either permanently
+or scoped::
+
+    from repro.experiments import configure, run_study
+
+    with configure(jobs=4, store_dir="results/", trace=True):
+        run_study("fig6")
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
+
+from repro.runtime import RuntimeConfig, configure, runtime_config
 
 __all__ = [
     "FmmCase",
@@ -22,6 +35,9 @@ __all__ = [
     "PAPER",
     "SCALES",
     "active_scale",
+    "RuntimeConfig",
+    "configure",
+    "runtime_config",
 ]
 
 
@@ -160,8 +176,8 @@ SCALES: dict[str, Scale] = {"small": SMALL, "paper": PAPER}
 
 
 def active_scale(name: str | None = None) -> Scale:
-    """Resolve a scale by name, the ``REPRO_SCALE`` env var, or default small."""
-    chosen = name or os.environ.get("REPRO_SCALE", "small")
+    """Resolve a scale by name, the runtime config (``REPRO_SCALE``), or small."""
+    chosen = name or runtime_config().scale
     try:
         return SCALES[chosen.lower()]
     except KeyError:

@@ -30,6 +30,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     outputs_by_key,
     register_study,
     run_study,
@@ -235,6 +236,7 @@ def run_radius_sweep(
     trials: int | None = None,
 ) -> SweepResult:
     """Near-field radius sweep on the torus (fixed uniform input)."""
+    _warn_legacy_runner("run_radius_sweep", "sweep_radius")
     ctx = _ctx(scale, seed, trials)
     return run_study(RADIUS_SWEEP_STUDY, ctx, plan=plan_radius_sweep(ctx, tuple(radii), curves))
 
@@ -248,6 +250,7 @@ def run_input_size_sweep(
     trials: int | None = None,
 ) -> SweepResult:
     """Particle-count sweep (multiples of the preset size) on the torus."""
+    _warn_legacy_runner("run_input_size_sweep", "sweep_input_size")
     ctx = _ctx(scale, seed, trials)
     return run_study(
         INPUT_SIZE_SWEEP_STUDY, ctx, plan=plan_input_size_sweep(ctx, tuple(fractions), curves)
@@ -263,6 +266,7 @@ def run_distribution_sweep(
     trials: int | None = None,
 ) -> SweepResult:
     """Distribution sweep on the torus (fixed size, same-SFC pairing)."""
+    _warn_legacy_runner("run_distribution_sweep", "sweep_distribution")
     ctx = _ctx(scale, seed, trials)
     return run_study(
         DISTRIBUTION_SWEEP_STUDY,

@@ -27,6 +27,18 @@ _LABELS = {
     "uniform": "Uniform",
     "normal": "Normal",
     "exponential": "Exponential",
+    # 3D validation registry names (previously rendered as raw slugs)
+    "hilbert3d": "3D Hilbert Curve",
+    "morton3d": "3D Morton Curve",
+    "gray3d": "3D Gray Code",
+    "rowmajor3d": "3D Row Major",
+    "snake3d": "3D Snake",
+    "mesh3d": "3D Mesh",
+    "torus3d": "3D Torus",
+    "octree": "Octree",
+    "uniform3d": "3D Uniform",
+    "normal3d": "3D Normal",
+    "exponential3d": "3D Exponential",
 }
 
 

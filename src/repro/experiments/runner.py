@@ -17,16 +17,19 @@ back to serial execution.
 from __future__ import annotations
 
 import atexit
-import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro._typing import SeedLike
 from repro.experiments.artifacts import evaluate_artifact, get_trial_artifact
 from repro.experiments.config import FmmCase
 from repro.metrics.acd import ACDResult
+from repro.obs.recorder import record_unit
+from repro.runtime import runtime_config
 from repro.topology.base import Topology
 from repro.topology.registry import make_topology
 from repro.util.rng import spawn_seeds
@@ -70,8 +73,8 @@ def resolve_jobs(jobs: int | None) -> int:
         return int(jobs)
     if _default_jobs is not None:
         return _default_jobs
-    env = os.environ.get("REPRO_JOBS", "").strip()
-    return max(1, int(env)) if env else 1
+    configured = runtime_config().jobs  # REPRO_JOBS parsed in repro.runtime
+    return configured if configured is not None else 1
 
 
 _executor: ProcessPoolExecutor | None = None
@@ -108,14 +111,44 @@ def map_units(fn, arglists, jobs: int):
     ``fn`` and its arguments must be picklable — otherwise in-process.
     Results are yielded in input order as they complete, so callers can
     act on each one (e.g. persist it) before the batch finishes.
+
+    When an :mod:`repro.obs` recorder is installed, each unit runs
+    under :func:`~repro.obs.record_unit`: worker-side counters (cache
+    hits, events generated, ...) travel back to the parent *inside the
+    ordinary result stream* — no shared memory — and are merged into
+    the parent recorder along with per-unit busy time, so aggregated
+    totals agree with a serial run's at any job count.  Observability
+    never changes the results themselves.
     """
     arglists = list(arglists)
+    recorder = obs.get_recorder()
     if jobs > 1 and len(arglists) > 1:
         pool = shared_executor(jobs)
-        yield from pool.map(fn, *zip(*arglists))
-    else:
+        if recorder is None:
+            yield from pool.map(fn, *zip(*arglists))
+            return
+        recorder.gauge("pool.jobs", jobs)
+        recorder.gauge("pool.queue", len(arglists))
+        packed = [(fn, *args) for args in arglists]
+        start = time.perf_counter()
+        try:
+            for result, counters, busy in pool.map(record_unit, *zip(*packed)):
+                recorder.merge_counters(counters)
+                recorder.count("pool.units", 1)
+                recorder.count("pool.busy_s", busy)
+                yield result
+        finally:
+            recorder.count("pool.wall_s", time.perf_counter() - start)
+    elif recorder is None:
         for args in arglists:
             yield fn(*args)
+    else:
+        for args in arglists:
+            start = time.perf_counter()
+            result = fn(*args)
+            recorder.count("units.busy_s", time.perf_counter() - start)
+            recorder.count("units.serial", 1)
+            yield result
 
 
 @atexit.register

@@ -20,6 +20,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     outputs_by_key,
     register_study,
     run_study,
@@ -131,6 +132,7 @@ def run_scaling_study(
     distribution: str = "uniform",
 ) -> ScalingStudyResult:
     """Run the Fig. 7 processor sweep."""
+    _warn_legacy_runner("run_scaling_study", "fig7")
     ctx = StudyContext(
         scale=scale if isinstance(scale, Scale) else active_scale(scale),
         seed=seed,

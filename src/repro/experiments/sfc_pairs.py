@@ -23,6 +23,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     outputs_by_key,
     register_study,
     run_study,
@@ -165,6 +166,7 @@ def run_sfc_pairs(
     ``parts`` restricts the evaluation to one interaction model when only
     Table I (``("nfi",)``) or Table II (``("ffi",)``) is required.
     """
+    _warn_legacy_runner("run_sfc_pairs", "tables")
     ctx = StudyContext(
         scale=scale if isinstance(scale, Scale) else active_scale(scale),
         seed=seed,

@@ -38,8 +38,10 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import obs
 from repro.experiments.config import FmmCase
 from repro.experiments.runner import CaseResult
+from repro.runtime import runtime_config
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -162,11 +164,14 @@ class ResultStore:
             payload = json.loads(path.read_text())
         except (FileNotFoundError, json.JSONDecodeError):
             self.misses += 1
+            obs.count("store.misses")
             return MISS
         if payload.get("key") != json.loads(canonical_key(key)):
             self.misses += 1
+            obs.count("store.misses")
             return MISS
         self.hits += 1
+        obs.count("store.hits")
         return decode_value(payload["value"])
 
     def put(self, key: Any, value: Any) -> Path:
@@ -188,6 +193,7 @@ class ResultStore:
             except FileNotFoundError:
                 pass
             raise
+        obs.count("store.puts")
         return path
 
     def __len__(self) -> int:
@@ -207,8 +213,8 @@ class ResultStore:
 
 
 def default_store() -> ResultStore | None:
-    """The store named by ``REPRO_STORE``, or ``None`` when unset."""
-    root = os.environ.get("REPRO_STORE", "").strip()
+    """The store named by the runtime config (``REPRO_STORE``), or ``None``."""
+    root = runtime_config().store_dir
     return ResultStore(root) if root else None
 
 

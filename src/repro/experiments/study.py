@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from repro import obs
 from repro._typing import SeedLike
 from repro.experiments.campaign import iter_campaign
 from repro.experiments.config import Scale, active_scale
@@ -64,6 +65,7 @@ __all__ = [
     "register_study",
     "get_study",
     "study_names",
+    "list_studies",
     "STUDIES",
     "outputs_by_key",
 ]
@@ -197,6 +199,32 @@ def study_names() -> tuple[str, ...]:
     return tuple(STUDIES)
 
 
+def list_studies() -> tuple[Study, ...]:
+    """Every registered study, in registration order.
+
+    The discovery face of the public API: pair with
+    ``run_study(study.name)`` to execute any paper study without
+    importing its module explicitly.
+    """
+    return tuple(STUDIES.values())
+
+
+def _warn_legacy_runner(old: str, study_name: str) -> None:
+    """Deprecation notice shared by the per-study ``run_*`` wrappers.
+
+    ``stacklevel=3`` points the warning at the wrapper's caller (this
+    helper and the wrapper itself are frames 1 and 2).
+    """
+    import warnings
+
+    warnings.warn(
+        f"{old}() is deprecated; use "
+        f"repro.experiments.run_study({study_name!r}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def outputs_by_key(plan: StudyPlan, outputs: Sequence[Any]) -> dict[tuple, Any]:
     """Map each unit's key to its output (reducer convenience)."""
     return {unit.key: out for unit, out in zip(plan.units, outputs)}
@@ -269,81 +297,98 @@ def _resolve_store(ctx: StudyContext) -> ResultStore | None:
 
 
 def run_study(
-    study: Study,
+    study: Study | str,
     ctx: StudyContext | None = None,
     *,
     plan: StudyPlan | None = None,
 ) -> Any:
     """Execute one study: store lookups, campaign lowering, reduction.
 
-    All of the plan's :class:`FmmUnit`\\ s not already in the store run
-    as **one** grouped campaign — cases sharing an instance key generate
-    each trial's events exactly once, and ``(instance, trial)`` units
-    fan out over the process pool.  :class:`ComputeUnit`\\ s fan out
-    through the same pool.  Finished units are persisted per-case as
-    they complete, so killing a sweep loses at most the in-flight
-    instance group.  Results are bit-identical with or without a store,
-    at any job count.
+    ``study`` may be a registered study name (``run_study("fig6")``) or
+    a :class:`Study` object.  All of the plan's :class:`FmmUnit`\\ s not
+    already in the store run as **one** grouped campaign — cases sharing
+    an instance key generate each trial's events exactly once, and
+    ``(instance, trial)`` units fan out over the process pool.
+    :class:`ComputeUnit`\\ s fan out through the same pool.  Finished
+    units are persisted per-case as they complete, so killing a sweep
+    loses at most the in-flight instance group.  Results are
+    bit-identical with or without a store, at any job count.
+
+    When an :mod:`repro.obs` recorder is active the run is traced as a
+    ``study`` span with one child per phase (``plan``,
+    ``store.lookup``, ``campaign``, ``compute``, ``collect``) plus
+    resume-accounting counters (``study.units``, ``study.resume_hits``)
+    — the raw material of the run manifest.
     """
+    if isinstance(study, str):
+        study = get_study(study)
     if ctx is None:
         ctx = StudyContext()
-    if plan is None:
-        plan = study.plan(ctx)
-    store = _resolve_store(ctx)
-    units = plan.units
-    outputs: list[Any] = [_MISSING] * len(units)
-    keys: list[Any] = [None] * len(units)
-    if store is not None:
-        for i, unit in enumerate(units):
-            keys[i] = store_key(unit, plan)
-            if keys[i] is not None:
-                hit = store.get(keys[i])
-                if hit is not MISS:
-                    outputs[i] = hit
-    jobs = resolve_jobs(ctx.jobs)
+    with obs.span("study", study=study.name):
+        if plan is None:
+            with obs.span("plan"):
+                plan = study.plan(ctx)
+        store = _resolve_store(ctx)
+        units = plan.units
+        obs.count("study.units", len(units))
+        outputs: list[Any] = [_MISSING] * len(units)
+        keys: list[Any] = [None] * len(units)
+        if store is not None:
+            with obs.span("store.lookup", units=len(units)):
+                for i, unit in enumerate(units):
+                    keys[i] = store_key(unit, plan)
+                    if keys[i] is not None:
+                        hit = store.get(keys[i])
+                        if hit is not MISS:
+                            outputs[i] = hit
+                            obs.count("study.resume_hits")
+        jobs = resolve_jobs(ctx.jobs)
 
-    def persist(i: int, value: Any) -> None:
-        if store is not None and keys[i] is not None:
-            try:
-                store.put(keys[i], value)
-            except TypeError:
-                pass  # unstorable value: compute-only unit, keep going
+        def persist(i: int, value: Any) -> None:
+            if store is not None and keys[i] is not None:
+                try:
+                    store.put(keys[i], value)
+                except TypeError:
+                    pass  # unstorable value: compute-only unit, keep going
 
-    pending_cases = [
-        i
-        for i, unit in enumerate(units)
-        if isinstance(unit, FmmUnit) and outputs[i] is _MISSING
-    ]
-    if pending_cases:
-        stream: Iterator = iter_campaign(
-            [units[i].case for i in pending_cases],
-            trials=plan.trials,
-            seed=plan.seed,
-            parts=plan.parts,
-            jobs=jobs,
-        )
-        for local, result in stream:
-            i = pending_cases[local]
-            outputs[i] = result
-            persist(i, result)
+        pending_cases = [
+            i
+            for i, unit in enumerate(units)
+            if isinstance(unit, FmmUnit) and outputs[i] is _MISSING
+        ]
+        if pending_cases:
+            with obs.span("campaign", cases=len(pending_cases)):
+                stream: Iterator = iter_campaign(
+                    [units[i].case for i in pending_cases],
+                    trials=plan.trials,
+                    seed=plan.seed,
+                    parts=plan.parts,
+                    jobs=jobs,
+                )
+                for local, result in stream:
+                    i = pending_cases[local]
+                    outputs[i] = result
+                    persist(i, result)
 
-    pending_compute = [
-        i
-        for i, unit in enumerate(units)
-        if isinstance(unit, ComputeUnit) and outputs[i] is _MISSING
-    ]
-    if pending_compute:
-        results = map_units(
-            execute_compute_unit, [(units[i],) for i in pending_compute], jobs
-        )
-        for i, result in zip(pending_compute, results):
-            outputs[i] = result
-            persist(i, result)
+        pending_compute = [
+            i
+            for i, unit in enumerate(units)
+            if isinstance(unit, ComputeUnit) and outputs[i] is _MISSING
+        ]
+        if pending_compute:
+            with obs.span("compute", units=len(pending_compute)):
+                results = map_units(
+                    execute_compute_unit, [(units[i],) for i in pending_compute], jobs
+                )
+                for i, result in zip(pending_compute, results):
+                    outputs[i] = result
+                    persist(i, result)
 
-    unfilled = [i for i, out in enumerate(outputs) if out is _MISSING]
-    if unfilled:
-        raise RuntimeError(
-            f"study {study.name!r} has unexecuted units at {unfilled} "
-            "(unit neither FmmUnit nor ComputeUnit?)"
-        )
-    return study.collect(plan, outputs)
+        unfilled = [i for i, out in enumerate(outputs) if out is _MISSING]
+        if unfilled:
+            raise RuntimeError(
+                f"study {study.name!r} has unexecuted units at {unfilled} "
+                "(unit neither FmmUnit nor ComputeUnit?)"
+            )
+        with obs.span("collect"):
+            return study.collect(plan, outputs)

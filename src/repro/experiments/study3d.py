@@ -28,6 +28,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     outputs_by_key,
     register_study,
     run_study,
@@ -280,6 +281,7 @@ def run_study3d(
     seed: SeedLike = 2013,
 ) -> Study3DResult:
     """Same-SFC pairings across the 3D networks, trial-averaged."""
+    _warn_legacy_runner("run_study3d", "validate3d")
     ctx = StudyContext(seed=seed, trials=trials)
     return run_study(
         STUDY3D,
@@ -297,6 +299,7 @@ def run_anns3d_study(
     radius: int = 1,
 ) -> dict[str, list[float]]:
     """3D ANNS sweep over cube resolutions (per-curve series dict)."""
+    _warn_legacy_runner("run_anns3d_study", "anns3d")
     ctx = StudyContext()
     result = run_study(
         ANNS3D_STUDY, ctx, plan=plan_anns3d_study(ctx, tuple(orders), tuple(curves), radius)

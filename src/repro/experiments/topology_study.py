@@ -25,6 +25,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
+    _warn_legacy_runner,
     outputs_by_key,
     register_study,
     run_study,
@@ -151,6 +152,7 @@ def run_topology_study(
     distribution: str = "uniform",
 ) -> TopologyStudyResult:
     """Run the 24-sub-case study of §VI-B."""
+    _warn_legacy_runner("run_topology_study", "fig6")
     ctx = StudyContext(
         scale=scale if isinstance(scale, Scale) else active_scale(scale),
         seed=seed,

@@ -1,0 +1,52 @@
+"""repro.obs — always-available, near-zero-cost observability.
+
+Nested tracing spans, typed counters/gauges and the per-run
+:class:`RunManifest`.  Stdlib-only, so every layer of the pipeline (the
+topology cache included) can report into it without import cycles.
+
+Quick tour::
+
+    from repro import obs
+
+    with obs.recording() as rec:          # scoped: restores on exit
+        with obs.span("acd", topology="torus"):
+            obs.count("messages.routed", 1024)
+    print(obs.render_trace(rec))
+
+Disabled (the default — no recorder installed), ``obs.span`` hands back
+a shared no-op context manager and ``obs.count``/``obs.gauge`` return
+after one ``is None`` test, so instrumentation stays in hot paths
+permanently.  Recording never changes results — everything stays
+bit-identical.
+"""
+
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
+from repro.obs.recorder import (
+    Recorder,
+    Span,
+    count,
+    enabled,
+    gauge,
+    get_recorder,
+    record_unit,
+    recording,
+    render_trace,
+    set_recorder,
+    span,
+)
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "RunManifest",
+    "MANIFEST_SCHEMA_VERSION",
+    "enabled",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "span",
+    "count",
+    "gauge",
+    "record_unit",
+    "render_trace",
+]

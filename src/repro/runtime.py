@@ -1,0 +1,268 @@
+"""One place for every runtime knob: the :class:`RuntimeConfig`.
+
+The experiments stack grew seven ``REPRO_*`` environment variables, each
+parsed ad hoc where it was consumed (jobs in the runner, the store
+directory in the store, cache budgets at two different import sites).
+This module is now the single parser: every env var is a *documented
+default* for one :class:`RuntimeConfig` field, read in exactly one
+place (:meth:`RuntimeConfig.from_env`), and the consuming modules —
+:mod:`repro.experiments.runner`, :mod:`repro.experiments.store`,
+:mod:`repro.experiments.artifacts`, :mod:`repro.topology.cache`,
+:func:`repro.experiments.config.active_scale` — ask
+:func:`runtime_config` instead of ``os.environ``.
+
+===========================  =======================  ==================
+Environment variable         Field                    Default
+===========================  =======================  ==================
+``REPRO_SCALE``              ``scale``                ``"small"``
+``REPRO_JOBS``               ``jobs``                 ``None`` (serial)
+``REPRO_STORE``              ``store_dir``            ``None`` (no store)
+``REPRO_CACHE_ENTRIES``      ``cache_entries``        ``32``
+``REPRO_CACHE_MATRIX_BYTES`` ``cache_matrix_bytes``   ``256 MiB``
+``REPRO_EVENT_CACHE_BYTES``  ``event_cache_bytes``    ``256 MiB``
+``REPRO_EVENT_CACHE_ENTRIES`` ``event_cache_entries`` ``256``
+``REPRO_TRACE``              ``trace``                ``False``
+``REPRO_METRICS``            ``metrics_path``         ``None``
+===========================  =======================  ==================
+
+Precedence: an explicit :func:`configure` (or ``with configure(...):``)
+beats the environment, which beats the built-in defaults.  While no
+config is installed, :func:`runtime_config` re-reads the environment on
+every call, so tests that monkeypatch ``REPRO_*`` keep working.
+
+This module is import-light (stdlib only) so the lowest layers — the
+topology cache in particular — can read it without import cycles; the
+side-effectful application of a config (pool default, cache swaps,
+recorder installation) lives in :func:`configure` behind local imports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "RuntimeConfig",
+    "runtime_config",
+    "configure",
+    "ENV_VARS",
+]
+
+#: Environment variable -> :class:`RuntimeConfig` field, the documented
+#: defaults table above in code form.
+ENV_VARS: dict[str, str] = {
+    "REPRO_SCALE": "scale",
+    "REPRO_JOBS": "jobs",
+    "REPRO_STORE": "store_dir",
+    "REPRO_CACHE_ENTRIES": "cache_entries",
+    "REPRO_CACHE_MATRIX_BYTES": "cache_matrix_bytes",
+    "REPRO_EVENT_CACHE_BYTES": "event_cache_bytes",
+    "REPRO_EVENT_CACHE_ENTRIES": "event_cache_entries",
+    "REPRO_TRACE": "trace",
+    "REPRO_METRICS": "metrics_path",
+}
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def _int_env(env: Mapping[str, str], var: str, default: int, minimum: int = 0) -> int:
+    raw = env.get(var, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(minimum, int(raw))
+    except ValueError:
+        raise ValueError(f"{var} must be an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every knob controlling *how* experiments run (never *what* they
+    compute — results are bit-identical under any config).
+
+    Attributes
+    ----------
+    scale:
+        Default workload scale name (``"small"`` / ``"paper"``).
+    jobs:
+        Worker processes for trial/unit fan-out; ``None`` means serial.
+    store_dir:
+        Directory of the persistent result store; ``None`` disables it.
+    cache_entries, cache_matrix_bytes:
+        Topology-cache budgets (entries per section / max bytes of one
+        distance matrix; ``0`` disables matrix caching).
+    event_cache_bytes, event_cache_entries:
+        Event-artifact cache budgets (``bytes=0`` disables caching).
+    trace:
+        Install an :mod:`repro.obs` recorder for the run.
+    metrics_path:
+        Where to write the :class:`~repro.obs.RunManifest` (implies
+        ``trace`` for CLI runs); ``None`` writes nothing.
+    """
+
+    scale: str = "small"
+    jobs: int | None = None
+    store_dir: str | None = None
+    cache_entries: int = 32
+    cache_matrix_bytes: int = 256 << 20
+    event_cache_bytes: int = 256 << 20
+    event_cache_entries: int = 256
+    trace: bool = False
+    metrics_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1 or None, got {self.jobs}")
+        for name in ("cache_matrix_bytes", "event_cache_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        for name in ("cache_entries", "event_cache_entries"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "RuntimeConfig":
+        """Parse the ``REPRO_*`` variables (the one place that does)."""
+        if env is None:
+            env = os.environ
+        jobs_raw = env.get("REPRO_JOBS", "").strip()
+        store_raw = env.get("REPRO_STORE", "").strip()
+        metrics_raw = env.get("REPRO_METRICS", "").strip()
+        return cls(
+            scale=env.get("REPRO_SCALE", "").strip() or "small",
+            jobs=max(1, int(jobs_raw)) if jobs_raw else None,
+            store_dir=store_raw or None,
+            cache_entries=_int_env(env, "REPRO_CACHE_ENTRIES", 32, minimum=1),
+            cache_matrix_bytes=_int_env(env, "REPRO_CACHE_MATRIX_BYTES", 256 << 20),
+            event_cache_bytes=_int_env(env, "REPRO_EVENT_CACHE_BYTES", 256 << 20),
+            event_cache_entries=_int_env(env, "REPRO_EVENT_CACHE_ENTRIES", 256, minimum=1),
+            trace=env.get("REPRO_TRACE", "").strip().lower() in _TRUTHY,
+            metrics_path=metrics_raw or None,
+        )
+
+    def replace(self, **overrides: Any) -> "RuntimeConfig":
+        """A copy with ``overrides`` applied (validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (recorded verbatim in the run manifest)."""
+        return dataclasses.asdict(self)
+
+
+#: The explicitly installed config, or ``None`` (= read the environment).
+_active: RuntimeConfig | None = None
+
+
+def runtime_config() -> RuntimeConfig:
+    """The effective config: the installed one, else freshly env-parsed."""
+    return _active if _active is not None else RuntimeConfig.from_env()
+
+
+class _Configured:
+    """Handle returned by :func:`configure`; context manager restores.
+
+    The config is applied *immediately* on construction — using the
+    handle as a context manager is optional and merely makes the change
+    scoped.
+    """
+
+    def __init__(self, config: RuntimeConfig):
+        self.config = config
+        self._restore = _apply(config)
+
+    def __enter__(self) -> RuntimeConfig:
+        return self.config
+
+    def __exit__(self, *exc: object) -> bool:
+        self.restore()
+        return False
+
+    def restore(self) -> None:
+        """Undo this configure (idempotent)."""
+        actions, self._restore = self._restore, []
+        for action in reversed(actions):
+            action()
+
+
+def _apply(config: RuntimeConfig) -> list:
+    """Install ``config`` process-wide; returns undo actions (LIFO).
+
+    Local imports keep :mod:`repro.runtime` import-light; by the time
+    anyone calls :func:`configure`, the experiment layers are loadable.
+    """
+    global _active
+    from repro import obs
+    from repro.experiments import artifacts, runner
+    from repro.topology import cache as topo_cache
+
+    undo: list = []
+
+    previous_active = _active
+    _active = config
+
+    def restore_active(prev=previous_active):
+        global _active
+        _active = prev
+
+    undo.append(restore_active)
+
+    previous_jobs = runner._default_jobs
+    runner.set_default_jobs(config.jobs)
+    undo.append(lambda: runner.set_default_jobs(previous_jobs))
+
+    current_topo = topo_cache.get_topology_cache()
+    if (
+        current_topo.max_matrix_bytes != config.cache_matrix_bytes
+        or current_topo._matrices.max_entries != config.cache_entries
+    ):
+        replaced = topo_cache.set_topology_cache(
+            topo_cache.TopologyCache(
+                max_entries=config.cache_entries,
+                max_matrix_bytes=config.cache_matrix_bytes,
+            )
+        )
+        undo.append(lambda: topo_cache.set_topology_cache(replaced))
+
+    current_events = artifacts.get_event_cache()
+    if (
+        current_events.max_bytes != config.event_cache_bytes
+        or current_events.max_entries != config.event_cache_entries
+    ):
+        replaced_events = artifacts.set_event_cache(
+            artifacts.EventArtifactCache(
+                max_bytes=config.event_cache_bytes,
+                max_entries=config.event_cache_entries,
+            )
+        )
+        undo.append(lambda: artifacts.set_event_cache(replaced_events))
+
+    if config.trace and obs.get_recorder() is None:
+        previous_recorder = obs.set_recorder(obs.Recorder())
+        undo.append(lambda: obs.set_recorder(previous_recorder))
+
+    return undo
+
+
+def configure(config: RuntimeConfig | None = None, **overrides: Any) -> _Configured:
+    """Install a runtime config (optionally scoped).
+
+    Either pass a full :class:`RuntimeConfig`, or field overrides that
+    are applied on top of the current effective config::
+
+        configure(jobs=8, store_dir="results/")          # permanent
+
+        with configure(trace=True, jobs=4):              # scoped
+            run_study("fig6")
+
+    Applying a config installs the ``jobs`` default for the process
+    pool, swaps the topology/event caches when their budgets changed
+    (statistics reset with the swap), and installs an
+    :mod:`repro.obs` recorder when ``trace`` is set and none is active.
+    The returned handle restores all of it on ``__exit__`` (or via
+    ``.restore()``).
+    """
+    base = config if config is not None else runtime_config()
+    effective = base.replace(**overrides) if overrides else base
+    return _Configured(effective)

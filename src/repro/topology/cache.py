@@ -23,27 +23,32 @@ equal-parameter instances share entries.
 
 Knobs
 -----
-The default cache reads two environment variables at import time:
+The default cache sizes come from the runtime config
+(:func:`repro.runtime.runtime_config`), read once at import time:
 
-* ``REPRO_CACHE_MATRIX_BYTES`` — per-matrix byte cap (default 256 MiB;
-  ``0`` disables distance-matrix caching entirely).
-* ``REPRO_CACHE_ENTRIES`` — max resident entries per section (default
-  32); least-recently-used entries are evicted beyond this.
+* ``cache_matrix_bytes`` (``REPRO_CACHE_MATRIX_BYTES``) — per-matrix
+  byte cap (default 256 MiB; ``0`` disables matrix caching entirely).
+* ``cache_entries`` (``REPRO_CACHE_ENTRIES``) — max resident entries
+  per section (default 32); LRU entries are evicted beyond this.
 
-Call :func:`set_topology_cache` to swap in a differently-sized cache (or
-``TopologyCache(max_matrix_bytes=0)`` to opt out programmatically).
+Call :func:`set_topology_cache` (or
+:func:`repro.runtime.configure`) to swap in a differently-sized cache.
+
+Every hit, miss and eviction is also reported to :mod:`repro.obs`
+(``topo_cache.*`` counters) so recorded runs can prove their reuse.
 """
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from typing import Callable, Hashable
 
 import numpy as np
 
+from repro import obs
 from repro._typing import IntArray
+from repro.runtime import runtime_config
 from repro.topology.base import Topology
 
 __all__ = [
@@ -73,20 +78,30 @@ def topology_cache_key(topology: Topology) -> tuple:
 
 
 class _LruSection:
-    """One bounded LRU mapping (not thread-safe; callers hold the lock)."""
+    """One bounded LRU mapping (not thread-safe; callers hold the lock).
 
-    def __init__(self, max_entries: int):
+    ``label`` names the section in the :mod:`repro.obs` counter stream
+    (``<label>_hits`` / ``<label>_misses`` / ``<label>_evictions``).
+    """
+
+    def __init__(self, max_entries: int, label: str = "topo_cache.section"):
         self.max_entries = max_entries
         self.data: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._hit_key = f"{label}_hits"
+        self._miss_key = f"{label}_misses"
+        self._evict_key = f"{label}_evictions"
 
     def get(self, key):
         if key in self.data:
             self.data.move_to_end(key)
             self.hits += 1
+            obs.count(self._hit_key)
             return self.data[key]
         self.misses += 1
+        obs.count(self._miss_key)
         return None
 
     def put(self, key, value) -> None:
@@ -94,6 +109,8 @@ class _LruSection:
         self.data.move_to_end(key)
         while len(self.data) > self.max_entries:
             self.data.popitem(last=False)
+            self.evictions += 1
+            obs.count(self._evict_key)
 
 
 class TopologyCache:
@@ -118,9 +135,10 @@ class TopologyCache:
         if max_matrix_bytes < 0:
             raise ValueError(f"max_matrix_bytes must be >= 0, got {max_matrix_bytes}")
         self.max_matrix_bytes = int(max_matrix_bytes)
+        self.max_entries = int(max_entries)
         self._lock = threading.RLock()
-        self._matrices = _LruSection(max_entries)
-        self._tables = _LruSection(max_entries)
+        self._matrices = _LruSection(max_entries, label="topo_cache.matrix")
+        self._tables = _LruSection(max_entries, label="topo_cache.table")
         self._query_volume: dict[tuple, int] = {}
 
     # -- distance matrices ---------------------------------------------------
@@ -152,13 +170,15 @@ class TopologyCache:
 
     def _build_matrix(self, topology: Topology) -> IntArray:
         p = topology.num_processors
-        ranks = np.arange(p, dtype=np.int64)
-        matrix = np.empty((p, p), dtype=self._MATRIX_DTYPE)
-        # Row-blocked so the int64 intermediates stay bounded (~16 MiB).
-        block = max(1, (2 << 20) // max(p, 1))
-        for lo in range(0, p, block):
-            hi = min(lo + block, p)
-            matrix[lo:hi] = topology.distance(ranks[lo:hi, None], ranks[None, :])
+        with obs.span("topo.matrix_build", processors=p):
+            ranks = np.arange(p, dtype=np.int64)
+            matrix = np.empty((p, p), dtype=self._MATRIX_DTYPE)
+            # Row-blocked so the int64 intermediates stay bounded (~16 MiB).
+            block = max(1, (2 << 20) // max(p, 1))
+            for lo in range(0, p, block):
+                hi = min(lo + block, p)
+                matrix[lo:hi] = topology.distance(ranks[lo:hi, None], ranks[None, :])
+            obs.count("topo_cache.matrix_bytes_built", matrix.nbytes)
         return matrix
 
     def distances(self, topology: Topology, a, b) -> IntArray:
@@ -213,6 +233,7 @@ class TopologyCache:
                 section.data.clear()
                 section.hits = 0
                 section.misses = 0
+                section.evictions = 0
             self._query_volume.clear()
 
     @property
@@ -222,17 +243,21 @@ class TopologyCache:
             return {
                 "matrix_hits": self._matrices.hits,
                 "matrix_misses": self._matrices.misses,
+                "matrix_evictions": self._matrices.evictions,
                 "matrices": len(self._matrices.data),
                 "table_hits": self._tables.hits,
                 "table_misses": self._tables.misses,
+                "table_evictions": self._tables.evictions,
                 "tables": len(self._tables.data),
             }
 
 
+_runtime = runtime_config()
 _default_cache = TopologyCache(
-    max_entries=int(os.environ.get("REPRO_CACHE_ENTRIES", "32")),
-    max_matrix_bytes=int(os.environ.get("REPRO_CACHE_MATRIX_BYTES", str(256 << 20))),
+    max_entries=_runtime.cache_entries,
+    max_matrix_bytes=_runtime.cache_matrix_bytes,
 )
+del _runtime
 _default_lock = threading.Lock()
 
 

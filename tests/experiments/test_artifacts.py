@@ -141,14 +141,18 @@ class TestEventArtifactCache:
 
     def test_generator_seed_bypasses_cache(self, fresh_cache):
         a = get_trial_artifact(case_for(), np.random.default_rng(0))
-        assert fresh_cache.stats == {"hits": 0, "misses": 0, "artifacts": 0, "bytes": 0}
+        assert fresh_cache.stats == {
+            "hits": 0, "misses": 0, "evictions": 0, "artifacts": 0, "bytes": 0,
+        }
         assert a.nfi is not None
 
     def test_clear_resets(self, fresh_cache):
         (child,) = spawn_seeds(0, 1)
         get_trial_artifact(case_for(), child)
         fresh_cache.clear()
-        assert fresh_cache.stats == {"hits": 0, "misses": 0, "artifacts": 0, "bytes": 0}
+        assert fresh_cache.stats == {
+            "hits": 0, "misses": 0, "evictions": 0, "artifacts": 0, "bytes": 0,
+        }
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):

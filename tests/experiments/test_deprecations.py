@@ -1,0 +1,65 @@
+"""The legacy per-study runners warn and point at run_study(name)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale
+
+TINY = Scale(
+    name="deprecation-tiny",
+    pairs_particles=100,
+    pairs_order=4,
+    pairs_processors=16,
+    topo_particles=100,
+    topo_order=5,
+    topo_processors=16,
+    topo_radius=1,
+    scaling_particles=100,
+    scaling_order=5,
+    scaling_processors=(4, 16),
+    anns_orders=(1, 2),
+    trials=1,
+)
+
+
+class TestLegacyRunnerShims:
+    def test_run_anns_study_warns_with_replacement(self):
+        from repro.experiments import run_anns_study
+
+        with pytest.warns(DeprecationWarning, match=r"run_study\('fig5'\)"):
+            run_anns_study(TINY)
+
+    def test_run_sfc_pairs_warns_with_replacement(self):
+        from repro.experiments import run_sfc_pairs
+
+        with pytest.warns(DeprecationWarning, match=r"run_study\('tables'\)"):
+            run_sfc_pairs(TINY, seed=1, trials=1, curves=("hilbert",))
+
+    def test_run_campaign_case_warns(self):
+        from repro.experiments.campaign import run_campaign_case
+        from repro.experiments.config import FmmCase
+
+        case = FmmCase(
+            num_particles=50,
+            order=4,
+            num_processors=16,
+            topology="torus",
+            particle_curve="hilbert",
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+        with pytest.warns(DeprecationWarning, match="run_campaign"):
+            run_campaign_case(case, 1, 0, ("nfi",))
+
+    def test_warning_points_at_caller(self):
+        import warnings
+
+        from repro.experiments import run_clustering_study
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_clustering_study(order=4, query_sizes=(2,), samples=10, seed=1)
+        ours = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert ours, "expected a DeprecationWarning"
+        assert ours[0].filename == __file__

@@ -15,6 +15,26 @@ class TestPretty:
     def test_unknown_passthrough(self):
         assert pretty("custom") == "custom"
 
+    def test_3d_registry_names_have_labels(self):
+        # regression: these rendered as raw slugs in validate3d/anns3d output
+        assert pretty("hilbert3d") == "3D Hilbert Curve"
+        assert pretty("morton3d") == "3D Morton Curve"
+        assert pretty("gray3d") == "3D Gray Code"
+        assert pretty("rowmajor3d") == "3D Row Major"
+        assert pretty("snake3d") == "3D Snake"
+        assert pretty("mesh3d") == "3D Mesh"
+        assert pretty("torus3d") == "3D Torus"
+        assert pretty("octree") == "Octree"
+        assert pretty("uniform3d") == "3D Uniform"
+        assert pretty("normal3d") == "3D Normal"
+        assert pretty("exponential3d") == "3D Exponential"
+
+    def test_every_3d_study_axis_is_labelled(self):
+        from repro.experiments.study3d import PAPER_CURVES_3D, TOPOLOGIES_3D
+
+        for name in (*PAPER_CURVES_3D, *TOPOLOGIES_3D):
+            assert pretty(name) != name, name
+
 
 class TestFormatMatrix:
     def test_min_markers(self):

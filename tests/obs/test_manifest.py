@@ -1,0 +1,139 @@
+"""Cold-vs-warm manifest proof: reuse is visible from the manifest alone."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import RunManifest, recording
+from repro.experiments import Scale
+from repro.experiments.artifacts import EventArtifactCache, set_event_cache
+from repro.experiments.sfc_pairs import SFC_PAIRS_STUDY, plan_sfc_pairs
+from repro.experiments.store import ResultStore
+from repro.experiments.study import StudyContext, run_study
+from repro.runtime import runtime_config
+
+TINY = Scale(
+    name="manifest-tiny",
+    pairs_particles=150,
+    pairs_order=4,
+    pairs_processors=16,
+    topo_particles=150,
+    topo_order=5,
+    topo_processors=16,
+    topo_radius=1,
+    scaling_particles=150,
+    scaling_order=5,
+    scaling_processors=(4, 16),
+    anns_orders=(1, 2),
+    trials=2,
+)
+
+
+@pytest.fixture
+def fresh_event_cache():
+    """Isolate the process-wide artifact cache so counters start at zero."""
+    previous = set_event_cache(EventArtifactCache())
+    yield
+    set_event_cache(previous)
+
+
+def _run_tables(store: ResultStore):
+    ctx = StudyContext(scale=TINY, seed=11, trials=2, store=store)
+    plan = plan_sfc_pairs(
+        ctx, ("uniform",), ("hilbert", "rowmajor"), "torus", ("nfi", "ffi")
+    )
+    return run_study(SFC_PAIRS_STUDY, ctx, plan=plan)
+
+
+class TestColdWarmManifests(object):
+    def test_warm_rerun_provably_reuses(self, tmp_path, fresh_event_cache):
+        store = ResultStore(tmp_path / "store")
+
+        with recording() as cold_rec:
+            cold_result = _run_tables(store)
+        cold = RunManifest.from_recorder(
+            cold_rec, config=runtime_config().as_dict(), scale=TINY.name, seed=11
+        )
+
+        with recording() as warm_rec:
+            warm_result = _run_tables(store)
+        warm = RunManifest.from_recorder(
+            warm_rec, config=runtime_config().as_dict(), scale=TINY.name, seed=11
+        )
+
+        # results are bit-identical across the store round-trip
+        assert dataclasses.asdict(warm_result) == dataclasses.asdict(cold_result)
+
+        # the cold run computed: trials executed, events generated, puts made
+        assert cold.counters["campaign.trials"] > 0
+        assert cold.counters["events.generated"] > 0
+        assert cold.counters["store.puts"] == cold.counters["study.units"]
+
+        # the warm run is provable reuse from the manifest alone:
+        # zero trial computations, zero event generation, all units resumed
+        assert warm.counters.get("campaign.trials", 0) == 0
+        assert warm.counters.get("events.generated", 0) == 0
+        assert warm.counters["study.resume_hits"] == warm.counters["study.units"]
+        assert warm.counters["store.hits"] == warm.counters["study.units"]
+
+    def test_phase_timings_in_manifest(self, tmp_path, fresh_event_cache):
+        store = ResultStore(tmp_path / "store")
+        with recording() as rec:
+            _run_tables(store)
+        manifest = RunManifest.from_recorder(rec)
+        entry = manifest.studies["tables"]
+        assert entry["wall_s"] > 0
+        assert "campaign" in entry["phases"]
+        assert "store.lookup" in entry["phases"]
+        assert "collect" in entry["phases"]
+        # warm pass: campaign phase disappears, lookup remains
+        with recording() as rec2:
+            _run_tables(store)
+        warm_entry = RunManifest.from_recorder(rec2).studies["tables"]
+        assert "campaign" not in warm_entry["phases"]
+        assert "store.lookup" in warm_entry["phases"]
+
+    def test_write_and_load_roundtrip(self, tmp_path, fresh_event_cache):
+        store = ResultStore(tmp_path / "store")
+        with recording() as rec:
+            _run_tables(store)
+        manifest = RunManifest.from_recorder(
+            rec,
+            config=runtime_config().as_dict(),
+            scale=TINY.name,
+            seed=11,
+            command=["tables", "--metrics", "out/"],
+        )
+        out_dir = tmp_path / "out"
+        out_dir.mkdir()
+        target = manifest.write(out_dir)
+        assert target == out_dir / "run_manifest.json"
+        raw = json.loads(target.read_text())
+        assert raw["schema"] == manifest.schema
+        loaded = RunManifest.load(target)
+        assert loaded.counters == manifest.counters
+        assert loaded.scale == TINY.name
+        assert loaded.command == ["tables", "--metrics", "out/"]
+        assert loaded.caches["event_cache"]["misses"] > 0
+        assert "workers" in raw and raw["workers"]["jobs"] >= 1
+
+    def test_load_tolerates_unknown_fields(self, tmp_path):
+        path = tmp_path / "m.json"
+        payload = {"schema": 99, "counters": {"x": 1}, "not_a_field": True}
+        path.write_text(json.dumps(payload))
+        loaded = RunManifest.load(path)
+        assert loaded.schema == 99
+        assert loaded.counters == {"x": 1}
+
+
+class TestObservabilityIsInert(object):
+    def test_recorded_and_plain_runs_agree(self, tmp_path, fresh_event_cache):
+        plain = _run_tables(ResultStore(tmp_path / "a"))
+        with recording():
+            recorded = _run_tables(ResultStore(tmp_path / "b"))
+        assert obs.get_recorder() is None
+        assert dataclasses.asdict(plain) == dataclasses.asdict(recorded)

@@ -1,0 +1,187 @@
+"""Tests for the tracing/metrics recorder core."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import Recorder, recording
+from repro.obs.recorder import _NULL_SPAN, record_unit, render_trace
+
+
+class TestDisabledPath:
+    def test_no_recorder_by_default(self):
+        assert obs.get_recorder() is None
+        assert not obs.enabled()
+
+    def test_span_returns_shared_null_span(self):
+        first = obs.span("anything", attr=1)
+        second = obs.span("else")
+        assert first is second is _NULL_SPAN
+        with first:
+            pass  # no-op, no error
+
+    def test_count_and_gauge_are_noops(self):
+        obs.count("never.recorded", 5)
+        obs.gauge("never.recorded", 1.0)
+        assert obs.get_recorder() is None
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        with recording() as rec:
+            with obs.span("outer", study="x"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+        assert len(rec.roots) == 1
+        outer = rec.roots[0]
+        assert outer.name == "outer"
+        assert outer.attrs == {"study": "x"}
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+
+    def test_durations_close_and_nest(self):
+        with recording() as rec:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        outer = rec.roots[0]
+        inner = outer.children[0]
+        assert outer.duration is not None and inner.duration is not None
+        assert 0 <= inner.duration <= outer.duration
+
+    def test_sequential_roots(self):
+        with recording() as rec:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        assert [r.name for r in rec.roots] == ["a", "b"]
+
+    def test_find_spans_walks_depth_first(self):
+        with recording() as rec:
+            with obs.span("study", study="fig6"):
+                with obs.span("campaign"):
+                    with obs.span("campaign"):
+                        pass
+        assert len(rec.find_spans("campaign")) == 2
+        assert [s.attrs.get("study") for s in rec.find_spans("study")] == ["fig6"]
+
+    def test_thread_spans_become_roots(self):
+        with recording() as rec:
+            with obs.span("main"):
+                t = threading.Thread(target=lambda: obs.span("worker").__enter__())
+                t.start()
+                t.join()
+        names = sorted(r.name for r in rec.roots)
+        assert names == ["main", "worker"]
+        assert rec.roots[0].children == [] or rec.roots[1].children == []
+
+    def test_as_dict_is_jsonable(self):
+        import json
+
+        with recording() as rec:
+            with obs.span("outer", n=3):
+                with obs.span("inner"):
+                    pass
+        tree = rec.roots[0].as_dict()
+        json.dumps(tree)
+        assert tree["name"] == "outer"
+        assert tree["attrs"] == {"n": 3}
+        assert tree["children"][0]["name"] == "inner"
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        with recording() as rec:
+            obs.count("hits")
+            obs.count("hits", 2)
+            obs.count("busy_s", 0.5)
+        assert rec.counters["hits"] == 3
+        assert rec.counters["busy_s"] == pytest.approx(0.5)
+
+    def test_gauge_last_write_wins(self):
+        with recording() as rec:
+            obs.gauge("queue", 10)
+            obs.gauge("queue", 3)
+        assert rec.gauges["queue"] == 3
+
+    def test_merge_counters_adds(self):
+        rec = Recorder()
+        rec.count("a", 1)
+        rec.merge_counters({"a": 2, "b": 0.25})
+        assert rec.counters == {"a": 3, "b": 0.25}
+
+    def test_concurrent_counts_are_exact(self):
+        rec = Recorder()
+
+        def bump():
+            for _ in range(1000):
+                rec.count("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rec.counters["n"] == 4000
+
+
+class TestRecordingScope:
+    def test_restores_previous_recorder(self):
+        outer = Recorder()
+        with recording(outer):
+            assert obs.get_recorder() is outer
+            with recording() as inner:
+                assert obs.get_recorder() is inner
+            assert obs.get_recorder() is outer
+        assert obs.get_recorder() is None
+
+    def test_set_recorder_type_checked(self):
+        with pytest.raises(TypeError):
+            obs.set_recorder(object())  # type: ignore[arg-type]
+
+
+def _unit(x):
+    obs.count("unit.calls")
+    obs.count("unit.sum", x)
+    return x * 2
+
+
+class TestRecordUnit:
+    def test_returns_result_counters_busy(self):
+        result, counters, busy = record_unit(_unit, 21)
+        assert result == 42
+        assert counters == {"unit.calls": 1, "unit.sum": 21}
+        assert busy >= 0
+
+    def test_does_not_leak_into_parent(self):
+        with recording() as rec:
+            record_unit(_unit, 1)
+        assert "unit.calls" not in rec.counters
+
+    def test_restores_parent_recorder(self):
+        with recording() as rec:
+            record_unit(_unit, 1)
+            assert obs.get_recorder() is rec
+
+
+class TestRenderTrace:
+    def test_contains_spans_counters_gauges(self):
+        with recording() as rec:
+            with obs.span("study", study="fig6"):
+                obs.count("store.hits", 4)
+                obs.gauge("pool.jobs", 2)
+        text = render_trace(rec)
+        assert "study" in text and "study=fig6" in text
+        assert "store.hits = 4" in text
+        assert "pool.jobs = 2" in text
+
+    def test_min_duration_filters(self):
+        with recording() as rec:
+            with obs.span("fast"):
+                pass
+        assert "fast" not in render_trace(rec, min_duration=10.0)
