@@ -16,6 +16,7 @@ The per-study ``run_*`` functions are deprecated thin wrappers over
 ``run_study(name)`` and will be removed in a future release.
 """
 
+from repro.faults import FaultPlan, InjectedFault, parse_faults
 from repro.obs import RunManifest
 from repro.runtime import RuntimeConfig, configure, runtime_config
 
@@ -72,7 +73,15 @@ from repro.experiments.parametric import (
     run_radius_sweep,
 )
 from repro.experiments.reporting import format_matrix, format_rows, format_series
-from repro.experiments.runner import CaseResult, run_case
+from repro.experiments.runner import (
+    CaseResult,
+    ExecutionPolicy,
+    UnitFailedError,
+    UnitTimeoutError,
+    execute_units,
+    map_units,
+    run_case,
+)
 from repro.experiments.scaling_study import (
     ScalingStudyResult,
     format_scaling_study,
@@ -128,6 +137,14 @@ __all__ = [
     "active_scale",
     "CaseResult",
     "run_case",
+    "ExecutionPolicy",
+    "UnitFailedError",
+    "UnitTimeoutError",
+    "execute_units",
+    "map_units",
+    "FaultPlan",
+    "InjectedFault",
+    "parse_faults",
     "AnnsStudyResult",
     "run_anns_study",
     "format_anns_study",

@@ -34,13 +34,14 @@ from repro._typing import SeedLike
 from repro.experiments.artifacts import evaluate_artifact, get_trial_artifact
 from repro.experiments.config import FmmCase
 from repro.experiments.reporting import format_rows
+from repro.experiments.executor import ExecutionPolicy
 from repro.experiments.runner import (
     CaseResult,
     TrialResult,
     _check_parts,
     aggregate_trials,
     case_topology,
-    map_units,
+    execute_units,
     resolve_jobs,
     run_trial,
 )
@@ -140,18 +141,22 @@ def iter_campaign(
     seed: SeedLike = 0,
     parts: tuple[str, ...] = ("nfi", "ffi"),
     jobs: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> Iterator[tuple[int, CaseResult]]:
     """Stream ``(index, CaseResult)`` pairs as instance groups complete.
 
     The incremental face of the campaign engine: cases are grouped by
     instance key, ``(instance, trial)`` units fan out through
-    :func:`~repro.experiments.runner.map_units` (all units are scheduled
-    up front, so ``jobs > 1`` parallelism is unaffected by streaming),
-    and every case of a group is yielded as soon as the group's last
-    trial lands.  Consumers — notably the study driver's result store —
-    can persist each case before the sweep finishes.  Results are
-    bit-identical to :func:`run_campaign` (which is this iterator,
-    drained).
+    :func:`~repro.experiments.executor.execute_units` (all units are
+    scheduled up front, so ``jobs > 1`` parallelism is unaffected by
+    streaming), and every case of a group is yielded as soon as the
+    group's last trial lands — *in completion order*, so a slow or
+    retrying group never holds back the checkpointing of a finished
+    one.  Consumers — notably the study driver's result store — can
+    persist each case before the sweep finishes, and before any
+    failure propagates.  The per-case values are bit-identical to
+    :func:`run_campaign` (which is this iterator, drained and
+    reordered), under any job count, retry schedule or degradation.
     """
     cases = list(cases)
     if not cases:
@@ -166,21 +171,25 @@ def iter_campaign(
     # run_case spawns the same child seeds for every case, so one spawn
     # serves the whole campaign and sharing preserves bit-identity.
     seeds = spawn_seeds(seed, trials)
+    group_indices = list(groups.values())
     units = [
         (tuple(cases[i] for i in idxs), child, parts)
-        for idxs in groups.values()
+        for idxs in group_indices
         for child in seeds
     ]
-    unit_outputs = map_units(run_instance_trial, units, jobs)
-    # gather each group's trials in order, then emit its finished cases
-    for idxs in groups.values():
-        trial_results: list[list[TrialResult]] = [
-            next(unit_outputs) for _ in range(trials)
-        ]
-        for case_pos, i in enumerate(idxs):
+    # unit u belongs to group u // trials, trial u % trials
+    collected: dict[int, dict[int, list[TrialResult]]] = {}
+    for u, outputs in execute_units(run_instance_trial, units, jobs, policy=policy):
+        group, trial = divmod(u, trials)
+        slot = collected.setdefault(group, {})
+        slot[trial] = outputs
+        if len(slot) < trials:
+            continue
+        for case_pos, i in enumerate(group_indices[group]):
             yield i, aggregate_trials(
-                cases[i], [trial_results[t][case_pos] for t in range(trials)]
+                cases[i], [slot[t][case_pos] for t in range(trials)]
             )
+        del collected[group]
 
 
 def run_campaign(
@@ -190,6 +199,7 @@ def run_campaign(
     seed: SeedLike = 0,
     parts: tuple[str, ...] = ("nfi", "ffi"),
     jobs: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> list[CaseResult]:
     """Execute every case, generating events once per shared instance.
 
@@ -204,7 +214,7 @@ def run_campaign(
     cases = list(cases)
     results: list[CaseResult | None] = [None] * len(cases)
     for i, result in iter_campaign(
-        cases, trials=trials, seed=seed, parts=parts, jobs=jobs
+        cases, trials=trials, seed=seed, parts=parts, jobs=jobs, policy=policy
     ):
         results[i] = result
     return results  # type: ignore[return-value]

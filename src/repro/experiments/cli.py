@@ -35,7 +35,7 @@ from repro.experiments.io import save_result, write_csv
 from repro.experiments.runner import set_default_jobs
 from repro.experiments.store import ResultStore
 from repro.experiments.study import ENV_STORE, StudyContext, get_study, run_study
-from repro.runtime import runtime_config
+from repro.runtime import configure, runtime_config
 
 __all__ = ["main", "COMMANDS", "EXPERIMENTS"]
 
@@ -118,6 +118,38 @@ def main(argv: list[str] | None = None) -> int:
         help="also save results as CSV (a directory when the command runs several studies)",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for a unit that raised or timed out before the run "
+        "fails (default: REPRO_MAX_RETRIES env var or 2; 0 disables retries)",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock budget; a hung worker is torn down and the unit "
+        "retried (default: REPRO_UNIT_TIMEOUT env var or no limit)",
+    )
+    tolerance = parser.add_mutually_exclusive_group()
+    tolerance.add_argument(
+        "--strict",
+        dest="strict",
+        action="store_true",
+        default=None,
+        help="fail fast on the first worker fault (no retries, rebuilds or "
+        "serial degradation); completed cases still flush to the store",
+    )
+    tolerance.add_argument(
+        "--best-effort",
+        dest="strict",
+        action="store_false",
+        help="survive worker faults: retry transient errors, rebuild a broken "
+        "pool, degrade to serial execution if it keeps breaking (default)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record the run and print a span/counter summary to stderr "
@@ -135,6 +167,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.store and args.no_store:
         parser.error("--store and --no-store are mutually exclusive")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        parser.error("--unit-timeout must be > 0")
+    # Fault-tolerance knobs install through the runtime config (before
+    # the jobs default, which set_default_jobs below must win).
+    policy_overrides = {
+        name: value
+        for name, value in (
+            ("max_retries", args.max_retries),
+            ("unit_timeout", args.unit_timeout),
+            ("strict", args.strict),
+        )
+        if value is not None
+    }
+    if policy_overrides:
+        configure(**policy_overrides)
     set_default_jobs(args.jobs)
 
     if args.no_store:

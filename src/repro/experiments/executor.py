@@ -1,0 +1,460 @@
+"""Fault-tolerant unit execution over a shared process pool.
+
+The campaign/study engine fans every paper experiment across one
+process-wide ``ProcessPoolExecutor`` — which used to make a single
+worker crash fatal twice over: the ``BrokenProcessPool`` aborted the
+run, *and* the poisoned pool stayed installed as the module-level
+shared executor, breaking every later call in the same process.  This
+module owns the pool lifecycle and the execution policy that makes
+failures survivable:
+
+* **Broken-pool recovery** — :func:`shared_executor` detects a broken
+  (or shut-down) pool and rebuilds it instead of returning the
+  poisoned global; :func:`execute_units` reclaims the in-flight units
+  of a broken pool and resubmits them to the fresh one
+  (``pool.broken`` / ``pool.rebuilds`` counters).
+* **Per-unit retry** — transient unit exceptions are retried with
+  exponential backoff under a bounded attempt budget
+  (``units.retries``).
+* **Per-unit wall-clock timeouts** — a hung worker is detected by
+  deadline, the pool is torn down (hung processes terminated) and the
+  unit retried (``units.timeouts``).
+* **Graceful degradation** — when the pool breaks repeatedly, the
+  remaining units run in-process instead of failing the sweep
+  (``units.degraded_serial``).
+* **Bounded shutdown** — the ``atexit`` hook cancels queued work and
+  waits a bounded time before terminating workers, so a hung worker
+  can no longer block interpreter exit forever.
+
+Faults injected via :mod:`repro.faults` (``REPRO_FAULTS`` /
+``configure(faults=...)``) are threaded through
+:func:`repro.obs.record_unit` into every pool unit, making all of the
+above reproducible in tests.  None of the machinery touches result
+values: a retried, rebuilt or degraded run is bit-identical to a
+fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro import obs
+from repro.faults import FaultPlan, parse_faults
+from repro.obs.recorder import record_unit
+from repro.runtime import runtime_config
+
+__all__ = [
+    "ExecutionPolicy",
+    "default_policy",
+    "execute_units",
+    "UnitFailedError",
+    "UnitTimeoutError",
+    "shared_executor",
+    "shutdown_shared_executor",
+]
+
+
+class UnitFailedError(RuntimeError):
+    """A unit exhausted its attempt budget; the last cause is chained."""
+
+    def __init__(self, index: int, attempts: int, detail: str):
+        super().__init__(f"unit {index} failed after {attempts} attempt(s): {detail}")
+        self.index = index
+        self.attempts = attempts
+
+
+class UnitTimeoutError(UnitFailedError):
+    """A unit exceeded its wall-clock timeout on every allowed attempt."""
+
+    def __init__(self, index: int, attempts: int, timeout: float):
+        super().__init__(index, attempts, f"exceeded the {timeout:g}s unit timeout")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How (not what) units execute: budgets for surviving faults.
+
+    ``max_retries`` bounds *additional* attempts after the first try of
+    a unit that raised or timed out; ``unit_timeout`` is the per-unit
+    wall-clock budget in seconds (``None`` disables timeouts — a
+    necessity for the serial path, which cannot preempt a unit);
+    backoff between retries is ``backoff_base * 2**(failures-1)``
+    capped at ``backoff_cap``; ``max_pool_rebuilds`` bounds
+    *consecutive* pool breaks before execution degrades to in-process;
+    ``strict`` fails fast on the first fault instead (completed units
+    are still flushed first); ``faults`` is the injection plan.
+    """
+
+    max_retries: int = 2
+    unit_timeout: float | None = None
+    backoff_base: float = 0.1
+    backoff_cap: float = 2.0
+    max_pool_rebuilds: int = 3
+    strict: bool = False
+    faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be > 0 or None, got {self.unit_timeout}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}")
+
+
+def default_policy() -> ExecutionPolicy:
+    """The policy named by the runtime config (``REPRO_MAX_RETRIES``,
+    ``REPRO_UNIT_TIMEOUT``, ``REPRO_STRICT``, ``REPRO_FAULTS``)."""
+    cfg = runtime_config()
+    plan = parse_faults(cfg.faults)
+    return ExecutionPolicy(
+        max_retries=cfg.max_retries,
+        unit_timeout=cfg.unit_timeout,
+        strict=cfg.strict,
+        faults=plan if plan else None,
+    )
+
+
+# -- the shared process pool --------------------------------------------------
+
+_executor: ProcessPoolExecutor | None = None
+_executor_workers = 0
+
+#: Bound on the atexit shutdown: queued work is cancelled, running
+#: workers get this many seconds to finish, stragglers are terminated.
+ATEXIT_TIMEOUT_S = 5.0
+
+
+def _pool_unusable(pool: ProcessPoolExecutor) -> bool:
+    """Whether the pool can no longer accept work (broken or shut down)."""
+    return bool(getattr(pool, "_broken", False)) or bool(
+        getattr(pool, "_shutdown_thread", False)
+    )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor, timeout: float) -> None:
+    """Tear a pool down within ``timeout`` seconds, killing stragglers."""
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    deadline = time.monotonic() + timeout
+    for proc in processes:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+        except Exception:
+            pass  # the process may already be reaped by the pool itself
+
+
+def shared_executor(jobs: int) -> ProcessPoolExecutor:
+    """A persistent process pool, grown on demand and reused across calls.
+
+    Studies invoke the campaign engine once per sweep; keeping the
+    workers alive between calls means each worker pays per-case
+    topology builds once and the pool spawn cost is paid once per
+    session rather than once per case.  A pool poisoned by a worker
+    crash (``BrokenProcessPool``) or an earlier shutdown is *detected
+    and replaced* here — callers always receive a usable pool, never
+    the broken global.  Growing the pool retires the old one so its
+    workers terminate instead of being orphaned, and the final pool is
+    shut down at interpreter exit with a bounded wait.
+    """
+    global _executor, _executor_workers
+    if _executor is not None and _pool_unusable(_executor):
+        obs.count("pool.broken_replaced")
+        discard_shared_executor()
+    if _executor is None or _executor_workers < jobs:
+        if _executor is not None:
+            _executor.shutdown(wait=True)
+        _executor = ProcessPoolExecutor(max_workers=jobs)
+        _executor_workers = jobs
+    return _executor
+
+
+def discard_shared_executor(timeout: float = ATEXIT_TIMEOUT_S) -> None:
+    """Forget the shared pool, terminating its processes within ``timeout``.
+
+    Used after a pool break or a unit timeout: the old pool's workers
+    may be dead or hung, so they are torn down forcibly rather than
+    joined; the next :func:`shared_executor` call builds a fresh pool.
+    """
+    global _executor, _executor_workers
+    pool, _executor, _executor_workers = _executor, None, 0
+    if pool is not None:
+        _terminate_pool(pool, timeout)
+
+
+def shutdown_shared_executor(
+    wait: bool = True, cancel_futures: bool = False, timeout: float | None = None
+) -> None:
+    """Shut down the persistent pool (no-op when none is alive).
+
+    With ``timeout`` set the shutdown is *bounded*: queued futures are
+    cancelled (regardless of ``cancel_futures``), running workers get
+    ``timeout`` seconds to finish, and stragglers are terminated — a
+    hung worker cannot block the caller forever.
+    """
+    global _executor, _executor_workers
+    pool, _executor, _executor_workers = _executor, None, 0
+    if pool is None:
+        return
+    if timeout is not None:
+        _terminate_pool(pool, timeout)
+    else:
+        pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+
+@atexit.register
+def _shutdown_at_exit() -> None:
+    """Bounded atexit shutdown — a hung worker must not hang ``exit()``.
+
+    The previous hook shut down with ``wait=True`` and no bound, so one
+    stuck worker made interpreter exit block forever; now queued work
+    is cancelled and stragglers are terminated after
+    :data:`ATEXIT_TIMEOUT_S`.
+    """
+    shutdown_shared_executor(wait=False, cancel_futures=True, timeout=ATEXIT_TIMEOUT_S)
+
+
+# -- fault-tolerant execution -------------------------------------------------
+
+
+def _sleep_backoff(policy: ExecutionPolicy, failures: int) -> None:
+    if policy.backoff_base <= 0:
+        return
+    time.sleep(min(policy.backoff_cap, policy.backoff_base * 2 ** (failures - 1)))
+
+
+def _run_unit_inline(
+    fn: Callable[..., Any],
+    args: Sequence[Any],
+    index: int,
+    policy: ExecutionPolicy,
+    recorder,
+    attempt: int = 0,
+) -> Any:
+    """One unit in-process, with fault injection and bounded retries."""
+    failures = 0
+    while True:
+        start = time.perf_counter()
+        try:
+            if policy.faults is not None:
+                from repro.faults import inject
+
+                inject(policy.faults, index, attempt, in_worker=False)
+            result = fn(*args)
+        except Exception as exc:
+            failures += 1
+            attempt += 1
+            if policy.strict or failures > policy.max_retries:
+                raise UnitFailedError(index, failures, repr(exc)) from exc
+            obs.count("units.retries")
+            _sleep_backoff(policy, failures)
+            continue
+        if recorder is not None:
+            recorder.count("units.busy_s", time.perf_counter() - start)
+            recorder.count("units.serial", 1)
+        return result
+
+
+def execute_units(
+    fn: Callable[..., Any],
+    arglists,
+    jobs: int,
+    policy: ExecutionPolicy | None = None,
+) -> Iterator[tuple[int, Any]]:
+    """Apply ``fn`` across argument tuples; yield ``(index, result)``.
+
+    The unordered core of the experiments fan-out: results stream *as
+    units complete* (any order), so callers can checkpoint each one
+    before the batch — or a failure — ends the run.  With ``jobs > 1``
+    units run on the shared pool under the fault-tolerance policy
+    (retries, timeouts, pool rebuilds, serial degradation); otherwise
+    in-process, where ``raise``-fault injection and retries still
+    apply.  When a unit exhausts its budget a :class:`UnitFailedError`
+    (or :class:`UnitTimeoutError`) propagates — after every completed
+    unit has been yielded, so consumers flush finished work first.
+
+    Worker-side counters travel back inside the ordinary result stream
+    (:func:`repro.obs.record_unit`) and merge into the parent recorder,
+    so aggregated totals agree with a serial run at any job count.
+    """
+    arglists = list(arglists)
+    if policy is None:
+        policy = default_policy()
+    recorder = obs.get_recorder()
+    if jobs <= 1 or len(arglists) <= 1:
+        for i, args in enumerate(arglists):
+            yield i, _run_unit_inline(fn, args, i, policy, recorder)
+        return
+    yield from _execute_pooled(fn, arglists, jobs, policy, recorder)
+
+
+def _execute_pooled(
+    fn: Callable[..., Any],
+    arglists: list,
+    jobs: int,
+    policy: ExecutionPolicy,
+    recorder,
+) -> Iterator[tuple[int, Any]]:
+    n = len(arglists)
+    attempts = [0] * n  # total submissions (drives the fault schedule)
+    failures = [0] * n  # attributed failures (drives the retry budget)
+    remaining = set(range(n))
+    running: dict[Future, int] = {}
+    deadlines: dict[Future, float] = {}
+    consecutive_breaks = 0
+    pool = shared_executor(jobs)
+    if recorder is not None:
+        recorder.gauge("pool.jobs", jobs)
+        recorder.gauge("pool.queue", n)
+    start_wall = time.perf_counter()
+
+    def submit(i: int) -> None:
+        future = pool.submit(
+            record_unit,
+            fn,
+            *arglists[i],
+            unit_index=i,
+            attempt=attempts[i],
+            faults=policy.faults,
+            in_worker=True,
+        )
+        running[future] = i
+        if policy.unit_timeout is not None:
+            deadlines[future] = time.monotonic() + policy.unit_timeout
+
+    def reclaim_running() -> list[int]:
+        """Drop every in-flight future (their pool is gone); resubmittable."""
+        victims = sorted(running.values())
+        running.clear()
+        deadlines.clear()
+        for i in victims:
+            attempts[i] += 1  # any of them may have been the crasher
+        return victims
+
+    def rebuild() -> None:
+        nonlocal pool
+        obs.count("pool.rebuilds")
+        pool = shared_executor(jobs)
+
+    def unit_failed(i: int, exc: BaseException) -> None:
+        """Account one attributed failure; raises when the budget is gone."""
+        failures[i] += 1
+        attempts[i] += 1
+        if policy.strict or failures[i] > policy.max_retries:
+            raise UnitFailedError(i, failures[i], repr(exc)) from exc
+        obs.count("units.retries")
+        _sleep_backoff(policy, failures[i])
+
+    def unpack(payload: tuple) -> Any:
+        result, counters, busy = payload
+        if recorder is not None:
+            recorder.merge_counters(counters)
+            recorder.count("pool.units", 1)
+            recorder.count("pool.busy_s", busy)
+        return result
+
+    try:
+        for i in range(n):
+            submit(i)
+        while running:
+            now = time.monotonic()
+            expired = sorted(
+                running[f] for f, dl in deadlines.items() if dl <= now and not f.done()
+            )
+            if expired:
+                # hung worker(s): the whole pool must be torn down — the
+                # stuck process cannot be preempted any other way.
+                victims = reclaim_running()
+                discard_shared_executor()
+                fatal: int | None = None
+                for i in expired:
+                    failures[i] += 1
+                    obs.count("units.timeouts")
+                    if policy.strict or failures[i] > policy.max_retries:
+                        fatal = i
+                if fatal is not None:
+                    raise UnitTimeoutError(
+                        fatal, failures[fatal], policy.unit_timeout or 0.0
+                    )
+                rebuild()
+                for i in victims:
+                    submit(i)
+                continue
+            timeout = max(0.0, min(deadlines.values()) - now) if deadlines else None
+            done, _ = wait(list(running), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                continue  # woke on a deadline; handled at the top of the loop
+            completed: list[tuple[int, tuple]] = []
+            errored: list[tuple[int, BaseException]] = []
+            broken_units: list[int] = []
+            broken_exc: BaseException | None = None
+            for future in done:
+                i = running.pop(future)
+                deadlines.pop(future, None)
+                if future.cancelled():
+                    broken_units.append(i)
+                    continue
+                exc = future.exception()
+                if exc is None:
+                    completed.append((i, future.result()))
+                elif isinstance(exc, BrokenExecutor):
+                    broken_units.append(i)
+                    broken_exc = broken_exc or exc
+                else:
+                    errored.append((i, exc))
+            # 1) flush finished units first — on any failure below, the
+            #    consumer has already seen (and can persist) these.
+            for i, payload in sorted(completed):
+                consecutive_breaks = 0
+                remaining.discard(i)
+                yield i, unpack(payload)
+            # 2) a broken pool invalidates every in-flight unit
+            if broken_units or (broken_exc is not None):
+                obs.count("pool.broken")
+                consecutive_breaks += 1
+                victims = sorted(broken_units) + reclaim_running()
+                for i in broken_units:
+                    attempts[i] += 1
+                discard_shared_executor()
+                if policy.strict:
+                    raise broken_exc if broken_exc is not None else UnitFailedError(
+                        victims[0], attempts[victims[0]], "process pool broke"
+                    )
+                for i, exc in errored:
+                    unit_failed(i, exc)  # may raise once the budget is gone
+                    if i not in victims:
+                        victims.append(i)
+                if consecutive_breaks > policy.max_pool_rebuilds:
+                    # graceful degradation: finish the sweep in-process
+                    for i in sorted(remaining):
+                        obs.count("units.degraded_serial")
+                        result = _run_unit_inline(
+                            fn, arglists[i], i, policy, recorder, attempt=attempts[i]
+                        )
+                        remaining.discard(i)
+                        yield i, result
+                    return
+                rebuild()
+                for i in victims:
+                    submit(i)
+            else:
+                for i, exc in errored:
+                    unit_failed(i, exc)  # may raise once the budget is gone
+                    submit(i)
+    finally:
+        for future in running:
+            future.cancel()
+        if recorder is not None:
+            recorder.count("pool.wall_s", time.perf_counter() - start_wall)

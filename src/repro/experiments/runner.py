@@ -16,19 +16,22 @@ back to serial execution.
 
 from __future__ import annotations
 
-import atexit
-import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro import obs
 from repro._typing import SeedLike
 from repro.experiments.artifacts import evaluate_artifact, get_trial_artifact
 from repro.experiments.config import FmmCase
+from repro.experiments.executor import (  # noqa: F401  (re-exported API)
+    ExecutionPolicy,
+    UnitFailedError,
+    UnitTimeoutError,
+    execute_units,
+    shared_executor,
+    shutdown_shared_executor,
+)
 from repro.metrics.acd import ACDResult
-from repro.obs.recorder import record_unit
 from repro.runtime import runtime_config
 from repro.topology.base import Topology
 from repro.topology.registry import make_topology
@@ -42,6 +45,10 @@ __all__ = [
     "set_default_jobs",
     "resolve_jobs",
     "map_units",
+    "execute_units",
+    "ExecutionPolicy",
+    "UnitFailedError",
+    "UnitTimeoutError",
     "shared_executor",
     "shutdown_shared_executor",
 ]
@@ -77,34 +84,10 @@ def resolve_jobs(jobs: int | None) -> int:
     return configured if configured is not None else 1
 
 
-_executor: ProcessPoolExecutor | None = None
-_executor_workers = 0
-
-
-def shared_executor(jobs: int) -> ProcessPoolExecutor:
-    """A persistent process pool, grown on demand and reused across calls.
-
-    Studies invoke :func:`run_case` once per experiment case; keeping the
-    workers alive between calls means each worker pays the per-case
-    topology build once (its :data:`_worker_topologies` memo survives)
-    and the pool spawn cost is paid once per session rather than once
-    per case.  Growing the pool retires the old one with ``wait=True``
-    so its (idle) workers terminate instead of being orphaned, and the
-    final pool is shut down at interpreter exit.
-    """
-    global _executor, _executor_workers
-    if _executor is None or _executor_workers < jobs:
-        if _executor is not None:
-            _executor.shutdown(wait=True)
-        _executor = ProcessPoolExecutor(max_workers=jobs)
-        _executor_workers = jobs
-    return _executor
-
-
-def map_units(fn, arglists, jobs: int):
+def map_units(fn, arglists, jobs: int, policy: ExecutionPolicy | None = None):
     """Apply ``fn`` across argument tuples, serially or over the pool.
 
-    The shared fan-out primitive of the experiments stack: the campaign
+    The ordered fan-out primitive of the experiments stack: the campaign
     engine maps ``(instance, trial)`` units and the study driver maps
     compute units through the same code path.  With ``jobs > 1`` (and
     more than one unit) the calls run on the persistent process pool —
@@ -112,53 +95,26 @@ def map_units(fn, arglists, jobs: int):
     Results are yielded in input order as they complete, so callers can
     act on each one (e.g. persist it) before the batch finishes.
 
-    When an :mod:`repro.obs` recorder is installed, each unit runs
-    under :func:`~repro.obs.record_unit`: worker-side counters (cache
-    hits, events generated, ...) travel back to the parent *inside the
-    ordinary result stream* — no shared memory — and are merged into
-    the parent recorder along with per-unit busy time, so aggregated
-    totals agree with a serial run's at any job count.  Observability
-    never changes the results themselves.
+    Execution is delegated to
+    :func:`~repro.experiments.executor.execute_units`, so the full
+    fault-tolerance policy applies — per-unit retries, wall-clock
+    timeouts, broken-pool rebuilds and serial degradation — and
+    worker-side counters merge into the parent recorder so aggregated
+    totals agree with a serial run's at any job count.  Neither
+    observability nor fault recovery ever changes the results
+    themselves.  Callers that can handle out-of-order completion (the
+    streaming campaign engine) should use :func:`execute_units`
+    directly — it flushes finished units even when an earlier-indexed
+    unit is still running or has failed.
     """
     arglists = list(arglists)
-    recorder = obs.get_recorder()
-    if jobs > 1 and len(arglists) > 1:
-        pool = shared_executor(jobs)
-        if recorder is None:
-            yield from pool.map(fn, *zip(*arglists))
-            return
-        recorder.gauge("pool.jobs", jobs)
-        recorder.gauge("pool.queue", len(arglists))
-        packed = [(fn, *args) for args in arglists]
-        start = time.perf_counter()
-        try:
-            for result, counters, busy in pool.map(record_unit, *zip(*packed)):
-                recorder.merge_counters(counters)
-                recorder.count("pool.units", 1)
-                recorder.count("pool.busy_s", busy)
-                yield result
-        finally:
-            recorder.count("pool.wall_s", time.perf_counter() - start)
-    elif recorder is None:
-        for args in arglists:
-            yield fn(*args)
-    else:
-        for args in arglists:
-            start = time.perf_counter()
-            result = fn(*args)
-            recorder.count("units.busy_s", time.perf_counter() - start)
-            recorder.count("units.serial", 1)
-            yield result
-
-
-@atexit.register
-def shutdown_shared_executor(wait: bool = True) -> None:
-    """Shut down the persistent pool (no-op when none is alive)."""
-    global _executor, _executor_workers
-    if _executor is not None:
-        _executor.shutdown(wait=wait)
-        _executor = None
-        _executor_workers = 0
+    buffered: dict[int, object] = {}
+    next_index = 0
+    for i, result in execute_units(fn, arglists, jobs, policy=policy):
+        buffered[i] = result
+        while next_index in buffered:
+            yield buffered.pop(next_index)
+            next_index += 1
 
 
 @dataclass(frozen=True)

@@ -15,9 +15,14 @@ This module gives the study driver a durable memo:
   completes* (the campaign engine streams finished cases), so an
   interrupted sweep resumes from the cases already done and an extended
   sweep computes only the new cases.
-* **Atomic writes** — values land in a temp file in the store directory
-  and are published with ``os.replace``; a crash mid-write never leaves
-  a corrupt entry, and concurrent writers of the same key are safe.
+* **Atomic, durable writes** — values are fsynced into a temp file in
+  the store directory, published with ``os.replace`` and the directory
+  entry fsynced; a crash or power loss mid-write never leaves a torn
+  entry, and concurrent writers of the same key are safe.
+* **Corruption tolerance** — an entry that cannot be read, parsed *or
+  decoded* (truncated payload, codec schema drift) reads as a miss:
+  the bad file is quarantined as ``*.corrupt`` and counted under
+  ``store.corrupt``, and the case is simply recomputed.
 
 The store is enabled by pointing ``REPRO_STORE`` at a directory (or the
 CLI's ``--store DIR``; ``--no-store`` bypasses it).  Values round-trip
@@ -127,6 +132,25 @@ def decode_value(value: Any) -> Any:
     return value
 
 
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry to stable storage (best effort).
+
+    Required for the rename in :meth:`ResultStore.put` to survive a
+    power loss; skipped silently where directories cannot be opened
+    (e.g. Windows).
+    """
+    try:
+        dir_fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def canonical_key(key: Any) -> str:
     """Canonical JSON text of a key tree (sorted keys, no whitespace).
 
@@ -151,31 +175,76 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def path_for(self, key: Any) -> Path:
         """The entry file a key addresses."""
         digest = hashlib.sha256(canonical_key(key).encode()).hexdigest()
         return self.root / f"{digest}.json"
 
+    def _miss(self) -> Any:
+        self.misses += 1
+        obs.count("store.misses")
+        return MISS
+
+    def _quarantine(self, path: Path) -> Any:
+        """Move a corrupt entry aside (``*.corrupt``) and read as a miss.
+
+        The bad bytes are kept for forensics but leave the addressable
+        namespace, so the next :meth:`put` of the key is a clean write
+        and repeated :meth:`get`\\ s stop re-parsing garbage.
+        """
+        self.corrupt += 1
+        obs.count("store.corrupt")
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # a concurrent reader may have quarantined it already
+        return self._miss()
+
     def get(self, key: Any) -> Any:
-        """The stored value for ``key``, or :data:`MISS`."""
+        """The stored value for ``key``, or :data:`MISS`.
+
+        *Any* failure to produce a value — unreadable file, invalid
+        JSON, a payload that drifted from the codec schema — reads as a
+        miss (the corrupt file is quarantined and counted under
+        ``store.corrupt``), never as an exception: a damaged entry must
+        cost a recomputation, not the run.
+        """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
-            self.misses += 1
-            obs.count("store.misses")
-            return MISS
+            text = path.read_text()
+        except FileNotFoundError:
+            return self._miss()
+        except (OSError, UnicodeDecodeError):
+            return self._quarantine(path)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return self._quarantine(path)
+        if not isinstance(payload, dict):
+            return self._quarantine(path)
         if payload.get("key") != json.loads(canonical_key(key)):
-            self.misses += 1
-            obs.count("store.misses")
-            return MISS
+            return self._miss()  # collision/tamper: put() overwrites in place
+        try:
+            value = decode_value(payload["value"])
+        except Exception:
+            # decode_value raises KeyError/TypeError/ValueError on
+            # truncated or schema-drifted payloads; all of them are
+            # "this entry is unusable", not caller errors.
+            return self._quarantine(path)
         self.hits += 1
         obs.count("store.hits")
-        return decode_value(payload["value"])
+        return value
 
     def put(self, key: Any, value: Any) -> Path:
-        """Persist ``value`` under ``key`` (atomic temp file + rename)."""
+        """Persist ``value`` under ``key``, atomically *and* durably.
+
+        The payload is fsynced in the temp file before ``os.replace``
+        publishes it, and the directory entry is fsynced after — a
+        power loss leaves either the old entry or the complete new one,
+        never a torn-but-parseable file.
+        """
         path = self.path_for(key)
         payload = {
             "schema": STORE_SCHEMA_VERSION,
@@ -186,7 +255,10 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            _fsync_dir(self.root)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -200,16 +272,23 @@ class ResultStore:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> None:
-        """Delete every entry (keeps the directory)."""
-        for path in self.root.glob("*.json"):
-            path.unlink(missing_ok=True)
+        """Delete every entry, quarantined files included (keeps the directory)."""
+        for pattern in ("*.json", "*.corrupt"):
+            for path in self.root.glob(pattern):
+                path.unlink(missing_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss/residency counters (for tests and diagnostics)."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        """Hit/miss/corruption/residency counters (for tests and diagnostics)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "entries": len(self),
+        }
 
 
 def default_store() -> ResultStore | None:

@@ -45,7 +45,7 @@ from repro._typing import SeedLike
 from repro.experiments.campaign import iter_campaign
 from repro.experiments.config import Scale, active_scale
 from repro.experiments.io import ResultSchema, register_result
-from repro.experiments.runner import map_units, resolve_jobs
+from repro.experiments.runner import execute_units, resolve_jobs
 from repro.experiments.store import (
     MISS,
     STORE_SCHEMA_VERSION,
@@ -351,38 +351,48 @@ def run_study(
                 except TypeError:
                     pass  # unstorable value: compute-only unit, keep going
 
-        pending_cases = [
-            i
-            for i, unit in enumerate(units)
-            if isinstance(unit, FmmUnit) and outputs[i] is _MISSING
-        ]
-        if pending_cases:
-            with obs.span("campaign", cases=len(pending_cases)):
-                stream: Iterator = iter_campaign(
-                    [units[i].case for i in pending_cases],
-                    trials=plan.trials,
-                    seed=plan.seed,
-                    parts=plan.parts,
-                    jobs=jobs,
-                )
-                for local, result in stream:
-                    i = pending_cases[local]
-                    outputs[i] = result
-                    persist(i, result)
+        # Flush-on-failure checkpointing: both fan-outs below stream
+        # finished units in *completion* order and persist each one the
+        # moment it lands, so an error propagating out of the executor
+        # (budget exhausted, strict mode, Ctrl-C) leaves every completed
+        # unit already in the store — the rerun pays only what's missing.
+        try:
+            pending_cases = [
+                i
+                for i, unit in enumerate(units)
+                if isinstance(unit, FmmUnit) and outputs[i] is _MISSING
+            ]
+            if pending_cases:
+                with obs.span("campaign", cases=len(pending_cases)):
+                    stream: Iterator = iter_campaign(
+                        [units[i].case for i in pending_cases],
+                        trials=plan.trials,
+                        seed=plan.seed,
+                        parts=plan.parts,
+                        jobs=jobs,
+                    )
+                    for local, result in stream:
+                        i = pending_cases[local]
+                        outputs[i] = result
+                        persist(i, result)
 
-        pending_compute = [
-            i
-            for i, unit in enumerate(units)
-            if isinstance(unit, ComputeUnit) and outputs[i] is _MISSING
-        ]
-        if pending_compute:
-            with obs.span("compute", units=len(pending_compute)):
-                results = map_units(
-                    execute_compute_unit, [(units[i],) for i in pending_compute], jobs
-                )
-                for i, result in zip(pending_compute, results):
-                    outputs[i] = result
-                    persist(i, result)
+            pending_compute = [
+                i
+                for i, unit in enumerate(units)
+                if isinstance(unit, ComputeUnit) and outputs[i] is _MISSING
+            ]
+            if pending_compute:
+                with obs.span("compute", units=len(pending_compute)):
+                    results = execute_units(
+                        execute_compute_unit, [(units[i],) for i in pending_compute], jobs
+                    )
+                    for local, result in results:
+                        i = pending_compute[local]
+                        outputs[i] = result
+                        persist(i, result)
+        except BaseException:
+            obs.count("study.aborted")
+            raise
 
         unfilled = [i for i, out in enumerate(outputs) if out is _MISSING]
         if unfilled:

@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the execution layer.
+
+Long paper-scale sweeps must survive worker crashes, hung workers and
+transient exceptions — but those failures are useless to test against
+unless they can be *reproduced on demand*.  This module is the harness:
+a fault plan is a semicolon-separated list of specs, e.g. ::
+
+    REPRO_FAULTS="crash:unit=3; raise:rate=0.1:seed=7; hang:unit=5"
+
+parsed once (:func:`parse_faults`) and threaded through
+:func:`repro.obs.record_unit` into every execution unit, so the same
+plan injects the same faults at the same units on every run.
+
+Three fault kinds model the three production failure modes:
+
+``crash``
+    The worker process dies abruptly (``os._exit``), poisoning its
+    ``ProcessPoolExecutor`` — the ``BrokenProcessPool`` path.
+``raise``
+    A transient exception (:class:`InjectedFault`) propagates out of
+    the unit — the retryable-error path.
+``hang``
+    The unit blocks (``time.sleep``) — the per-unit-timeout path.
+
+Each spec targets either explicit units (``unit=3`` or ``unit=0,2,5``)
+or a deterministic Bernoulli draw (``rate=0.1:seed=7``; the draw hashes
+``(seed, unit, attempt)``, so it is identical across processes and
+runs).  ``attempts=N`` bounds firing to attempts ``< N`` — unit-
+targeted specs default to ``attempts=1`` (fire once, succeed on retry),
+rate-based specs redraw on every attempt.  ``crash`` and ``hang`` model
+*worker* failures and only fire inside pool workers; ``raise`` fires
+everywhere, including serial and degraded-serial execution.
+
+Stdlib-only (like :mod:`repro.runtime`) so any layer can import it
+without cycles, and fully picklable so plans travel to pool workers
+inside the ordinary call arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "parse_faults",
+    "inject",
+    "FAULT_KINDS",
+]
+
+FAULT_KINDS = ("crash", "raise", "hang")
+
+#: Default sleep of a ``hang`` fault — far beyond any sane unit timeout,
+#: so an un-rescued hang is unmistakable rather than flaky.
+DEFAULT_HANG_SECONDS = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """A transient, injected unit exception (retryable by design)."""
+
+
+def _draw(seed: int, unit: int, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (unit, attempt)."""
+    digest = hashlib.sha256(f"{seed}:{unit}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause: what to inject, where, and how often."""
+
+    kind: str
+    units: tuple[int, ...] | None = None
+    rate: float = 0.0
+    seed: int = 0
+    attempts: int | None = None
+    seconds: float = DEFAULT_HANG_SECONDS
+
+    def fires(self, unit: int, attempt: int) -> bool:
+        """Whether this spec injects at ``(unit, attempt)``."""
+        limit = self.attempts
+        if limit is None and self.units is not None:
+            limit = 1  # unit-targeted: fire once, let the retry succeed
+        if limit is not None and attempt >= limit:
+            return False
+        if self.units is not None:
+            return unit in self.units
+        return _draw(self.seed, unit, attempt) < self.rate
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable schedule of :class:`FaultSpec` clauses."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+
+def _parse_spec(chunk: str) -> FaultSpec:
+    fields = chunk.split(":")
+    kind = fields[0].strip()
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r} in {chunk!r}; expected one of {', '.join(FAULT_KINDS)}"
+        )
+    kwargs: dict[str, object] = {}
+    for fragment in fields[1:]:
+        name, sep, raw = fragment.partition("=")
+        name, raw = name.strip(), raw.strip()
+        if not sep or not raw:
+            raise ValueError(f"malformed fault option {fragment!r} in {chunk!r}")
+        try:
+            if name == "unit":
+                kwargs["units"] = tuple(int(u) for u in raw.split(","))
+            elif name == "rate":
+                kwargs["rate"] = float(raw)
+            elif name == "seed":
+                kwargs["seed"] = int(raw)
+            elif name == "attempts":
+                kwargs["attempts"] = int(raw)
+            elif name == "seconds":
+                kwargs["seconds"] = float(raw)
+            else:
+                raise ValueError(f"unknown fault option {name!r} in {chunk!r}")
+        except ValueError as exc:
+            if "fault option" in str(exc):
+                raise
+            raise ValueError(f"bad value for {name!r} in {chunk!r}: {raw!r}") from None
+    if "units" not in kwargs and "rate" not in kwargs:
+        raise ValueError(f"fault spec {chunk!r} needs unit=... or rate=...")
+    rate = kwargs.get("rate", 0.0)
+    if not isinstance(rate, float) or not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate!r} in {chunk!r}")
+    attempts = kwargs.get("attempts")
+    if attempts is not None and attempts < 1:  # type: ignore[operator]
+        raise ValueError(f"attempts must be >= 1, got {attempts!r} in {chunk!r}")
+    return FaultSpec(kind=kind, **kwargs)  # type: ignore[arg-type]
+
+
+def parse_faults(text: str | FaultPlan | None) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` string into a :class:`FaultPlan`.
+
+    Specs are separated by ``;``; options within a spec by ``:``.
+    ``None``, an empty string and an existing plan pass through.
+    """
+    if text is None:
+        return FaultPlan()
+    if isinstance(text, FaultPlan):
+        return text
+    specs = tuple(
+        _parse_spec(chunk) for chunk in (part.strip() for part in text.split(";")) if chunk
+    )
+    return FaultPlan(specs)
+
+
+def inject(plan: FaultPlan, unit: int, attempt: int, in_worker: bool) -> None:
+    """Fire whatever the plan schedules for ``(unit, attempt)``.
+
+    ``raise`` faults raise :class:`InjectedFault` anywhere; ``crash``
+    and ``hang`` model worker-process failures and are skipped unless
+    ``in_worker`` (a crash of the in-process path would kill the run
+    itself, and a serial hang has no timeout to rescue it).
+    """
+    for spec in plan.specs:
+        if not spec.fires(unit, attempt):
+            continue
+        if spec.kind == "raise":
+            raise InjectedFault(f"injected transient fault (unit {unit}, attempt {attempt})")
+        if not in_worker:
+            continue
+        if spec.kind == "crash":
+            os._exit(70)
+        elif spec.kind == "hang":
+            time.sleep(spec.seconds)

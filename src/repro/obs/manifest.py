@@ -87,6 +87,28 @@ def _worker_stats(recorder: Recorder) -> dict[str, Any]:
     return stats
 
 
+#: Fault-tolerance counters surfaced as a first-class manifest section:
+#: how often the pool broke and was rebuilt, and how many units were
+#: retried, timed out or finished in degraded-serial mode.
+_RESILIENCE_COUNTERS: dict[str, str] = {
+    "pool.broken": "pool_broken",
+    "pool.rebuilds": "pool_rebuilds",
+    "units.retries": "retries",
+    "units.timeouts": "timeouts",
+    "units.degraded_serial": "degraded_serial",
+    "store.corrupt": "store_corrupt",
+}
+
+
+def _resilience(counters: Mapping[str, int | float]) -> dict[str, int]:
+    """Fault/recovery profile of the run (empty when nothing went wrong)."""
+    return {
+        label: int(counters[name])
+        for name, label in _RESILIENCE_COUNTERS.items()
+        if name in counters
+    }
+
+
 def _cache_sections(counters: Mapping[str, int | float]) -> dict[str, dict[str, int | float]]:
     """Group dotted counters into per-subsystem cache sections.
 
@@ -125,6 +147,7 @@ class RunManifest:
     gauges: dict[str, float] = field(default_factory=dict)
     caches: dict[str, dict[str, int | float]] = field(default_factory=dict)
     workers: dict[str, Any] = field(default_factory=dict)
+    resilience: dict[str, int] = field(default_factory=dict)
     spans: list[dict[str, Any]] = field(default_factory=list)
 
     @classmethod
@@ -150,6 +173,7 @@ class RunManifest:
             gauges=snap["gauges"],
             caches=_cache_sections(snap["counters"]),
             workers=_worker_stats(recorder),
+            resilience=_resilience(snap["counters"]),
             spans=snap["spans"],
         )
 

@@ -267,7 +267,14 @@ def gauge(name: str, value: float) -> None:
         rec.gauge(name, value)
 
 
-def record_unit(fn: Callable[..., Any], *args: Any) -> tuple[Any, dict[str, int | float], float]:
+def record_unit(
+    fn: Callable[..., Any],
+    *args: Any,
+    unit_index: int | None = None,
+    attempt: int = 0,
+    faults: Any = None,
+    in_worker: bool = True,
+) -> tuple[Any, dict[str, int | float], float]:
     """Run one unit under a private recorder; return its telemetry.
 
     The worker-side half of cross-process aggregation: executes
@@ -277,11 +284,21 @@ def record_unit(fn: Callable[..., Any], *args: Any) -> tuple[Any, dict[str, int 
     ``(result, counters, busy_seconds)``.  Top-level and picklable, so
     process pools can execute it; the parent merges the counters back
     through the ordinary result stream — no shared memory involved.
+
+    This is also where deterministic fault injection enters the worker:
+    when the executor passes a :class:`repro.faults.FaultPlan` (plus
+    the unit's index and attempt number), the scheduled fault — crash,
+    hang or transient raise — fires *before* the unit runs, so every
+    failure mode of the execution layer is reproducible in tests.
     """
     unit_recorder = Recorder()
     previous = set_recorder(unit_recorder)
     start = time.perf_counter()
     try:
+        if faults is not None:
+            from repro.faults import inject  # stdlib-only, cycle-free
+
+            inject(faults, unit_index if unit_index is not None else 0, attempt, in_worker)
         result = fn(*args)
     finally:
         busy = time.perf_counter() - start

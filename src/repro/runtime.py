@@ -23,6 +23,10 @@ Environment variable         Field                    Default
 ``REPRO_EVENT_CACHE_ENTRIES`` ``event_cache_entries`` ``256``
 ``REPRO_TRACE``              ``trace``                ``False``
 ``REPRO_METRICS``            ``metrics_path``         ``None``
+``REPRO_MAX_RETRIES``        ``max_retries``          ``2``
+``REPRO_UNIT_TIMEOUT``       ``unit_timeout``         ``None`` (no limit)
+``REPRO_STRICT``             ``strict``               ``False``
+``REPRO_FAULTS``             ``faults``               ``None`` (no faults)
 ===========================  =======================  ==================
 
 Precedence: an explicit :func:`configure` (or ``with configure(...):``)
@@ -62,6 +66,10 @@ ENV_VARS: dict[str, str] = {
     "REPRO_EVENT_CACHE_ENTRIES": "event_cache_entries",
     "REPRO_TRACE": "trace",
     "REPRO_METRICS": "metrics_path",
+    "REPRO_MAX_RETRIES": "max_retries",
+    "REPRO_UNIT_TIMEOUT": "unit_timeout",
+    "REPRO_STRICT": "strict",
+    "REPRO_FAULTS": "faults",
 }
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
@@ -100,6 +108,20 @@ class RuntimeConfig:
     metrics_path:
         Where to write the :class:`~repro.obs.RunManifest` (implies
         ``trace`` for CLI runs); ``None`` writes nothing.
+    max_retries:
+        Additional attempts granted to a unit that raised or timed out
+        before the failure becomes fatal (``0`` disables retries).
+    unit_timeout:
+        Per-unit wall-clock budget in seconds for pool execution; a
+        hung worker is torn down and the unit retried.  ``None``
+        disables timeouts.
+    strict:
+        Fail fast on the first fault instead of retrying, rebuilding
+        the pool or degrading to serial (completed units still flush
+        to the store first).
+    faults:
+        Deterministic fault-injection plan (see :mod:`repro.faults`),
+        e.g. ``"crash:unit=3; raise:rate=0.1:seed=7; hang:unit=5"``.
     """
 
     scale: str = "small"
@@ -111,10 +133,22 @@ class RuntimeConfig:
     event_cache_entries: int = 256
     trace: bool = False
     metrics_path: str | None = None
+    max_retries: int = 2
+    unit_timeout: float | None = None
+    strict: bool = False
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be >= 1 or None, got {self.jobs}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be > 0 or None, got {self.unit_timeout}")
+        if self.faults:
+            from repro.faults import parse_faults  # stdlib-only, cycle-free
+
+            parse_faults(self.faults)  # raises ValueError on a bad plan
         for name in ("cache_matrix_bytes", "event_cache_bytes"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
@@ -130,6 +164,14 @@ class RuntimeConfig:
         jobs_raw = env.get("REPRO_JOBS", "").strip()
         store_raw = env.get("REPRO_STORE", "").strip()
         metrics_raw = env.get("REPRO_METRICS", "").strip()
+        timeout_raw = env.get("REPRO_UNIT_TIMEOUT", "").strip()
+        faults_raw = env.get("REPRO_FAULTS", "").strip()
+        try:
+            unit_timeout = float(timeout_raw) if timeout_raw else None
+        except ValueError:
+            raise ValueError(
+                f"REPRO_UNIT_TIMEOUT must be a number of seconds, got {timeout_raw!r}"
+            ) from None
         return cls(
             scale=env.get("REPRO_SCALE", "").strip() or "small",
             jobs=max(1, int(jobs_raw)) if jobs_raw else None,
@@ -140,6 +182,10 @@ class RuntimeConfig:
             event_cache_entries=_int_env(env, "REPRO_EVENT_CACHE_ENTRIES", 256, minimum=1),
             trace=env.get("REPRO_TRACE", "").strip().lower() in _TRUTHY,
             metrics_path=metrics_raw or None,
+            max_retries=_int_env(env, "REPRO_MAX_RETRIES", 2),
+            unit_timeout=unit_timeout,
+            strict=env.get("REPRO_STRICT", "").strip().lower() in _TRUTHY,
+            faults=faults_raw or None,
         )
 
     def replace(self, **overrides: Any) -> "RuntimeConfig":

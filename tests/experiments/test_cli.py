@@ -100,3 +100,43 @@ class TestCli:
         assert main(["clustering", "--no-store"]) == 0
         capsys.readouterr()
         assert not (tmp_path / "envstore").exists()
+
+    def test_fault_tolerance_flags_validated(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--max-retries", "-1"])
+        with pytest.raises(SystemExit):
+            main(["fig5", "--unit-timeout", "0"])
+        with pytest.raises(SystemExit):
+            main(["fig5", "--strict", "--best-effort"])
+
+    def test_fault_tolerance_flags_install_config(self, capsys, monkeypatch):
+        import repro.runtime as runtime_mod
+        from repro.experiments.runner import set_default_jobs
+        from repro.runtime import runtime_config
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        monkeypatch.setattr(runtime_mod, "_active", runtime_mod._active)
+        try:
+            assert main(["fig5", "--max-retries", "5", "--unit-timeout", "9.5", "--strict"]) == 0
+            config = runtime_config()
+            assert config.max_retries == 5
+            assert config.unit_timeout == 9.5
+            assert config.strict is True
+        finally:
+            set_default_jobs(None)
+        capsys.readouterr()
+
+    def test_best_effort_overrides_strict_env(self, capsys, monkeypatch):
+        import repro.runtime as runtime_mod
+        from repro.experiments.runner import set_default_jobs
+        from repro.runtime import runtime_config
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        monkeypatch.setenv("REPRO_STRICT", "1")
+        monkeypatch.setattr(runtime_mod, "_active", runtime_mod._active)
+        try:
+            assert main(["fig5", "--best-effort"]) == 0
+            assert runtime_config().strict is False
+        finally:
+            set_default_jobs(None)
+        capsys.readouterr()

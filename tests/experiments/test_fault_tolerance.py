@@ -1,0 +1,255 @@
+"""Fault-tolerance tests: injected crashes, transient raises, hangs.
+
+Every scenario here is driven by the deterministic fault harness
+(:mod:`repro.faults`), and every recovery path must preserve bit-exact
+results versus a fault-free run — the execution layer may change *how*
+units run, never *what* they compute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.experiments import Scale
+from repro.experiments.campaign import expand_grid, run_campaign
+from repro.experiments.executor import (
+    ExecutionPolicy,
+    UnitFailedError,
+    UnitTimeoutError,
+    execute_units,
+    shutdown_shared_executor,
+)
+from repro.experiments.sfc_pairs import SFC_PAIRS_STUDY, plan_sfc_pairs
+from repro.experiments.store import ResultStore
+from repro.experiments.study import StudyContext, run_study
+from repro.faults import InjectedFault, parse_faults
+from repro.obs import RunManifest
+from repro.runtime import configure
+
+pytestmark = pytest.mark.usefixtures("fresh_pool")
+
+
+@pytest.fixture
+def fresh_pool():
+    """Tear the shared pool down after each test (crash tests poison it)."""
+    yield
+    shutdown_shared_executor(wait=False, cancel_futures=True, timeout=5.0)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _policy(**overrides) -> ExecutionPolicy:
+    kwargs = dict(max_retries=2, backoff_base=0.0)
+    kwargs.update(overrides)
+    if isinstance(kwargs.get("faults"), str):
+        kwargs["faults"] = parse_faults(kwargs["faults"])
+    return ExecutionPolicy(**kwargs)
+
+
+def _run(n, jobs, policy):
+    return sorted(execute_units(_double, [(i,) for i in range(n)], jobs, policy=policy))
+
+
+EXPECTED_6 = [(i, 2 * i) for i in range(6)]
+
+
+class TestSerialFaultTolerance:
+    def test_transient_raise_is_retried(self):
+        with obs.recording() as rec:
+            results = _run(6, 1, _policy(faults="raise:unit=1"))
+        assert results == EXPECTED_6
+        assert rec.counters["units.retries"] == 1
+
+    def test_results_flush_before_the_failure_propagates(self):
+        seen = []
+        with pytest.raises(UnitFailedError, match="unit 2 failed after 3 attempt"):
+            for item in execute_units(
+                _double,
+                [(i,) for i in range(6)],
+                1,
+                policy=_policy(faults="raise:unit=2:attempts=99"),
+            ):
+                seen.append(item)
+        assert seen == [(0, 0), (1, 2)]  # everything before the fatal unit
+
+    def test_exhausted_budget_chains_the_cause(self):
+        with pytest.raises(UnitFailedError) as info:
+            _run(2, 1, _policy(max_retries=1, faults="raise:unit=0:attempts=99"))
+        assert isinstance(info.value.__cause__, InjectedFault)
+        assert info.value.index == 0
+        assert info.value.attempts == 2
+
+    def test_strict_fails_on_first_fault(self):
+        with obs.recording() as rec:
+            with pytest.raises(UnitFailedError, match="after 1 attempt"):
+                _run(3, 1, _policy(strict=True, faults="raise:unit=0"))
+        assert "units.retries" not in rec.counters
+
+    def test_zero_retries_disables_recovery(self):
+        with pytest.raises(UnitFailedError, match="after 1 attempt"):
+            _run(3, 1, _policy(max_retries=0, faults="raise:unit=1"))
+
+
+class TestPooledCrashRecovery:
+    def test_worker_crash_is_survived_and_counted(self):
+        with obs.recording() as rec:
+            results = _run(6, 2, _policy(faults="crash:unit=3"))
+        assert results == EXPECTED_6
+        assert rec.counters["pool.broken"] >= 1
+        assert rec.counters["pool.rebuilds"] >= 1
+
+    def test_pool_is_usable_after_a_crash_run(self):
+        _run(4, 2, _policy(faults="crash:unit=0"))
+        # the poisoned pool must have been replaced, not handed back
+        assert _run(4, 2, _policy()) == [(i, 2 * i) for i in range(4)]
+
+    def test_strict_mode_propagates_the_break(self):
+        from concurrent.futures import BrokenExecutor
+
+        with pytest.raises((BrokenExecutor, UnitFailedError)):
+            _run(4, 2, _policy(strict=True, faults="crash:unit=0:attempts=99"))
+
+    def test_manifest_reports_the_resilience_profile(self):
+        with obs.recording() as rec:
+            _run(6, 2, _policy(faults="crash:unit=2"))
+        manifest = RunManifest.from_recorder(rec)
+        assert manifest.resilience["pool_broken"] >= 1
+        assert manifest.resilience["pool_rebuilds"] >= 1
+
+
+class TestTimeouts:
+    def test_hung_worker_is_torn_down_and_the_unit_retried(self):
+        with obs.recording() as rec:
+            results = _run(
+                4, 2, _policy(unit_timeout=0.5, faults="hang:unit=1:seconds=60")
+            )
+        assert results == [(i, 2 * i) for i in range(4)]
+        assert rec.counters["units.timeouts"] >= 1
+
+    def test_timeouts_exhaust_the_retry_budget(self):
+        with pytest.raises(UnitTimeoutError, match="unit timeout"):
+            _run(
+                2,
+                2,
+                _policy(
+                    max_retries=1,
+                    unit_timeout=0.3,
+                    faults="hang:unit=0:attempts=99:seconds=60",
+                ),
+            )
+
+
+class TestDegradation:
+    def test_repeated_breaks_degrade_to_serial(self):
+        with obs.recording() as rec:
+            results = _run(
+                6,
+                2,
+                _policy(max_pool_rebuilds=0, faults="crash:unit=0:attempts=99"),
+            )
+        assert results == EXPECTED_6  # crash faults cannot fire in-process
+        assert rec.counters["units.degraded_serial"] >= 1
+
+    def test_degraded_run_matches_serial(self):
+        degraded = _run(8, 2, _policy(max_pool_rebuilds=0, faults="crash:unit=1:attempts=99"))
+        assert degraded == _run(8, 1, _policy())
+
+
+class TestCampaignBitIdentity:
+    """The acceptance bar: a faulty parallel campaign equals a clean serial one."""
+
+    def test_crash_plus_transient_raises_stay_bit_identical(self):
+        # two instance groups (one per particle curve) x two trials = 4 units
+        cases = expand_grid(
+            num_particles=200,
+            order=5,
+            num_processors=16,
+            topology=("torus", "hypercube"),
+            particle_curve=("hilbert", "rowmajor"),
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+        baseline = run_campaign(cases, trials=2, seed=9, jobs=1)
+        policy = _policy(
+            max_retries=6,
+            faults="crash:unit=1; raise:unit=2:attempts=2; raise:rate=0.1:seed=7",
+        )
+        with obs.recording() as rec:
+            faulty = run_campaign(cases, trials=2, seed=9, jobs=2, policy=policy)
+        assert faulty == baseline  # CaseResult equality is exact, floats included
+        assert rec.counters["pool.broken"] >= 1
+        assert rec.counters["pool.rebuilds"] >= 1
+        assert rec.counters["units.retries"] >= 1
+
+    def test_serial_campaign_with_transient_faults_is_bit_identical(self):
+        cases = expand_grid(
+            num_particles=200,
+            order=5,
+            num_processors=16,
+            topology="torus",
+            particle_curve=("hilbert", "rowmajor"),
+            processor_curve="hilbert",
+            distribution="uniform",
+        )
+        baseline = run_campaign(cases, trials=2, seed=3, jobs=1)
+        faulty = run_campaign(
+            cases, trials=2, seed=3, jobs=1, policy=_policy(faults="raise:rate=0.3:seed=11")
+        )
+        assert faulty == baseline
+
+
+TINY = Scale(
+    name="faults-tiny",
+    pairs_particles=200,
+    pairs_order=4,
+    pairs_processors=16,
+    topo_particles=200,
+    topo_order=5,
+    topo_processors=16,
+    topo_radius=1,
+    scaling_particles=200,
+    scaling_order=5,
+    scaling_processors=(4, 16),
+    anns_orders=(1, 2),
+    trials=2,
+)
+
+
+def _pairs_plan(ctx):
+    return plan_sfc_pairs(ctx, distributions=("uniform",), curves=("hilbert", "rowmajor"))
+
+
+class TestStudyResumeUnderFaults:
+    """A killed run resumes from the store, computing only what's missing."""
+
+    def test_fatal_fault_flushes_completed_cases_then_resume_computes_the_rest(
+        self, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        ctx = StudyContext(scale=TINY, seed=5, trials=2, store=store)
+        # unit 2 = the second instance group's first trial: group 0 (units
+        # 0-1) finishes and must flush before the failure aborts the study.
+        with configure(faults="raise:unit=2:attempts=99", max_retries=0):
+            with pytest.raises(UnitFailedError):
+                run_study(SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx))
+        assert len(store) == 2  # the finished group's cases are persisted
+
+        with obs.recording() as rec:
+            resumed = run_study(SFC_PAIRS_STUDY, ctx, plan=_pairs_plan(ctx))
+        # only the missing instance group (2 trials) is recomputed
+        assert rec.counters["campaign.trials"] == 2
+        assert len(store) == 4
+        plain_ctx = StudyContext(scale=TINY, seed=5, trials=2, store=None)
+        assert resumed == run_study(SFC_PAIRS_STUDY, plain_ctx, plan=_pairs_plan(plain_ctx))
+
+    def test_configured_faults_thread_through_the_study_driver(self, tmp_path):
+        plain_ctx = StudyContext(scale=TINY, seed=5, trials=2, store=None)
+        baseline = run_study(SFC_PAIRS_STUDY, plain_ctx, plan=_pairs_plan(plain_ctx))
+        with configure(faults="raise:rate=0.4:seed=2", max_retries=6):
+            with obs.recording() as rec:
+                faulty = run_study(SFC_PAIRS_STUDY, plain_ctx, plan=_pairs_plan(plain_ctx))
+        assert faulty == baseline
+        assert rec.counters.get("units.retries", 0) >= 1

@@ -133,3 +133,67 @@ class TestSharedExecutor:
         runner.shutdown_shared_executor()
         with pytest.raises(RuntimeError):
             pool.submit(int)
+
+    def test_broken_pool_is_replaced_not_returned(self):
+        """Regression: a worker crash used to poison the shared global —
+        every later shared_executor() call returned the broken pool."""
+        import os
+
+        from concurrent.futures import BrokenExecutor
+
+        from repro.experiments import runner
+
+        runner.shutdown_shared_executor()
+        try:
+            poisoned = runner.shared_executor(2)
+            with pytest.raises(BrokenExecutor):
+                poisoned.submit(os._exit, 1).result()
+            fresh = runner.shared_executor(2)
+            assert fresh is not poisoned
+            assert fresh.submit(int).result() == 0
+        finally:
+            runner.shutdown_shared_executor()
+
+    def test_externally_shutdown_pool_is_replaced(self):
+        from repro.experiments import runner
+
+        runner.shutdown_shared_executor()
+        try:
+            pool = runner.shared_executor(1)
+            pool.shutdown(wait=True)  # someone shut the global down directly
+            fresh = runner.shared_executor(1)
+            assert fresh is not pool
+            assert fresh.submit(int).result() == 0
+        finally:
+            runner.shutdown_shared_executor()
+
+    def test_bounded_shutdown_terminates_hung_worker(self):
+        """Regression: atexit shutdown(wait=True) hung forever on a stuck
+        worker; the bounded path must return promptly and kill it."""
+        import time
+
+        from repro.experiments import runner
+
+        runner.shutdown_shared_executor()
+        pool = runner.shared_executor(1)
+        pool.submit(time.sleep, 600)
+        time.sleep(0.2)  # let the worker pick the task up
+        start = time.monotonic()
+        runner.shutdown_shared_executor(wait=False, cancel_futures=True, timeout=1.0)
+        assert time.monotonic() - start < 10.0
+        # the module forgot the pool; the next call builds a fresh one
+        assert runner.shared_executor(1).submit(int).result() == 0
+        runner.shutdown_shared_executor()
+
+    def test_atexit_hook_is_bounded(self):
+        import time
+
+        from repro.experiments import executor
+
+        executor.shutdown_shared_executor()
+        pool = executor.shared_executor(1)
+        pool.submit(time.sleep, 600)
+        time.sleep(0.2)
+        start = time.monotonic()
+        executor._shutdown_at_exit()
+        assert time.monotonic() - start < executor.ATEXIT_TIMEOUT_S + 10.0

@@ -36,6 +36,10 @@ class TestFromEnv:
             "REPRO_EVENT_CACHE_ENTRIES": "9",
             "REPRO_TRACE": "1",
             "REPRO_METRICS": "out/manifest.json",
+            "REPRO_MAX_RETRIES": "5",
+            "REPRO_UNIT_TIMEOUT": "2.5",
+            "REPRO_STRICT": "1",
+            "REPRO_FAULTS": "raise:rate=0.1:seed=7",
         }
         assert set(env) == set(ENV_VARS)
         config = RuntimeConfig.from_env(env)
@@ -48,6 +52,31 @@ class TestFromEnv:
         assert config.event_cache_entries == 9
         assert config.trace is True
         assert config.metrics_path == "out/manifest.json"
+        assert config.max_retries == 5
+        assert config.unit_timeout == 2.5
+        assert config.strict is True
+        assert config.faults == "raise:rate=0.1:seed=7"
+
+    def test_fault_tolerance_defaults(self):
+        config = RuntimeConfig.from_env({})
+        assert config.max_retries == 2
+        assert config.unit_timeout is None
+        assert config.strict is False
+        assert config.faults is None
+
+    def test_bad_unit_timeout_raises(self):
+        with pytest.raises(ValueError, match="REPRO_UNIT_TIMEOUT"):
+            RuntimeConfig.from_env({"REPRO_UNIT_TIMEOUT": "fast"})
+
+    def test_bad_fault_plan_raises(self):
+        with pytest.raises(ValueError, match="fault"):
+            RuntimeConfig(faults="explode:unit=1")
+
+    def test_fault_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            RuntimeConfig(unit_timeout=0.0)
 
     @pytest.mark.parametrize("raw,expected", [
         ("1", True), ("true", True), ("YES", True), ("on", True),

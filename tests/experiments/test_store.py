@@ -8,6 +8,7 @@ import pytest
 
 import repro.experiments.campaign as campaign_mod
 import repro.experiments.study as study_mod
+from repro import obs
 from repro.experiments import Scale
 from repro.experiments.ablation import AblationRow
 from repro.experiments.anns_study import ANNS_STUDY, plan_anns_study
@@ -94,6 +95,70 @@ class TestResultStore:
         store.put("k", 1)
         store.path_for("k").write_text("not json{")
         assert store.get("k") is MISS
+
+    def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        path = store.path_for("k")
+        path.write_text("not json{")
+        with obs.recording() as rec:
+            assert store.get("k") is MISS
+        assert store.corrupt == 1
+        assert rec.counters["store.corrupt"] == 1
+        assert rec.counters["store.misses"] == 1
+        # the bad bytes left the addressable namespace but are kept
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # ... and the key is writable and readable again
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+    def test_truncated_payload_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"a": [1, 2, 3]})
+        path = store.path_for("k")
+        path.write_text(path.read_text()[:25])
+        assert store.get("k") is MISS
+        assert store.corrupt == 1 and not path.exists()
+
+    def test_codec_schema_drift_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        path = store.path_for("k")
+        payload = json.loads(path.read_text())
+        payload["value"] = {"__store__": "NoSuchCodec", "data": {}}
+        path.write_text(json.dumps(payload))
+        assert store.get("k") is MISS  # decode failure, not an exception
+        assert store.corrupt == 1
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_non_dict_payload_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        store.path_for("k").write_text('["not", "a", "payload"]')
+        assert store.get("k") is MISS
+        assert store.corrupt == 1
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        store.path_for("k").write_text("garbage")
+        store.get("k")
+        assert list(tmp_path.glob("*.corrupt"))
+        store.clear()
+        assert not list(tmp_path.glob("*.corrupt"))
+        assert store.stats == {"hits": 0, "misses": 0, "corrupt": 0, "entries": 0}
+
+    def test_put_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        import repro.experiments.store as store_mod
+
+        synced = []
+        monkeypatch.setattr(store_mod.os, "fsync", synced.append)
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        # once for the temp payload file, once for the directory entry
+        assert len(synced) == 2
+        assert all(isinstance(fd, int) for fd in synced)
 
     def test_key_mismatch_reads_as_miss(self, tmp_path):
         store = ResultStore(tmp_path)

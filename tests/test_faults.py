@@ -1,0 +1,159 @@
+"""Tests for the deterministic fault-injection harness (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_HANG_SECONDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    _draw,
+    inject,
+    parse_faults,
+)
+
+
+class TestParseFaults:
+    def test_none_and_empty_are_empty_plans(self):
+        assert parse_faults(None) == FaultPlan()
+        assert parse_faults("") == FaultPlan()
+        assert not parse_faults("  ;  ; ")
+        assert bool(parse_faults("raise:rate=0.5")) is True
+
+    def test_plan_passthrough(self):
+        plan = parse_faults("crash:unit=3")
+        assert parse_faults(plan) is plan
+
+    def test_single_unit_spec(self):
+        plan = parse_faults("crash:unit=3")
+        assert plan.specs == (FaultSpec(kind="crash", units=(3,)),)
+
+    def test_unit_list(self):
+        (spec,) = parse_faults("raise:unit=0,2,5").specs
+        assert spec.units == (0, 2, 5)
+
+    def test_rate_seed_spec(self):
+        (spec,) = parse_faults("raise:rate=0.1:seed=7").specs
+        assert spec.kind == "raise"
+        assert spec.units is None
+        assert spec.rate == 0.1
+        assert spec.seed == 7
+
+    def test_multiple_specs_with_whitespace(self):
+        plan = parse_faults("crash:unit=3; raise:rate=0.1:seed=7 ;hang:unit=5:seconds=2")
+        kinds = [s.kind for s in plan.specs]
+        assert kinds == ["crash", "raise", "hang"]
+        assert plan.specs[2].seconds == 2.0
+
+    def test_hang_default_seconds(self):
+        (spec,) = parse_faults("hang:unit=5").specs
+        assert spec.seconds == DEFAULT_HANG_SECONDS
+
+    def test_attempts_option(self):
+        (spec,) = parse_faults("raise:unit=1:attempts=3").specs
+        assert spec.attempts == 3
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("explode:unit=1", "unknown fault kind"),
+            ("crash", "needs unit=... or rate=..."),
+            ("crash:unit", "malformed fault option"),
+            ("crash:unit=", "malformed fault option"),
+            ("crash:unit=three", "bad value"),
+            ("raise:rate=1.5", "rate must be in"),
+            ("raise:rate=-0.1", "rate must be in"),
+            ("raise:unit=1:attempts=0", "attempts must be >= 1"),
+            ("crash:unit=1:color=red", "unknown fault option"),
+        ],
+    )
+    def test_bad_specs_raise(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_faults(text)
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = parse_faults("crash:unit=3; raise:rate=0.1:seed=7")
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestFires:
+    def test_unit_targeted_fires_first_attempt_only(self):
+        (spec,) = parse_faults("crash:unit=3").specs
+        assert spec.fires(3, 0) is True
+        assert spec.fires(3, 1) is False  # default attempts=1: retry succeeds
+        assert spec.fires(2, 0) is False
+
+    def test_unit_targeted_attempts_override(self):
+        (spec,) = parse_faults("crash:unit=3:attempts=2").specs
+        assert [spec.fires(3, a) for a in range(4)] == [True, True, False, False]
+
+    def test_rate_redraws_every_attempt(self):
+        (spec,) = parse_faults("raise:rate=0.5:seed=1").specs
+        fired = [spec.fires(u, a) for u in range(50) for a in range(2)]
+        assert any(fired) and not all(fired)
+
+    def test_rate_zero_never_fires(self):
+        (spec,) = parse_faults("raise:rate=0.0").specs
+        assert not any(spec.fires(u, 0) for u in range(100))
+
+    def test_rate_one_always_fires(self):
+        (spec,) = parse_faults("raise:rate=1.0").specs
+        assert all(spec.fires(u, a) for u in range(10) for a in range(3))
+
+
+class TestDeterminism:
+    def test_draw_is_stable_and_uniform_ish(self):
+        draws = [_draw(7, u, 0) for u in range(200)]
+        assert draws == [_draw(7, u, 0) for u in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        near = sum(1 for d in draws if d < 0.1)
+        assert 5 <= near <= 40  # ~20 expected at rate 0.1
+
+    def test_different_seeds_differ(self):
+        assert [_draw(1, u, 0) for u in range(20)] != [_draw(2, u, 0) for u in range(20)]
+
+    def test_different_attempts_differ(self):
+        assert _draw(7, 3, 0) != _draw(7, 3, 1)
+
+
+class TestInject:
+    def test_raise_fires_everywhere(self):
+        plan = parse_faults("raise:unit=2")
+        with pytest.raises(InjectedFault):
+            inject(plan, 2, 0, in_worker=False)
+        with pytest.raises(InjectedFault):
+            inject(plan, 2, 0, in_worker=True)
+        inject(plan, 1, 0, in_worker=True)  # wrong unit: no-op
+        inject(plan, 2, 1, in_worker=True)  # retry: no-op
+
+    def test_crash_and_hang_skipped_outside_workers(self):
+        # Would os._exit / sleep an hour if the in_worker guard failed.
+        inject(parse_faults("crash:unit=0"), 0, 0, in_worker=False)
+        inject(parse_faults("hang:unit=0"), 0, 0, in_worker=False)
+
+    def test_hang_sleeps_in_worker(self, monkeypatch):
+        import repro.faults as faults_mod
+
+        slept = []
+        monkeypatch.setattr(faults_mod.time, "sleep", slept.append)
+        inject(parse_faults("hang:unit=0:seconds=9"), 0, 0, in_worker=True)
+        assert slept == [9.0]
+
+    def test_crash_exits_in_worker(self, monkeypatch):
+        import repro.faults as faults_mod
+
+        codes = []
+        monkeypatch.setattr(faults_mod.os, "_exit", codes.append)
+        inject(parse_faults("crash:unit=0"), 0, 0, in_worker=True)
+        assert codes == [70]
+
+    def test_empty_plan_is_noop(self):
+        inject(FaultPlan(), 0, 0, in_worker=True)
+
+    def test_kinds_constant(self):
+        assert FAULT_KINDS == ("crash", "raise", "hang")
