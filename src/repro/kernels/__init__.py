@@ -1,0 +1,115 @@
+"""Switchable compute kernels: pure NumPy with an optional native fast path.
+
+Two inner loops dominate large simulated exchanges and histogram ACD
+evaluations once the engine-level wins (batching, artifact sharing,
+caching) are in place:
+
+* the **CSR expansion** of :func:`repro.contention.routing.route_batch`
+  (``lengths -> offsets / owner / within``), and
+* the **gather + dot** of the pair-histogram ACD (``sum over pairs of
+  D[src, dst] * weight``).
+
+Both have a pure-NumPy implementation (:mod:`repro.kernels.numpy_impl`)
+and an optional compiled one (``repro.kernels._native``, a small C
+extension built best-effort by ``setup.py``; no compiler or NumPy
+headers at build time simply means the module is absent).  The active
+backend is selected by :attr:`repro.runtime.RuntimeConfig.kernel_backend`
+(``REPRO_KERNEL_BACKEND`` ∈ ``{auto, numpy, native}``):
+
+* ``auto`` (default) — native when the compiled module imports, NumPy
+  otherwise;
+* ``numpy`` — always the pure-NumPy path;
+* ``native`` — the compiled path, *degrading to NumPy with a one-time
+  RuntimeWarning* when the module is unavailable.
+
+The two backends are bit-identical on every input (property-tested in
+``tests/kernels``); the knob only ever changes speed, never results.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.kernels import numpy_impl
+from repro.runtime import runtime_config
+
+__all__ = [
+    "csr_expand",
+    "histogram_dot",
+    "active_backend",
+    "native_available",
+]
+
+try:  # the extension is optional by design; absence is not an error
+    from repro.kernels import _native  # type: ignore[attr-defined]
+except ImportError:  # pragma: no cover - exercised when the ext is absent
+    _native = None
+
+_warned_missing_native = False
+
+
+def native_available() -> bool:
+    """Whether the compiled ``repro.kernels._native`` module imported."""
+    return _native is not None
+
+
+def active_backend() -> str:
+    """The backend (``"numpy"`` or ``"native"``) the next call will use.
+
+    Resolves :attr:`RuntimeConfig.kernel_backend` against availability;
+    a forced ``native`` without the compiled module degrades to
+    ``numpy`` and warns once per process.
+    """
+    global _warned_missing_native
+    requested = runtime_config().kernel_backend
+    if requested == "numpy":
+        return "numpy"
+    if _native is not None:
+        return "native"
+    if requested == "native" and not _warned_missing_native:
+        _warned_missing_native = True
+        warnings.warn(
+            "REPRO_KERNEL_BACKEND=native requested but the compiled "
+            "repro.kernels._native module is unavailable; falling back to "
+            "the pure-NumPy kernels (results are identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "numpy"
+
+
+def csr_expand(lengths: IntArray) -> tuple[IntArray, IntArray, IntArray]:
+    """CSR layout of variable-length rows: ``offsets``, ``owner``, ``within``.
+
+    ``offsets`` has ``lengths.size + 1`` entries (``offsets[-1]`` is the
+    total slot count); slot ``j`` belongs to row ``owner[j]`` at
+    position ``within[j]`` inside that row.  This is the expansion
+    every batched router builds its per-hop gathers on.
+    """
+    lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+    if active_backend() == "native":
+        return _native.csr_expand(lengths)
+    return numpy_impl.csr_expand(lengths)
+
+
+def histogram_dot(matrix: IntArray, src: IntArray, dst: IntArray, weights: IntArray) -> int:
+    """The ACD inner product ``sum_i matrix[src[i], dst[i]] * weights[i]``.
+
+    ``matrix`` is a C-contiguous 2D ``int32``/``int64`` distance matrix;
+    ``src``/``dst``/``weights`` are equal-length 1D ``int64`` arrays.
+    All arithmetic is integer (the native path accumulates in 64 bits
+    exactly like NumPy's ``int64`` dot), so both backends return the
+    same Python int.  Raises :class:`ValueError` on out-of-range ranks.
+    """
+    matrix = np.ascontiguousarray(matrix)
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    weights = np.ascontiguousarray(weights, dtype=np.int64)
+    if src.shape != dst.shape or src.shape != weights.shape or src.ndim != 1:
+        raise ValueError("src, dst and weights must be equal-length 1D arrays")
+    if active_backend() == "native" and matrix.dtype in (np.int32, np.int64):
+        return int(_native.histogram_dot(matrix, src, dst, weights))
+    return numpy_impl.histogram_dot(matrix, src, dst, weights)

@@ -1,0 +1,152 @@
+/* Optional compiled kernels for repro.kernels.
+ *
+ * Two hot inner loops, kept deliberately tiny:
+ *
+ *   csr_expand(lengths)              -> (offsets, owner, within)
+ *   histogram_dot(matrix, src, dst, weights) -> int
+ *
+ * Both must be bit-identical to repro/kernels/numpy_impl.py — all
+ * arithmetic is 64-bit integer, no floating point anywhere.  The
+ * extension is built best-effort by setup.py; when it is absent the
+ * package transparently uses the NumPy implementations.
+ */
+#define PY_SSIZE_T_CLEAN
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <Python.h>
+#include <numpy/arrayobject.h>
+
+static PyObject *
+csr_expand(PyObject *self, PyObject *args)
+{
+    PyArrayObject *lengths;
+    if (!PyArg_ParseTuple(args, "O!", &PyArray_Type, &lengths))
+        return NULL;
+    if (PyArray_TYPE(lengths) != NPY_INT64 || PyArray_NDIM(lengths) != 1 ||
+        !PyArray_IS_C_CONTIGUOUS(lengths)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "lengths must be a contiguous 1D int64 array");
+        return NULL;
+    }
+    npy_intp n = PyArray_DIM(lengths, 0);
+    const npy_int64 *len = (const npy_int64 *)PyArray_DATA(lengths);
+
+    npy_intp off_dims[1] = {n + 1};
+    PyArrayObject *offsets =
+        (PyArrayObject *)PyArray_SimpleNew(1, off_dims, NPY_INT64);
+    if (offsets == NULL)
+        return NULL;
+    npy_int64 *off = (npy_int64 *)PyArray_DATA(offsets);
+    npy_int64 total = 0;
+    off[0] = 0;
+    for (npy_intp i = 0; i < n; i++) {
+        if (len[i] < 0) {
+            Py_DECREF(offsets);
+            PyErr_SetString(PyExc_ValueError, "lengths must be non-negative");
+            return NULL;
+        }
+        total += len[i];
+        off[i + 1] = total;
+    }
+
+    npy_intp slot_dims[1] = {(npy_intp)total};
+    PyArrayObject *owner =
+        (PyArrayObject *)PyArray_SimpleNew(1, slot_dims, NPY_INT64);
+    PyArrayObject *within =
+        (PyArrayObject *)PyArray_SimpleNew(1, slot_dims, NPY_INT64);
+    if (owner == NULL || within == NULL) {
+        Py_DECREF(offsets);
+        Py_XDECREF(owner);
+        Py_XDECREF(within);
+        return NULL;
+    }
+    npy_int64 *own = (npy_int64 *)PyArray_DATA(owner);
+    npy_int64 *wit = (npy_int64 *)PyArray_DATA(within);
+    npy_int64 slot = 0;
+    for (npy_intp i = 0; i < n; i++) {
+        const npy_int64 li = len[i];
+        for (npy_int64 j = 0; j < li; j++, slot++) {
+            own[slot] = i;
+            wit[slot] = j;
+        }
+    }
+    return Py_BuildValue("(NNN)", offsets, owner, within);
+}
+
+static PyObject *
+histogram_dot(PyObject *self, PyObject *args)
+{
+    PyArrayObject *matrix, *src, *dst, *weights;
+    if (!PyArg_ParseTuple(args, "O!O!O!O!", &PyArray_Type, &matrix,
+                          &PyArray_Type, &src, &PyArray_Type, &dst,
+                          &PyArray_Type, &weights))
+        return NULL;
+    if (PyArray_NDIM(matrix) != 2 || !PyArray_IS_C_CONTIGUOUS(matrix) ||
+        (PyArray_TYPE(matrix) != NPY_INT32 && PyArray_TYPE(matrix) != NPY_INT64)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "matrix must be a contiguous 2D int32/int64 array");
+        return NULL;
+    }
+    const PyArrayObject *vecs[3] = {src, dst, weights};
+    for (int i = 0; i < 3; i++) {
+        if (PyArray_TYPE(vecs[i]) != NPY_INT64 || PyArray_NDIM(vecs[i]) != 1 ||
+            !PyArray_IS_C_CONTIGUOUS(vecs[i])) {
+            PyErr_SetString(PyExc_ValueError,
+                            "src, dst and weights must be contiguous 1D int64 arrays");
+            return NULL;
+        }
+    }
+    npy_intp n = PyArray_DIM(src, 0);
+    if (PyArray_DIM(dst, 0) != n || PyArray_DIM(weights, 0) != n) {
+        PyErr_SetString(PyExc_ValueError,
+                        "src, dst and weights must have equal length");
+        return NULL;
+    }
+    const npy_intp rows = PyArray_DIM(matrix, 0);
+    const npy_intp cols = PyArray_DIM(matrix, 1);
+    const npy_int64 *s = (const npy_int64 *)PyArray_DATA(src);
+    const npy_int64 *d = (const npy_int64 *)PyArray_DATA(dst);
+    const npy_int64 *w = (const npy_int64 *)PyArray_DATA(weights);
+    npy_int64 total = 0;
+    if (PyArray_TYPE(matrix) == NPY_INT32) {
+        const npy_int32 *m = (const npy_int32 *)PyArray_DATA(matrix);
+        for (npy_intp i = 0; i < n; i++) {
+            if (s[i] < 0 || s[i] >= rows || d[i] < 0 || d[i] >= cols) {
+                PyErr_SetString(PyExc_ValueError,
+                                "histogram ranks fall outside the distance matrix");
+                return NULL;
+            }
+            total += (npy_int64)m[s[i] * cols + d[i]] * w[i];
+        }
+    } else {
+        const npy_int64 *m = (const npy_int64 *)PyArray_DATA(matrix);
+        for (npy_intp i = 0; i < n; i++) {
+            if (s[i] < 0 || s[i] >= rows || d[i] < 0 || d[i] >= cols) {
+                PyErr_SetString(PyExc_ValueError,
+                                "histogram ranks fall outside the distance matrix");
+                return NULL;
+            }
+            total += m[s[i] * cols + d[i]] * w[i];
+        }
+    }
+    return PyLong_FromLongLong((long long)total);
+}
+
+static PyMethodDef native_methods[] = {
+    {"csr_expand", csr_expand, METH_VARARGS,
+     "CSR offsets/owner/within expansion of an int64 lengths array."},
+    {"histogram_dot", histogram_dot, METH_VARARGS,
+     "Integer gather+dot of a distance matrix over (src, dst, weights)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT, "repro.kernels._native",
+    "Compiled CSR-expansion and histogram-ACD kernels.", -1, native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    import_array();
+    return PyModule_Create(&native_module);
+}

@@ -1,0 +1,33 @@
+"""Pure-NumPy reference implementations of the switchable kernels.
+
+These are the canonical semantics: the native backend must agree
+bit-for-bit with every function here on every input (see
+``tests/kernels/test_backends.py``), and they are the permanent
+fallback when the compiled module is absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+
+__all__ = ["csr_expand", "histogram_dot"]
+
+
+def csr_expand(lengths: IntArray) -> tuple[IntArray, IntArray, IntArray]:
+    """CSR offsets, per-slot row index and within-row position."""
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(lengths)])
+    owner = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    within = np.arange(offsets[-1], dtype=np.int64) - offsets[owner]
+    return offsets, owner, within
+
+
+def histogram_dot(matrix: IntArray, src: IntArray, dst: IntArray, weights: IntArray) -> int:
+    """One distance gather + integer dot product (exact ``int64`` math)."""
+    p, q = matrix.shape
+    if src.size and (
+        int(src.min()) < 0 or int(src.max()) >= p or int(dst.min()) < 0 or int(dst.max()) >= q
+    ):
+        raise ValueError("histogram ranks fall outside the distance matrix")
+    return int(matrix[src, dst].astype(np.int64) @ weights)

@@ -34,6 +34,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Union
 
+import numpy as np
+
+from repro import kernels
 from repro.errors import ConfigurationError
 from repro.fmm.events import CommunicationEvents, PairHistogram
 from repro.topology.base import Topology
@@ -78,12 +81,33 @@ class ACDResult:
         return f"ACDResult(acd={self.acd:.4f}, count={self.count})"
 
 
+def _check_ranks(src, dst, num_processors: int) -> None:
+    """Reject ranks outside ``[0, num_processors)`` (cheap min/max scan)."""
+    if not np.asarray(src).size:
+        return
+    low = min(int(np.min(src)), int(np.min(dst)))
+    high = max(int(np.max(src)), int(np.max(dst)))
+    if low < 0 or high >= num_processors:
+        offender = high if high >= num_processors else low
+        raise ValueError(
+            f"events reference rank {offender} outside the "
+            f"{num_processors}-processor rank space of the topology"
+        )
+
+
 def _histogram_acd(
     histogram: PairHistogram,
     topology: Topology,
     cache: TopologyCache | None,
 ) -> ACDResult:
-    """ACD of a compacted histogram: one distance gather + dot product."""
+    """ACD of a compacted histogram: one distance gather + dot product.
+
+    When the topology's distance matrix is (or becomes) cache-resident,
+    the gather + integer dot is fused through
+    :func:`repro.kernels.histogram_dot`, which serves it from the
+    compiled backend when one is selected; otherwise the distances come
+    from the vectorised distance kernel.  All paths are bit-identical.
+    """
     if histogram.num_processors > topology.num_processors:
         raise ValueError(
             f"histogram spans {histogram.num_processors} ranks but the "
@@ -91,11 +115,19 @@ def _histogram_acd(
         )
     if histogram.num_pairs == 0:
         return ACDResult(0, 0)
-    if cache is None:
-        distances = topology.distance(histogram.src, histogram.dst)
+    _check_ranks(histogram.src, histogram.dst, topology.num_processors)
+    matrix = (
+        cache.matrix_for_queries(topology, histogram.src.size)
+        if cache is not None
+        else None
+    )
+    if matrix is not None:
+        total = kernels.histogram_dot(
+            matrix, histogram.src, histogram.dst, histogram.weights
+        )
     else:
-        distances = cache.distances(topology, histogram.src, histogram.dst)
-    total = int(distances.astype("int64") @ histogram.weights)
+        distances = topology.distance(histogram.src, histogram.dst)
+        total = int(distances.astype("int64") @ histogram.weights)
     return ACDResult(total_distance=total, count=histogram.total_weight)
 
 
@@ -125,6 +157,11 @@ def compute_acd(
     total = 0
     count = 0
     for src, dst, weights in events.iter_weighted_chunks():
+        # Guard every chunk before any distance lookup: a cached matrix
+        # would otherwise wrap negative ranks silently (garbage
+        # distances) and turn over-range ranks into an IndexError
+        # instead of the ValueError the histogram path raises.
+        _check_ranks(src, dst, topology.num_processors)
         if cache is None:
             distances = topology.distance(src, dst)
         else:
@@ -139,7 +176,10 @@ def compute_acd(
 
 
 def acd_breakdown(
-    phases: Mapping[str, EventsLike], topology: Topology
+    phases: Mapping[str, EventsLike],
+    topology: Topology,
+    *,
+    cache: TopologyCache | None | str = _DEFAULT_CACHE,
 ) -> dict[str, ACDResult]:
     """Per-phase ACD plus a pooled ``"combined"`` entry.
 
@@ -150,6 +190,10 @@ def acd_breakdown(
     for that pooled entry; passing a phase with that name raises
     :class:`~repro.errors.ConfigurationError` instead of silently
     overwriting it.
+
+    ``cache`` is forwarded verbatim to every per-phase
+    :func:`compute_acd` call (the shared process cache when omitted,
+    ``None`` to bypass caching entirely — e.g. for cache ablations).
     """
     if "combined" in phases:
         raise ConfigurationError(
@@ -159,7 +203,7 @@ def acd_breakdown(
     out: dict[str, ACDResult] = {}
     combined = ACDResult(0, 0)
     for name, events in phases.items():
-        result = compute_acd(events, topology)
+        result = compute_acd(events, topology, cache=cache)
         out[name] = result
         combined = combined.merged(result)
     out["combined"] = combined

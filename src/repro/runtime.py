@@ -27,6 +27,7 @@ Environment variable         Field                    Default
 ``REPRO_UNIT_TIMEOUT``       ``unit_timeout``         ``None`` (no limit)
 ``REPRO_STRICT``             ``strict``               ``False``
 ``REPRO_FAULTS``             ``faults``               ``None`` (no faults)
+``REPRO_KERNEL_BACKEND``     ``kernel_backend``       ``"auto"``
 ===========================  =======================  ==================
 
 Precedence: an explicit :func:`configure` (or ``with configure(...):``)
@@ -52,6 +53,7 @@ __all__ = [
     "runtime_config",
     "configure",
     "ENV_VARS",
+    "KERNEL_BACKENDS",
 ]
 
 #: Environment variable -> :class:`RuntimeConfig` field, the documented
@@ -70,7 +72,11 @@ ENV_VARS: dict[str, str] = {
     "REPRO_UNIT_TIMEOUT": "unit_timeout",
     "REPRO_STRICT": "strict",
     "REPRO_FAULTS": "faults",
+    "REPRO_KERNEL_BACKEND": "kernel_backend",
 }
+
+#: Accepted values of ``kernel_backend`` (see :mod:`repro.kernels`).
+KERNEL_BACKENDS = ("auto", "numpy", "native")
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
@@ -122,6 +128,13 @@ class RuntimeConfig:
     faults:
         Deterministic fault-injection plan (see :mod:`repro.faults`),
         e.g. ``"crash:unit=3; raise:rate=0.1:seed=7; hang:unit=5"``.
+    kernel_backend:
+        Compute-kernel backend for the CSR expansion and histogram-ACD
+        inner loops (see :mod:`repro.kernels`): ``"auto"`` uses the
+        compiled module when built, ``"numpy"`` forces the pure-NumPy
+        path, ``"native"`` requests the compiled path (degrading to
+        NumPy with a warning when it is unavailable).  Results are
+        bit-identical under every setting.
     """
 
     scale: str = "small"
@@ -137,8 +150,14 @@ class RuntimeConfig:
     unit_timeout: float | None = None
     strict: bool = False
     faults: str | None = None
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
+            )
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be >= 1 or None, got {self.jobs}")
         if self.max_retries < 0:
@@ -186,6 +205,7 @@ class RuntimeConfig:
             unit_timeout=unit_timeout,
             strict=env.get("REPRO_STRICT", "").strip().lower() in _TRUTHY,
             faults=faults_raw or None,
+            kernel_backend=env.get("REPRO_KERNEL_BACKEND", "").strip().lower() or "auto",
         )
 
     def replace(self, **overrides: Any) -> "RuntimeConfig":

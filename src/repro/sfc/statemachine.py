@@ -1,0 +1,295 @@
+"""Table-driven state machines for self-similar space-filling curves.
+
+Hilbert encode/decode is classically written as one rotation pass per
+bit level — a handful of full-array ``np.where`` operations per level
+(see the retained reference kernels in :mod:`repro.sfc.hilbert` and
+:mod:`repro.sfc.curves3d`).  Holzmüller's neighbor-finding work
+formulates the same curves as finite *state automata*: the orientation
+of the sub-curve inside a quadrant/octant is one of finitely many
+states, and one table lookup per level replaces the rotation algebra.
+
+This module derives such automata **from the curve itself** instead of
+hard-coding magic tables:
+
+1. the order-1 ordering fixes the base octant sequence,
+2. matching each octant block of the order-2 ordering against the
+   signed axis permutations of the base sequence yields the child
+   transforms,
+3. closing the transform set under composition (BFS from the identity)
+   enumerates the states, and
+4. the derived machine is verified against the order-3 ordering before
+   it is ever used.
+
+Because the tables are derived from the reference kernels, the
+table-driven encoder is bit-identical to them *by construction* (and
+property-tested well beyond order 3).
+
+The per-level tables are then composed into *radix chunks*: a chunk
+table maps ``(state, r levels of octant bits)`` to ``(r levels of
+digit bits, next state)`` in a **single gather**, so an order-12 encode
+costs two gathers over the whole point array instead of twelve rotation
+passes.  Chunk tables are built lazily per chunk size and cached on the
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations, product
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro._typing import IntArray
+
+__all__ = ["CurveStateMachine", "derive_machine"]
+
+#: Transform = signed axis permutation ``out_bit[j] = in_bit[perm[j]] ^ flip[j]``
+#: acting on occupancy codes (axis 0 supplies the highest code bit, matching
+#: :func:`repro.util.bits.interleave2` / ``interleave3``).
+_Transform = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+def _apply(transform: _Transform, code: int, ndim: int) -> int:
+    perm, flip = transform
+    out = 0
+    for j in range(ndim):
+        bit = (code >> (ndim - 1 - perm[j])) & 1
+        out |= (bit ^ flip[j]) << (ndim - 1 - j)
+    return out
+
+
+def _compose(outer: _Transform, inner: _Transform) -> _Transform:
+    """The transform applying ``inner`` first, then ``outer``."""
+    p1, f1 = outer
+    p2, f2 = inner
+    perm = tuple(p2[p1[j]] for j in range(len(p1)))
+    flip = tuple(f2[p1[j]] ^ f1[j] for j in range(len(p1)))
+    return perm, flip
+
+
+def _all_transforms(ndim: int) -> Iterator[_Transform]:
+    for perm in permutations(range(ndim)):
+        for flip in product((0, 1), repeat=ndim):
+            yield perm, flip
+
+
+def _codes_of(points: IntArray, ndim: int) -> list[int]:
+    """Occupancy codes of ``(n, ndim)`` 0/1 coordinate rows (axis 0 high)."""
+    out = []
+    for row in points:
+        code = 0
+        for axis in range(ndim):
+            code = (code << 1) | int(row[axis] & 1)
+        out.append(code)
+    return out
+
+
+@dataclass
+class CurveStateMachine:
+    """A derived ``(state, octant) -> (digit, next state)`` automaton.
+
+    ``digit_table``/``enc_next`` drive encoding (octant bits in, curve
+    digit out), ``octant_table``/``dec_next`` drive decoding; all four
+    have shape ``(num_states, 2**ndim)``.  ``radix`` is the default
+    number of levels fused into one lookup chunk.
+    """
+
+    ndim: int
+    num_states: int
+    digit_table: IntArray
+    enc_next: IntArray
+    octant_table: IntArray
+    dec_next: IntArray
+    radix: int
+    _chunk_cache: dict = field(default_factory=dict, repr=False)
+
+    # number of bits reserved for the state id inside a combined table
+    # entry ``(digits << state_bits) | next_state``
+    @property
+    def state_bits(self) -> int:
+        return max(int(self.num_states - 1).bit_length(), 1)
+
+    # -- chunked tables -----------------------------------------------------
+    def _chunk_tables(self, size: int) -> tuple[IntArray, IntArray]:
+        """Flat combined tables for a ``size``-level chunk.
+
+        Returns ``(enc, dec)`` of shape ``(num_states << (ndim*size),)``:
+        ``enc[(state << ndim*size) | octant_chunk]`` packs
+        ``(digit_chunk << state_bits) | next_state`` and ``dec`` is the
+        inverse direction.  Built by composing the level-1 machine with
+        itself, so one gather consumes ``size`` levels at once.
+        """
+        cached = self._chunk_cache.get(size)
+        if cached is not None:
+            return cached
+        fanout = 1 << self.ndim
+        digits = self.digit_table.astype(np.int64)
+        enc_next = self.enc_next.astype(np.int64)
+        octants = self.octant_table.astype(np.int64)
+        dec_next = self.dec_next.astype(np.int64)
+        for _ in range(size - 1):
+            width = digits.shape[1]  # fanout ** levels_so_far
+            # prepend one more (most-significant) level in front of the chunk
+            digits = (
+                self.digit_table[:, :, None] * width + digits[self.enc_next]
+            ).reshape(self.num_states, fanout * width)
+            enc_next = enc_next[self.enc_next].reshape(self.num_states, fanout * width)
+            octants = (
+                self.octant_table[:, :, None] * width + octants[self.dec_next]
+            ).reshape(self.num_states, fanout * width)
+            dec_next = dec_next[self.dec_next].reshape(self.num_states, fanout * width)
+        sbits = self.state_bits
+        # flat, state-major layout: entry (state << ndim*size) | chunk
+        enc = ((digits << sbits) | enc_next).reshape(-1)
+        dec = ((octants << sbits) | dec_next).reshape(-1)
+        tables = np.ascontiguousarray(enc), np.ascontiguousarray(dec)
+        self._chunk_cache[size] = tables
+        return tables
+
+    def _chunks(self, order: int) -> list[tuple[int, int]]:
+        """``(chunk_size, bit_shift)`` pairs, most significant first."""
+        sizes = []
+        remainder = order % self.radix
+        if remainder:
+            sizes.append(remainder)
+        sizes.extend([self.radix] * (order // self.radix))
+        out = []
+        below = order
+        for size in sizes:
+            below -= size
+            out.append((size, self.ndim * below))
+        return out
+
+    # -- vectorised drivers -------------------------------------------------
+    def encode_from_interleaved(self, code: IntArray, order: int) -> IntArray:
+        """Curve indices of Morton-interleaved octant codes (``int64``)."""
+        code = np.asarray(code, dtype=np.int64)
+        out = np.zeros(code.shape, dtype=np.int64)
+        if order == 0:
+            return out
+        state = np.zeros(code.shape, dtype=np.int64)
+        sbits = self.state_bits
+        state_mask = np.int64((1 << sbits) - 1)
+        for size, shift in self._chunks(order):
+            bits = self.ndim * size
+            enc, _ = self._chunk_tables(size)
+            chunk = (code >> shift) & np.int64((1 << bits) - 1)
+            packed = enc[(state << bits) | chunk]
+            out = (out << bits) | (packed >> sbits)
+            state = packed & state_mask
+        return out
+
+    def decode_to_interleaved(self, index: IntArray, order: int) -> IntArray:
+        """Morton-interleaved octant codes of curve indices (``int64``)."""
+        index = np.asarray(index, dtype=np.int64)
+        out = np.zeros(index.shape, dtype=np.int64)
+        if order == 0:
+            return out
+        state = np.zeros(index.shape, dtype=np.int64)
+        sbits = self.state_bits
+        state_mask = np.int64((1 << sbits) - 1)
+        for size, shift in self._chunks(order):
+            bits = self.ndim * size
+            _, dec = self._chunk_tables(size)
+            chunk = (index >> shift) & np.int64((1 << bits) - 1)
+            packed = dec[(state << bits) | chunk]
+            out = (out << bits) | (packed >> sbits)
+            state = packed & state_mask
+        return out
+
+    # -- reference driver (scalar, for verification) ------------------------
+    def _ordering(self, order: int) -> IntArray:
+        """The full ordering generated by the machine (verification aid)."""
+        codes = self.decode_to_interleaved(
+            np.arange(1 << (self.ndim * order), dtype=np.int64), order
+        )
+        pts = np.zeros((codes.size, self.ndim), dtype=np.int64)
+        for axis in range(self.ndim):
+            shift = self.ndim - 1 - axis
+            for level in range(order):
+                pts[:, axis] |= ((codes >> (self.ndim * level + shift)) & 1) << level
+        return pts
+
+
+def derive_machine(
+    ordering_fn: Callable[[int], IntArray], ndim: int, radix: int
+) -> CurveStateMachine:
+    """Derive the automaton of a strictly self-similar curve.
+
+    ``ordering_fn(order)`` must return the ``(2**(ndim*order), ndim)``
+    cell sequence of the reference implementation.  Raises
+    :class:`ValueError` when the curve is not self-similar under signed
+    axis permutations or the derived machine fails the order-3 check.
+    """
+    fanout = 1 << ndim
+    seq1 = np.asarray(ordering_fn(1), dtype=np.int64)
+    seq2 = np.asarray(ordering_fn(2), dtype=np.int64)
+    base_codes = _codes_of(seq1, ndim)  # digit -> canonical octant code
+    if sorted(base_codes) != list(range(fanout)):
+        raise ValueError("order-1 ordering is not a bijection on the octants")
+
+    candidates = list(_all_transforms(ndim))
+    child: list[_Transform] = []
+    for digit in range(fanout):
+        block = seq2[digit * fanout : (digit + 1) * fanout]
+        high = _codes_of(block >> 1, ndim)
+        if any(h != base_codes[digit] for h in high):
+            raise ValueError(f"digit {digit} block leaves its octant; not self-similar")
+        low = _codes_of(block & 1, ndim)
+        match = None
+        for cand in candidates:
+            if all(_apply(cand, base_codes[i], ndim) == low[i] for i in range(fanout)):
+                match = cand
+                break
+        if match is None:
+            raise ValueError(
+                f"digit {digit} sub-block is no signed-permutation image of the "
+                "base sequence; cannot derive a state machine"
+            )
+        child.append(match)
+
+    # BFS closure of the child transforms under composition
+    identity: _Transform = (tuple(range(ndim)), (0,) * ndim)
+    state_ids: dict[_Transform, int] = {identity: 0}
+    frontier = [identity]
+    transitions: list[list[int]] = []  # state -> digit -> next state
+    while frontier:
+        nxt = []
+        for transform in frontier:
+            row = []
+            for digit in range(fanout):
+                composed = _compose(transform, child[digit])
+                if composed not in state_ids:
+                    state_ids[composed] = len(state_ids)
+                    nxt.append(composed)
+                row.append(state_ids[composed])
+            transitions.append(row)
+        frontier = nxt
+
+    num_states = len(state_ids)
+    digit_table = np.zeros((num_states, fanout), dtype=np.int64)
+    enc_next = np.zeros((num_states, fanout), dtype=np.int64)
+    octant_table = np.zeros((num_states, fanout), dtype=np.int64)
+    dec_next = np.zeros((num_states, fanout), dtype=np.int64)
+    for transform, sid in state_ids.items():
+        for digit in range(fanout):
+            octant = _apply(transform, base_codes[digit], ndim)
+            octant_table[sid, digit] = octant
+            digit_table[sid, octant] = digit
+            nxt_id = transitions[sid][digit]
+            dec_next[sid, digit] = nxt_id
+            enc_next[sid, octant] = nxt_id
+
+    machine = CurveStateMachine(
+        ndim=ndim,
+        num_states=num_states,
+        digit_table=digit_table,
+        enc_next=enc_next,
+        octant_table=octant_table,
+        dec_next=dec_next,
+        radix=radix,
+    )
+    if not np.array_equal(machine._ordering(3), np.asarray(ordering_fn(3))):
+        raise ValueError("derived state machine disagrees with the reference at order 3")
+    return machine

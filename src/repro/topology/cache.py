@@ -181,28 +181,44 @@ class TopologyCache:
             obs.count("topo_cache.matrix_bytes_built", matrix.nbytes)
         return matrix
 
-    def distances(self, topology: Topology, a, b) -> IntArray:
-        """Hop distances, served from the cached matrix when worthwhile.
+    def matrix_for_queries(self, topology: Topology, volume: int) -> IntArray | None:
+        """The cached matrix, accounting ``volume`` queries toward its build.
 
-        The matrix is built lazily: only once the cumulative query
-        volume for this topology reaches ``p`` elements (one trial's
-        worth of lookups) does the ``O(p^2)`` build pay for itself; until
-        then — and always for over-budget topologies — the call forwards
-        to :meth:`Topology.distance`.  Results are identical either way.
+        Returns ``None`` while the matrix is not worth materialising:
+        either it exceeds the byte budget, or the cumulative query
+        volume for this topology has not yet reached ``p`` elements
+        (one trial's worth of lookups, the point where the ``O(p^2)``
+        build pays for itself).  Callers fall back to
+        :meth:`Topology.distance` in that case — results are identical
+        either way.  This is the primitive behind :meth:`distances`;
+        fused-kernel consumers (the histogram ACD) call it directly so
+        matrix builds happen under exactly the same conditions on every
+        backend.
         """
         if not self.matrix_fits(topology):
-            return topology.distance(a, b)
+            return None
         key = topology_cache_key(topology)
-        size = np.asarray(a).size
         with self._lock:
             matrix = self._matrices.get(key)
             if matrix is None:
-                volume = self._query_volume.get(key, 0) + size
-                self._query_volume[key] = volume
-                if volume < topology.num_processors:
-                    return topology.distance(a, b)
+                total = self._query_volume.get(key, 0) + int(volume)
+                self._query_volume[key] = total
+                if total < topology.num_processors:
+                    return None
                 matrix = self._build_matrix(topology)
                 self._matrices.put(key, matrix)
+        return matrix
+
+    def distances(self, topology: Topology, a, b) -> IntArray:
+        """Hop distances, served from the cached matrix when worthwhile.
+
+        See :meth:`matrix_for_queries` for the lazy-build policy; this
+        wrapper gathers from the matrix once it exists and forwards to
+        :meth:`Topology.distance` until then.
+        """
+        matrix = self.matrix_for_queries(topology, np.asarray(a).size)
+        if matrix is None:
+            return topology.distance(a, b)
         return matrix[a, b].astype(np.int64)
 
     # -- generic per-topology tables ----------------------------------------

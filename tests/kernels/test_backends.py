@@ -1,0 +1,217 @@
+"""Backend-equivalence and dispatch tests for :mod:`repro.kernels`.
+
+The contract under test: the ``REPRO_KERNEL_BACKEND`` knob only ever
+changes speed, never results.  Native-vs-NumPy comparisons are skipped
+cleanly when the optional C extension was not built.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import numpy_impl
+from repro.runtime import configure
+
+needs_native = pytest.mark.skipif(
+    not kernels.native_available(),
+    reason="compiled repro.kernels._native not built",
+)
+
+
+class TestDispatch:
+    def test_forced_numpy(self):
+        with configure(kernel_backend="numpy"):
+            assert kernels.active_backend() == "numpy"
+
+    def test_auto_prefers_native_when_present(self):
+        with configure(kernel_backend="auto"):
+            expected = "native" if kernels.native_available() else "numpy"
+            assert kernels.active_backend() == expected
+
+    @needs_native
+    def test_forced_native(self):
+        with configure(kernel_backend="native"):
+            assert kernels.active_backend() == "native"
+
+    def test_forced_native_without_module_warns_once(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_native", None)
+        monkeypatch.setattr(kernels, "_warned_missing_native", False)
+        with configure(kernel_backend="native"):
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                assert kernels.active_backend() == "numpy"
+            # second resolution is silent (warn-once)
+            import warnings as _w
+
+            with _w.catch_warnings():
+                _w.simplefilter("error")
+                assert kernels.active_backend() == "numpy"
+
+
+class TestCsrExpand:
+    def _random_lengths(self, rng, n):
+        return rng.integers(0, 9, n).astype(np.int64)
+
+    def test_numpy_reference_semantics(self):
+        offsets, owner, within = numpy_impl.csr_expand(np.array([2, 0, 3], dtype=np.int64))
+        assert offsets.tolist() == [0, 2, 2, 5]
+        assert owner.tolist() == [0, 0, 2, 2, 2]
+        assert within.tolist() == [0, 1, 0, 1, 2]
+
+    def test_empty(self):
+        for backend in ("numpy",) + (("native",) if kernels.native_available() else ()):
+            with configure(kernel_backend=backend):
+                offsets, owner, within = kernels.csr_expand(np.array([], dtype=np.int64))
+            assert offsets.tolist() == [0]
+            assert owner.size == 0 and within.size == 0
+
+    @needs_native
+    def test_native_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        for n in (0, 1, 7, 100, 1000):
+            lengths = self._random_lengths(rng, n)
+            got = kernels._native.csr_expand(lengths)
+            want = numpy_impl.csr_expand(lengths)
+            for g, w in zip(got, want):
+                assert np.array_equal(g, w)
+                assert g.dtype == np.int64
+
+    @needs_native
+    def test_native_rejects_negative_lengths(self):
+        with pytest.raises(ValueError):
+            kernels._native.csr_expand(np.array([1, -2], dtype=np.int64))
+
+
+class TestHistogramDot:
+    def _case(self, rng, p=50, n=400, dtype=np.int64):
+        matrix = rng.integers(0, 40, (p, p)).astype(dtype)
+        src = rng.integers(0, p, n).astype(np.int64)
+        dst = rng.integers(0, p, n).astype(np.int64)
+        weights = rng.integers(0, 9, n).astype(np.int64)
+        return matrix, src, dst, weights
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_backends_agree(self, dtype):
+        rng = np.random.default_rng(1)
+        matrix, src, dst, weights = self._case(rng, dtype=dtype)
+        results = {}
+        backends = ["numpy"] + (["native"] if kernels.native_available() else [])
+        for backend in backends:
+            with configure(kernel_backend=backend):
+                results[backend] = kernels.histogram_dot(matrix, src, dst, weights)
+        assert len(set(results.values())) == 1
+        assert isinstance(results["numpy"], int)
+
+    def test_matches_plain_python(self):
+        rng = np.random.default_rng(2)
+        matrix, src, dst, weights = self._case(rng, p=10, n=50)
+        want = sum(
+            int(matrix[s, d]) * int(w) for s, d, w in zip(src, dst, weights)
+        )
+        assert kernels.histogram_dot(matrix, src, dst, weights) == want
+
+    def test_empty(self):
+        matrix = np.zeros((4, 4), dtype=np.int64)
+        empty = np.array([], dtype=np.int64)
+        assert kernels.histogram_dot(matrix, empty, empty, empty) == 0
+
+    def test_shape_mismatch_raises(self):
+        matrix = np.zeros((4, 4), dtype=np.int64)
+        with pytest.raises(ValueError, match="equal-length"):
+            kernels.histogram_dot(
+                matrix,
+                np.array([0, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )
+
+    @pytest.mark.parametrize("bad", [np.array([-1]), np.array([4]), np.array([99])])
+    def test_out_of_range_ranks_raise_on_every_backend(self, bad):
+        matrix = np.zeros((4, 4), dtype=np.int64)
+        one = np.array([1], dtype=np.int64)
+        backends = ["numpy"] + (["native"] if kernels.native_available() else [])
+        for backend in backends:
+            with configure(kernel_backend=backend):
+                with pytest.raises(ValueError, match="distance matrix"):
+                    kernels.histogram_dot(matrix, bad.astype(np.int64), one, one)
+                with pytest.raises(ValueError, match="distance matrix"):
+                    kernels.histogram_dot(matrix, one, bad.astype(np.int64), one)
+
+    def test_large_weights_accumulate_in_int64(self):
+        matrix = np.full((2, 2), 10**6, dtype=np.int64)
+        n = 1000
+        src = np.zeros(n, dtype=np.int64)
+        dst = np.ones(n, dtype=np.int64)
+        weights = np.full(n, 10**6, dtype=np.int64)
+        want = n * 10**12
+        backends = ["numpy"] + (["native"] if kernels.native_available() else [])
+        for backend in backends:
+            with configure(kernel_backend=backend):
+                assert kernels.histogram_dot(matrix, src, dst, weights) == want
+
+    @needs_native
+    def test_native_requires_int_matrix_falls_back(self):
+        # Non-int32/int64 matrices route to NumPy even under native.
+        rng = np.random.default_rng(3)
+        matrix, src, dst, weights = self._case(rng, p=8, n=20, dtype=np.int16)
+        with configure(kernel_backend="native"):
+            got = kernels.histogram_dot(matrix, src, dst, weights)
+        assert got == numpy_impl.histogram_dot(matrix, src, dst, weights)
+
+
+class TestEndToEndParity:
+    """route_batch and histogram ACD agree across backends."""
+
+    backends = pytest.mark.parametrize(
+        "backend",
+        ["numpy"] + (["native"] if kernels.native_available() else []),
+    )
+
+    @staticmethod
+    def _routing_fingerprint(backend):
+        from repro.contention.routing import route_batch
+        from repro.topology import make_topology
+
+        net = make_topology("torus", 64)
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, 64, 300)
+        dst = rng.integers(0, 64, 300)
+        keep = src != dst
+        with configure(kernel_backend=backend):
+            routed = route_batch(net, src[keep], dst[keep])
+        return {
+            name: np.asarray(value).tolist()
+            for name, value in vars(routed).items()
+            if isinstance(value, np.ndarray)
+        }
+
+    @staticmethod
+    def _acd_fingerprint(backend):
+        from repro.fmm.events import CommunicationEvents
+        from repro.metrics.acd import compute_acd
+        from repro.topology import make_topology
+        from repro.topology.cache import TopologyCache
+
+        net = make_topology("torus", 64)
+        rng = np.random.default_rng(6)
+        ev = CommunicationEvents()
+        ev.add(rng.integers(0, 64, 800), rng.integers(0, 64, 800))
+        with configure(kernel_backend=backend):
+            cache = TopologyCache()
+            streamed = compute_acd(ev, net, cache=cache)
+            histogram = compute_acd(ev.compact(), net, cache=cache)
+        assert streamed == histogram
+        return (streamed.total_distance, streamed.count)
+
+    @needs_native
+    def test_route_batch_identical_across_backends(self):
+        assert self._routing_fingerprint("numpy") == self._routing_fingerprint("native")
+
+    @needs_native
+    def test_histogram_acd_identical_across_backends(self):
+        assert self._acd_fingerprint("numpy") == self._acd_fingerprint("native")
+
+    @backends
+    def test_histogram_matches_streaming_on_each_backend(self, backend):
+        self._acd_fingerprint(backend)  # asserts internally

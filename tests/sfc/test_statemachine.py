@@ -1,0 +1,214 @@
+"""Equivalence and derivation tests for the table-driven curve automata.
+
+The state machines in :mod:`repro.sfc.statemachine` are *derived* from
+the reference rotation kernels, so the primary obligation here is the
+bit-identity of the two implementations — exhaustively at small orders
+and on random samples up to the paper's largest lattice (side 4096 in
+2D) and side ``2**7`` in 3D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sfc.curves3d import (
+    Hilbert3D,
+    hilbert3d_machine,
+    skilling_decode,
+    skilling_encode,
+)
+from repro.sfc.hilbert import (
+    HilbertCurve,
+    hilbert_machine,
+    loop_decode,
+    loop_encode,
+)
+from repro.sfc.statemachine import derive_machine
+from repro.util.bits import interleave2, interleave3
+
+
+class TestDerivation:
+    def test_2d_machine_has_four_states(self):
+        machine = hilbert_machine()
+        assert machine.ndim == 2
+        assert machine.num_states == 4
+
+    def test_3d_machine_has_twenty_four_states(self):
+        machine = hilbert3d_machine()
+        assert machine.ndim == 3
+        assert machine.num_states == 24
+
+    def test_tables_are_bijections_per_state(self):
+        for machine in (hilbert_machine(), hilbert3d_machine()):
+            fanout = 1 << machine.ndim
+            for sid in range(machine.num_states):
+                assert sorted(machine.digit_table[sid]) == list(range(fanout))
+                assert sorted(machine.octant_table[sid]) == list(range(fanout))
+                # encode and decode tables invert each other
+                for octant in range(fanout):
+                    digit = machine.digit_table[sid, octant]
+                    assert machine.octant_table[sid, digit] == octant
+                    assert machine.enc_next[sid, octant] == machine.dec_next[sid, digit]
+
+    def test_rejects_non_self_similar_curve(self):
+        # Row-major order is a bijection at order 1 but its order-2
+        # blocks leave their quadrants, so no automaton exists.
+        def rowmajor(order):
+            side = 1 << order
+            idx = np.arange(side * side)
+            return np.stack([idx // side, idx % side], axis=1)
+
+        with pytest.raises(ValueError, match="self-similar|octant"):
+            derive_machine(rowmajor, ndim=2, radix=4)
+
+    def test_rejects_non_bijective_order1(self):
+        def degenerate(order):
+            n = 1 << (2 * order)
+            return np.zeros((n, 2), dtype=np.int64)
+
+        with pytest.raises(ValueError, match="bijection"):
+            derive_machine(degenerate, ndim=2, radix=4)
+
+    def test_machine_ordering_matches_reference(self):
+        machine = hilbert_machine()
+        for order in (1, 2, 4):
+            side = 1 << order
+            x, y = loop_decode(side, np.arange(side * side, dtype=np.int64))
+            assert np.array_equal(machine._ordering(order), np.stack([x, y], axis=1))
+
+
+class TestEquivalence2D:
+    @pytest.mark.parametrize("order", range(7))
+    def test_exhaustive_small_orders(self, order):
+        side = 1 << order
+        idx = np.arange(side * side, dtype=np.int64)
+        x, y = loop_decode(side, idx)
+        machine = hilbert_machine()
+        assert np.array_equal(
+            machine.encode_from_interleaved(interleave2(x, y), order),
+            loop_encode(side, x, y),
+        )
+        assert np.array_equal(
+            machine.decode_to_interleaved(idx, order),
+            interleave2(x, y),
+        )
+
+    @pytest.mark.parametrize("order", [9, 12, 20, 31])
+    def test_sampled_large_orders(self, order):
+        # order 12 is the paper's 4096-side lattice; 31 is the dtype limit.
+        side = 1 << order
+        rng = np.random.default_rng(order)
+        x = rng.integers(0, side, 4000)
+        y = rng.integers(0, side, 4000)
+        machine = hilbert_machine()
+        expected = loop_encode(side, x, y)
+        got = machine.encode_from_interleaved(interleave2(x, y), order)
+        assert np.array_equal(got, expected)
+        assert np.array_equal(
+            machine.decode_to_interleaved(expected, order), interleave2(x, y)
+        )
+
+    def test_curve_class_round_trip(self):
+        curve = HilbertCurve(order=12)
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, curve.side, 2000)
+        y = rng.integers(0, curve.side, 2000)
+        idx = curve.encode(x, y)
+        rx, ry = curve.decode(idx)
+        assert np.array_equal(rx, x) and np.array_equal(ry, y)
+
+    def test_order_zero(self):
+        machine = hilbert_machine()
+        assert machine.encode_from_interleaved(np.array([0]), 0).tolist() == [0]
+        assert machine.decode_to_interleaved(np.array([0]), 0).tolist() == [0]
+
+    def test_empty_arrays(self):
+        machine = hilbert_machine()
+        empty = np.array([], dtype=np.int64)
+        assert machine.encode_from_interleaved(empty, 12).shape == (0,)
+        assert machine.decode_to_interleaved(empty, 12).shape == (0,)
+
+    def test_scalar_inputs_through_curve_class(self):
+        curve = HilbertCurve(order=5)
+        idx = curve.encode(3, 7)
+        assert np.ndim(idx) == 0
+        x, y = curve.decode(idx)
+        assert (int(x), int(y)) == (3, 7)
+
+
+class TestEquivalence3D:
+    @pytest.mark.parametrize("order", range(5))
+    def test_exhaustive_small_orders(self, order):
+        side = 1 << order
+        idx = np.arange(side**3, dtype=np.int64)
+        x, y, z = skilling_decode(order, idx)
+        machine = hilbert3d_machine()
+        assert np.array_equal(
+            machine.encode_from_interleaved(interleave3(x, y, z), order),
+            skilling_encode(order, x, y, z),
+        )
+        assert np.array_equal(
+            machine.decode_to_interleaved(idx, order),
+            interleave3(x, y, z),
+        )
+
+    @pytest.mark.parametrize("order", [5, 7, 13, 21])
+    def test_sampled_large_orders(self, order):
+        # order 7 is the acceptance tier; 21 is the dtype limit.
+        side = 1 << order
+        rng = np.random.default_rng(order)
+        x = rng.integers(0, side, 3000)
+        y = rng.integers(0, side, 3000)
+        z = rng.integers(0, side, 3000)
+        machine = hilbert3d_machine()
+        expected = skilling_encode(order, x, y, z)
+        got = machine.encode_from_interleaved(interleave3(x, y, z), order)
+        assert np.array_equal(got, expected)
+        assert np.array_equal(
+            machine.decode_to_interleaved(expected, order), interleave3(x, y, z)
+        )
+
+    def test_curve_class_round_trip(self):
+        curve = Hilbert3D(order=7)
+        rng = np.random.default_rng(1)
+        coords = rng.integers(0, curve.side, (3, 1500))
+        idx = curve.encode(*coords)
+        back = curve.decode(idx)
+        for got, want in zip(back, coords):
+            assert np.array_equal(got, want)
+
+    def test_adjacent_indices_are_adjacent_cells(self):
+        # Unit-step continuity survives the table-driven rewrite.
+        curve = Hilbert3D(order=3)
+        x, y, z = curve.decode(np.arange(curve.size, dtype=np.int64))
+        hops = np.abs(np.diff(x)) + np.abs(np.diff(y)) + np.abs(np.diff(z))
+        assert np.all(hops == 1)
+
+
+class TestChunking:
+    def test_chunk_plan_covers_order_exactly(self):
+        machine = hilbert_machine()
+        for order in (1, 7, 8, 12, 31):
+            chunks = machine._chunks(order)
+            assert sum(size for size, _ in chunks) == order
+            assert all(1 <= size <= machine.radix for size, _ in chunks)
+            assert chunks[-1][1] == 0  # least-significant chunk ends at bit 0
+
+    def test_chunk_tables_cached_per_size(self):
+        machine = hilbert_machine()
+        a = machine._chunk_tables(3)
+        b = machine._chunk_tables(3)
+        assert a[0] is b[0] and a[1] is b[1]
+
+    def test_radix1_machine_matches_default_radix(self):
+        from repro.sfc.hilbert import _loop_ordering
+
+        slow = derive_machine(_loop_ordering, ndim=2, radix=1)
+        fast = hilbert_machine()
+        rng = np.random.default_rng(9)
+        code = interleave2(rng.integers(0, 1 << 10, 500), rng.integers(0, 1 << 10, 500))
+        assert np.array_equal(
+            slow.encode_from_interleaved(code, 10),
+            fast.encode_from_interleaved(code, 10),
+        )

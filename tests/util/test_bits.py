@@ -129,6 +129,81 @@ class TestBitLength:
         assert bit_length(vals).tolist() == [0, 1, 2, 2, 3, 8, 9]
 
 
+class TestScalarAndShapeContract:
+    """Every public kernel honours the scalar/0-d/empty conventions.
+
+    Scalars in -> integer scalars out (not 0-d arrays); 0-d arrays in ->
+    0-d arrays out; empty arrays pass through with shape preserved.
+    """
+
+    # (callable taking positional uint inputs, arity, tuple-valued?)
+    KERNELS = [
+        (interleave2, 2, False),
+        (deinterleave2, 1, True),
+        (interleave3, 3, False),
+        (deinterleave3, 1, True),
+        (gray_encode, 1, False),
+        (gray_decode, 1, False),
+        (popcount, 1, False),
+        (bit_length, 1, False),
+    ]
+
+    @staticmethod
+    def _outputs(result, is_tuple):
+        return result if is_tuple else (result,)
+
+    @pytest.mark.parametrize("fn,arity,is_tuple", KERNELS)
+    def test_scalar_in_scalar_out(self, fn, arity, is_tuple):
+        for out in self._outputs(fn(*([3] * arity)), is_tuple):
+            assert np.isscalar(out), f"{fn.__name__} returned {type(out)}"
+            assert not isinstance(out, np.ndarray)
+
+    @pytest.mark.parametrize("fn,arity,is_tuple", KERNELS)
+    def test_numpy_scalar_in_scalar_out(self, fn, arity, is_tuple):
+        # np.isscalar(np.int64(3)) is True, so numpy scalars count too.
+        for out in self._outputs(fn(*([np.int64(3)] * arity)), is_tuple):
+            assert np.isscalar(out)
+
+    @pytest.mark.parametrize("fn,arity,is_tuple", KERNELS)
+    def test_zero_d_array_in_dimensionless_int64_out(self, fn, arity, is_tuple):
+        # NumPy collapses 0-d operands to scalars inside the kernels, so
+        # 0-d arrays come back as dimensionless int64 values.
+        for out in self._outputs(fn(*([np.array(3)] * arity)), is_tuple):
+            assert np.ndim(out) == 0
+            assert np.asarray(out).dtype == np.int64
+
+    @pytest.mark.parametrize("fn,arity,is_tuple", KERNELS)
+    def test_empty_array_passes_through(self, fn, arity, is_tuple):
+        empty = np.array([], dtype=np.int64)
+        for out in self._outputs(fn(*([empty] * arity)), is_tuple):
+            assert isinstance(out, np.ndarray)
+            assert out.shape == (0,) and out.dtype == np.int64
+
+    def test_interleave2_exact_31_bit_limit(self):
+        top = (1 << MAX_BITS_2D) - 1
+        code = interleave2(top, top)
+        assert code == (1 << 2 * MAX_BITS_2D) - 1  # fits in int64
+        assert deinterleave2(code) == (top, top)
+        with pytest.raises(ValueError):
+            interleave2(top + 1, 0)
+        with pytest.raises(ValueError):
+            interleave2(0, top + 1)
+
+    def test_interleave3_exact_21_bit_limit(self):
+        top = (1 << MAX_BITS_3D) - 1
+        code = interleave3(top, top, top)
+        assert code == (1 << 3 * MAX_BITS_3D) - 1
+        assert deinterleave3(code) == (top, top, top)
+        for args in [(top + 1, 0, 0), (0, top + 1, 0), (0, 0, top + 1)]:
+            with pytest.raises(ValueError):
+                interleave3(*args)
+
+    def test_is_power_of_two_scalar_inputs(self):
+        assert is_power_of_two(np.int64(64))
+        assert not is_power_of_two(np.int64(65))
+        assert isinstance(is_power_of_two(2), bool)
+
+
 class TestIsPowerOfTwo:
     @pytest.mark.parametrize("v", [1, 2, 4, 8, 1024, 2**30])
     def test_powers(self, v):
