@@ -88,6 +88,11 @@ from repro.experiments.scaling_study import (
     run_scaling_study,
 )
 from repro.experiments.sfc_pairs import SfcPairsResult, format_sfc_pairs, run_sfc_pairs
+from repro.experiments.sharded import (
+    ShardedAcdResult,
+    acd_tile_key,
+    evaluate_acd_sharded,
+)
 from repro.experiments.store import (
     MISS,
     STORE_SCHEMA_VERSION,
@@ -151,6 +156,9 @@ __all__ = [
     "SfcPairsResult",
     "run_sfc_pairs",
     "format_sfc_pairs",
+    "ShardedAcdResult",
+    "evaluate_acd_sharded",
+    "acd_tile_key",
     "TopologyStudyResult",
     "run_topology_study",
     "format_topology_study",

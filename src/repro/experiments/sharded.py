@@ -1,0 +1,272 @@
+"""Sharded, resumable ACD evaluation: tiles as fault-tolerant units.
+
+:func:`repro.metrics.acd.compute_acd` already evaluates a histogram
+under a memory budget by walking its non-empty distance tiles serially.
+This module fans the *same* tiles out as compute units through
+:func:`repro.experiments.executor.execute_units` — the engine behind
+every paper study — so million-rank ACD campaigns inherit the whole
+fault-tolerance surface for free:
+
+* ``--jobs`` / ``REPRO_JOBS`` process fan-out (each worker keeps its
+  own block cache, so hot tiles amortise within a worker);
+* per-unit retries, wall-clock timeouts, pool rebuilds and strict mode
+  (:class:`~repro.experiments.executor.ExecutionPolicy`);
+* flush-on-failure resume through the
+  :class:`~repro.experiments.store.ResultStore`: every finished tile is
+  persisted the moment it lands, keyed by a content digest of the
+  histogram plus the tile coordinates, so a killed run re-pays only the
+  missing tiles.
+
+Because each tile's partial sum is exact ``int64`` arithmetic over a
+disjoint slice of the pair set, the merged result is bit-identical to
+the dense, streaming and serial-tiled paths — at any job count, with or
+without a store, across kill/resume cycles.
+
+The run is traced as an ``acd.sharded`` span with ``acd.tiles`` /
+``acd.tiles_resumed`` counters and an ``acd.tile_bytes_peak`` gauge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.experiments.executor import ExecutionPolicy, execute_units
+from repro.experiments.runner import resolve_jobs
+from repro.experiments.store import MISS, STORE_SCHEMA_VERSION, ResultStore
+from repro.experiments.study import ENV_STORE, _resolve_store, StudyContext
+from repro.fmm.events import CommunicationEvents, PairHistogram
+from repro.metrics.acd import (
+    ACDResult,
+    EventsLike,
+    _check_ranks,
+    evaluate_tile,
+    iter_histogram_tiles,
+    tile_side_for_budget,
+)
+from repro.errors import UnknownNameError
+from repro.runtime import runtime_config
+from repro.topology.base import Topology
+from repro.topology.cache import get_topology_cache, topology_cache_key
+from repro.topology.registry import TOPOLOGIES, make_topology
+
+__all__ = ["ShardedAcdResult", "evaluate_acd_sharded", "acd_tile_key"]
+
+_DEFAULT_BUDGET = "config"  # sentinel: read RuntimeConfig.memory_budget at call time
+
+
+@dataclass(frozen=True)
+class ShardedAcdResult:
+    """Outcome of one sharded ACD evaluation.
+
+    ``result`` is the pooled :class:`~repro.metrics.acd.ACDResult`
+    (bit-identical to every other evaluation path); ``tiles`` counts
+    the non-empty tiles of the run, split into ``resumed`` (served from
+    the store) and ``computed`` (evaluated by this run).
+    """
+
+    result: ACDResult
+    tile_side: int
+    tiles: int
+    resumed: int
+    computed: int
+
+
+def _histogram_digest(histogram: PairHistogram) -> str:
+    """Content digest addressing a histogram in the result store."""
+    digest = hashlib.sha256()
+    digest.update(f"p={histogram.num_processors};".encode())
+    for array in (histogram.src, histogram.dst, histogram.weights):
+        digest.update(np.ascontiguousarray(array, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def acd_tile_key(
+    topology: Topology, digest: str, tile_side: int, rows: tuple[int, int], cols: tuple[int, int]
+) -> dict:
+    """The store key of one tile's partial result.
+
+    Addressed by the topology *parameters*, the histogram content
+    digest and the tile geometry — everything that determines the
+    partial sum — so resumes survive process restarts and object
+    identities, and a changed histogram or budget can never alias a
+    stale entry.
+    """
+    return {
+        "kind": "acd_tile",
+        "v": STORE_SCHEMA_VERSION,
+        "topology": list(topology_cache_key(topology)),
+        "digest": digest,
+        "tile_side": int(tile_side),
+        "row": int(rows[0]),
+        "col": int(cols[0]),
+    }
+
+
+@dataclass(frozen=True)
+class _TopologySpec:
+    """A registry recipe standing in for a topology in unit args.
+
+    A million-rank topology pickles its layout arrays — megabytes *per
+    unit* — which dominated sharded runs.  When the topology provably
+    round-trips through :func:`make_topology` we ship this tiny spec
+    instead and let each worker rebuild (and memoise) the instance once.
+    """
+
+    name: str
+    num_processors: int
+    processor_curve: str | None
+
+
+def _topology_transport(topology: Topology) -> "Topology | _TopologySpec":
+    """The cheapest faithful representation of ``topology`` for units.
+
+    Returns a :class:`_TopologySpec` only when rebuilding from the
+    registry yields the same :func:`topology_cache_key` — any custom
+    construction (hand-built layouts, non-default conventions, classes
+    outside the registry) falls back to pickling the instance itself.
+    """
+    name = type(topology).__name__.removesuffix("Topology")
+    try:
+        canonical = TOPOLOGIES.canonical(name)
+    except UnknownNameError:
+        return topology
+    curve = getattr(getattr(topology, "layout", None), "curve_name", None)
+    spec = _TopologySpec(canonical, topology.num_processors, curve)
+    try:
+        rebuilt = make_topology(spec.name, spec.num_processors, spec.processor_curve)
+    except Exception:
+        return topology
+    if topology_cache_key(rebuilt) != topology_cache_key(topology):
+        return topology
+    return spec
+
+
+#: Per-worker-process memo of topologies rebuilt from specs.
+_worker_topologies: dict[_TopologySpec, Topology] = {}
+
+
+def _resolve_topology(transport: "Topology | _TopologySpec") -> Topology:
+    if not isinstance(transport, _TopologySpec):
+        return transport
+    topology = _worker_topologies.get(transport)
+    if topology is None:
+        topology = make_topology(
+            transport.name, transport.num_processors, transport.processor_curve
+        )
+        _worker_topologies[transport] = topology
+    return topology
+
+
+def _evaluate_tile_unit(
+    transport: "Topology | _TopologySpec",
+    rows: tuple[int, int],
+    cols: tuple[int, int],
+    src,
+    dst,
+    weights,
+) -> dict:
+    """One tile evaluated in a worker; returns a JSON-native partial."""
+    total, tile_bytes = evaluate_tile(
+        _resolve_topology(transport), get_topology_cache(), rows, cols, src, dst, weights
+    )
+    return {
+        "total": int(total),
+        "count": int(np.asarray(weights).sum()),
+        "tile_bytes": int(tile_bytes),
+    }
+
+
+def evaluate_acd_sharded(
+    events: EventsLike,
+    topology: Topology,
+    *,
+    memory_budget: "int | str" = _DEFAULT_BUDGET,
+    jobs: int | None = None,
+    store: "ResultStore | None | object" = ENV_STORE,
+    policy: ExecutionPolicy | None = None,
+) -> ShardedAcdResult:
+    """Evaluate an ACD as a resumable fan-out of memory-bounded tiles.
+
+    ``events`` may be raw :class:`CommunicationEvents` (compacted here)
+    or a pre-compacted :class:`PairHistogram`.  ``memory_budget``
+    (bytes; default :attr:`RuntimeConfig.memory_budget`) sizes the
+    tiles and **must** be configured — sharded evaluation exists
+    precisely to bound memory, so an unbounded run is a configuration
+    error.  ``jobs`` defaults to ``REPRO_JOBS``; ``store`` defaults to
+    ``REPRO_STORE`` (pass ``None`` to disable resume); ``policy``
+    defaults to the runtime fault-tolerance knobs.
+
+    Tiles already present in the store are not re-evaluated; freshly
+    computed tiles are flushed to the store the moment they complete,
+    *before* any failure can propagate, so interrupting and re-running
+    the same evaluation pays only for the missing tiles.
+    """
+    if memory_budget == _DEFAULT_BUDGET:
+        memory_budget = runtime_config().memory_budget
+    if memory_budget is None:
+        raise ValueError(
+            "sharded ACD evaluation needs a memory budget: pass memory_budget= "
+            "or configure REPRO_MEMORY_BUDGET / --memory-budget"
+        )
+    if isinstance(events, CommunicationEvents):
+        histogram = events.compact(topology.num_processors)
+    else:
+        histogram = events
+    if histogram.num_processors > topology.num_processors:
+        raise ValueError(
+            f"histogram spans {histogram.num_processors} ranks but the "
+            f"topology only has {topology.num_processors}"
+        )
+    _check_ranks(histogram.src, histogram.dst, topology.num_processors)
+    p = topology.num_processors
+    tile_side = tile_side_for_budget(int(memory_budget), p)
+    tiles = list(iter_histogram_tiles(histogram, p, tile_side))
+    if store is ENV_STORE:
+        store = _resolve_store(StudyContext())
+    jobs = resolve_jobs(jobs)
+
+    result = ACDResult(0, 0)
+    resumed = 0
+    peak = 0
+    pending: list[tuple] = []
+    keys: list[dict | None] = []
+    with obs.span(
+        "acd.sharded", processors=p, tile_side=tile_side, tiles=len(tiles), jobs=jobs
+    ):
+        digest = _histogram_digest(histogram) if store is not None else ""
+        transport = _topology_transport(topology)
+        for rows, cols, src, dst, weights in tiles:
+            key = (
+                acd_tile_key(topology, digest, tile_side, rows, cols)
+                if store is not None
+                else None
+            )
+            hit = store.get(key) if store is not None else MISS
+            if hit is not MISS:
+                result = result.merged(ACDResult(int(hit["total"]), int(hit["count"])))
+                resumed += 1
+                obs.count("acd.tiles_resumed")
+                continue
+            pending.append((transport, rows, cols, src, dst, weights))
+            keys.append(key)
+        # Flush-on-failure: execute_units streams completions (any
+        # order) and raises only after yielding every finished unit, so
+        # each tile is persisted before a failure can propagate.
+        for index, value in execute_units(_evaluate_tile_unit, pending, jobs, policy):
+            if store is not None and keys[index] is not None:
+                store.put(keys[index], {"total": value["total"], "count": value["count"]})
+            result = result.merged(ACDResult(int(value["total"]), int(value["count"])))
+            peak = max(peak, int(value["tile_bytes"]))
+        obs.count("acd.tiles", len(tiles))
+        obs.gauge("acd.tile_bytes_peak", peak)
+    return ShardedAcdResult(
+        result=result,
+        tile_side=tile_side,
+        tiles=len(tiles),
+        resumed=resumed,
+        computed=len(pending),
+    )

@@ -30,14 +30,32 @@ from typing import Iterator
 import numpy as np
 
 from repro._typing import IntArray
+from repro.runtime import runtime_config
 from repro.util.validation import as_index_array
 
 __all__ = ["CommunicationEvents", "PairHistogram"]
 
-#: Largest dense ``p**2`` scratch table ``compact`` will allocate (elements);
-#: beyond this the sort-based sparse path is used.  Both paths produce the
-#: identical histogram.
+#: Largest dense ``p**2`` scratch table ``compact`` will allocate (elements)
+#: when no memory budget is configured; beyond this the sort-based sparse
+#: path is used.  Both paths produce the identical histogram.
 _DENSE_COMPACT_CELLS = 1 << 22
+
+
+def _dense_compact_cells() -> int:
+    """The dense-scratch cutoff in effect for this ``compact`` call.
+
+    With :attr:`repro.runtime.RuntimeConfig.memory_budget` configured the
+    cutoff is derived from it — the dense path's scratch is one float64
+    ``np.bincount`` table, 8 bytes per ``p**2`` cell — so a
+    memory-bounded run never allocates a rank-squared table beyond its
+    budget.  Unconfigured runs keep the historical default.  Either way
+    the two compaction paths stay bit-identical; only the crossover
+    moves.
+    """
+    budget = runtime_config().memory_budget
+    if budget is None:
+        return _DENSE_COMPACT_CELLS
+    return max(1, budget // 8)
 
 
 @dataclass(frozen=True)
@@ -219,7 +237,7 @@ class CommunicationEvents:
                     for s, d, w in self._chunks
                 ]
             )
-        if p * p <= _DENSE_COMPACT_CELLS:
+        if p * p <= _dense_compact_cells():
             if weights is None:
                 dense = np.bincount(keys, minlength=p * p)
             else:

@@ -39,6 +39,7 @@ from repro.runtime import runtime_config
 __all__ = [
     "csr_expand",
     "histogram_dot",
+    "tile_histogram_dot",
     "active_backend",
     "native_available",
 ]
@@ -113,3 +114,39 @@ def histogram_dot(matrix: IntArray, src: IntArray, dst: IntArray, weights: IntAr
     if active_backend() == "native" and matrix.dtype in (np.int32, np.int64):
         return int(_native.histogram_dot(matrix, src, dst, weights))
     return numpy_impl.histogram_dot(matrix, src, dst, weights)
+
+
+def tile_histogram_dot(
+    block: IntArray,
+    src: IntArray,
+    dst: IntArray,
+    weights: IntArray,
+    row_off: int,
+    col_off: int,
+) -> int:
+    """:func:`histogram_dot` against one tile of the distance matrix.
+
+    ``block`` is the C-contiguous ``int32``/``int64`` sub-block
+    ``matrix[row_off:row_off+h, col_off:col_off+w]`` and ``src``/``dst``
+    carry *global* ranks — the offsets rebase them into the tile.  The
+    fused gather + ``int64`` dot of the memory-budgeted tiled ACD path:
+    summing the returns over a disjoint tiling of the pair set is
+    bit-identical to one dense :func:`histogram_dot`.  Raises
+    :class:`ValueError` when any rebased rank falls outside the block.
+    """
+    block = np.ascontiguousarray(block)
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    weights = np.ascontiguousarray(weights, dtype=np.int64)
+    if src.shape != dst.shape or src.shape != weights.shape or src.ndim != 1:
+        raise ValueError("src, dst and weights must be equal-length 1D arrays")
+    row_off = int(row_off)
+    col_off = int(col_off)
+    if (
+        active_backend() == "native"
+        and block.dtype in (np.int32, np.int64)
+        # hasattr guards against a stale compiled module from an older build
+        and hasattr(_native, "tile_histogram_dot")
+    ):
+        return int(_native.tile_histogram_dot(block, src, dst, weights, row_off, col_off))
+    return numpy_impl.tile_histogram_dot(block, src, dst, weights, row_off, col_off)

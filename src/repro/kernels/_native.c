@@ -1,11 +1,12 @@
 /* Optional compiled kernels for repro.kernels.
  *
- * Two hot inner loops, kept deliberately tiny:
+ * Three hot inner loops, kept deliberately tiny:
  *
  *   csr_expand(lengths)              -> (offsets, owner, within)
  *   histogram_dot(matrix, src, dst, weights) -> int
+ *   tile_histogram_dot(block, src, dst, weights, row_off, col_off) -> int
  *
- * Both must be bit-identical to repro/kernels/numpy_impl.py — all
+ * All must be bit-identical to repro/kernels/numpy_impl.py — all
  * arithmetic is 64-bit integer, no floating point anywhere.  The
  * extension is built best-effort by setup.py; when it is absent the
  * package transparently uses the NumPy implementations.
@@ -131,11 +132,77 @@ histogram_dot(PyObject *self, PyObject *args)
     return PyLong_FromLongLong((long long)total);
 }
 
+static PyObject *
+tile_histogram_dot(PyObject *self, PyObject *args)
+{
+    PyArrayObject *block, *src, *dst, *weights;
+    long long row_off, col_off;
+    if (!PyArg_ParseTuple(args, "O!O!O!O!LL", &PyArray_Type, &block,
+                          &PyArray_Type, &src, &PyArray_Type, &dst,
+                          &PyArray_Type, &weights, &row_off, &col_off))
+        return NULL;
+    if (PyArray_NDIM(block) != 2 || !PyArray_IS_C_CONTIGUOUS(block) ||
+        (PyArray_TYPE(block) != NPY_INT32 && PyArray_TYPE(block) != NPY_INT64)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "block must be a contiguous 2D int32/int64 array");
+        return NULL;
+    }
+    const PyArrayObject *vecs[3] = {src, dst, weights};
+    for (int i = 0; i < 3; i++) {
+        if (PyArray_TYPE(vecs[i]) != NPY_INT64 || PyArray_NDIM(vecs[i]) != 1 ||
+            !PyArray_IS_C_CONTIGUOUS(vecs[i])) {
+            PyErr_SetString(PyExc_ValueError,
+                            "src, dst and weights must be contiguous 1D int64 arrays");
+            return NULL;
+        }
+    }
+    npy_intp n = PyArray_DIM(src, 0);
+    if (PyArray_DIM(dst, 0) != n || PyArray_DIM(weights, 0) != n) {
+        PyErr_SetString(PyExc_ValueError,
+                        "src, dst and weights must have equal length");
+        return NULL;
+    }
+    const npy_intp rows = PyArray_DIM(block, 0);
+    const npy_intp cols = PyArray_DIM(block, 1);
+    const npy_int64 *s = (const npy_int64 *)PyArray_DATA(src);
+    const npy_int64 *d = (const npy_int64 *)PyArray_DATA(dst);
+    const npy_int64 *w = (const npy_int64 *)PyArray_DATA(weights);
+    npy_int64 total = 0;
+    if (PyArray_TYPE(block) == NPY_INT32) {
+        const npy_int32 *m = (const npy_int32 *)PyArray_DATA(block);
+        for (npy_intp i = 0; i < n; i++) {
+            const npy_int64 r = s[i] - (npy_int64)row_off;
+            const npy_int64 c = d[i] - (npy_int64)col_off;
+            if (r < 0 || r >= rows || c < 0 || c >= cols) {
+                PyErr_SetString(PyExc_ValueError,
+                                "histogram ranks fall outside the distance block");
+                return NULL;
+            }
+            total += (npy_int64)m[r * cols + c] * w[i];
+        }
+    } else {
+        const npy_int64 *m = (const npy_int64 *)PyArray_DATA(block);
+        for (npy_intp i = 0; i < n; i++) {
+            const npy_int64 r = s[i] - (npy_int64)row_off;
+            const npy_int64 c = d[i] - (npy_int64)col_off;
+            if (r < 0 || r >= rows || c < 0 || c >= cols) {
+                PyErr_SetString(PyExc_ValueError,
+                                "histogram ranks fall outside the distance block");
+                return NULL;
+            }
+            total += m[r * cols + c] * w[i];
+        }
+    }
+    return PyLong_FromLongLong((long long)total);
+}
+
 static PyMethodDef native_methods[] = {
     {"csr_expand", csr_expand, METH_VARARGS,
      "CSR offsets/owner/within expansion of an int64 lengths array."},
     {"histogram_dot", histogram_dot, METH_VARARGS,
      "Integer gather+dot of a distance matrix over (src, dst, weights)."},
+    {"tile_histogram_dot", tile_histogram_dot, METH_VARARGS,
+     "Integer gather+dot of one distance block over globally-ranked pairs."},
     {NULL, NULL, 0, NULL},
 };
 

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro._typing import IntArray
 
-__all__ = ["csr_expand", "histogram_dot"]
+__all__ = ["csr_expand", "histogram_dot", "tile_histogram_dot"]
 
 
 def csr_expand(lengths: IntArray) -> tuple[IntArray, IntArray, IntArray]:
@@ -31,3 +31,30 @@ def histogram_dot(matrix: IntArray, src: IntArray, dst: IntArray, weights: IntAr
     ):
         raise ValueError("histogram ranks fall outside the distance matrix")
     return int(matrix[src, dst].astype(np.int64) @ weights)
+
+
+def tile_histogram_dot(
+    block: IntArray,
+    src: IntArray,
+    dst: IntArray,
+    weights: IntArray,
+    row_off: int,
+    col_off: int,
+) -> int:
+    """:func:`histogram_dot` against one tile of the distance matrix.
+
+    ``block`` holds ``matrix[row_off:row_off+h, col_off:col_off+w]``;
+    ``src``/``dst`` carry *global* ranks, rebased here.  Exact ``int64``
+    math, so the sum over disjoint tiles equals one dense dot.
+    """
+    h, w = block.shape
+    local_src = src - row_off
+    local_dst = dst - col_off
+    if src.size and (
+        int(local_src.min()) < 0
+        or int(local_src.max()) >= h
+        or int(local_dst.min()) < 0
+        or int(local_dst.max()) >= w
+    ):
+        raise ValueError("histogram ranks fall outside the distance block")
+    return int(block[local_src, local_dst].astype(np.int64) @ weights)

@@ -28,6 +28,7 @@ Environment variable         Field                    Default
 ``REPRO_STRICT``             ``strict``               ``False``
 ``REPRO_FAULTS``             ``faults``               ``None`` (no faults)
 ``REPRO_KERNEL_BACKEND``     ``kernel_backend``       ``"auto"``
+``REPRO_MEMORY_BUDGET``      ``memory_budget``        ``None`` (unbounded)
 ===========================  =======================  ==================
 
 Precedence: an explicit :func:`configure` (or ``with configure(...):``)
@@ -52,6 +53,7 @@ __all__ = [
     "RuntimeConfig",
     "runtime_config",
     "configure",
+    "parse_bytes",
     "ENV_VARS",
     "KERNEL_BACKENDS",
 ]
@@ -73,12 +75,45 @@ ENV_VARS: dict[str, str] = {
     "REPRO_STRICT": "strict",
     "REPRO_FAULTS": "faults",
     "REPRO_KERNEL_BACKEND": "kernel_backend",
+    "REPRO_MEMORY_BUDGET": "memory_budget",
 }
 
 #: Accepted values of ``kernel_backend`` (see :mod:`repro.kernels`).
 KERNEL_BACKENDS = ("auto", "numpy", "native")
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Byte-size suffixes accepted by :func:`parse_bytes`.  All multiples are
+#: binary (``K == KB == KiB == 2**10``) — memory budgets describe RAM.
+_BYTE_SUFFIXES: dict[str, int] = {
+    "": 1,
+    "b": 1,
+    **{
+        prefix + suffix: 1 << shift
+        for prefix, shift in (("k", 10), ("m", 20), ("g", 30), ("t", 40))
+        for suffix in ("", "b", "ib")
+    },
+}
+
+
+def parse_bytes(size: "int | str") -> int:
+    """Parse a byte count like ``"2GiB"``, ``"512M"`` or ``"1048576"``.
+
+    Suffixes are case-insensitive binary multiples (``K``/``KB``/``KiB``
+    all mean ``2**10``); a bare number is bytes.  Fractions are allowed
+    with a suffix (``"1.5GiB"``) and truncate to whole bytes.
+    """
+    if isinstance(size, int):
+        return size
+    import re
+
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*", str(size))
+    unit = match.group(2).lower() if match else None
+    if match is None or unit not in _BYTE_SUFFIXES:
+        raise ValueError(
+            f"cannot parse byte size {size!r}; expected e.g. 1048576, 512MiB, 2GiB"
+        )
+    return int(float(match.group(1)) * _BYTE_SUFFIXES[unit])
 
 
 def _int_env(env: Mapping[str, str], var: str, default: int, minimum: int = 0) -> int:
@@ -135,6 +170,16 @@ class RuntimeConfig:
         path, ``"native"`` requests the compiled path (degrading to
         NumPy with a warning when it is unavailable).  Results are
         bit-identical under every setting.
+    memory_budget:
+        Peak working-set bytes one metric evaluation may allocate
+        (``REPRO_MEMORY_BUDGET``, e.g. ``"2GiB"``).  When set, the
+        histogram-ACD path switches from the dense ``p x p`` distance
+        matrix to memory-bounded tiles whenever the matrix would exceed
+        the budget (see :mod:`repro.metrics.acd`), and
+        :meth:`~repro.fmm.events.CommunicationEvents.compact` sizes its
+        dense scratch table from the same budget.  ``None`` leaves the
+        dense paths unbounded (the previous behaviour).  Results are
+        bit-identical under any budget.
     """
 
     scale: str = "small"
@@ -151,8 +196,13 @@ class RuntimeConfig:
     strict: bool = False
     faults: str | None = None
     kernel_backend: str = "auto"
+    memory_budget: int | None = None
 
     def __post_init__(self) -> None:
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be >= 1 byte or None, got {self.memory_budget}"
+            )
         if self.kernel_backend not in KERNEL_BACKENDS:
             raise ValueError(
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
@@ -185,6 +235,13 @@ class RuntimeConfig:
         metrics_raw = env.get("REPRO_METRICS", "").strip()
         timeout_raw = env.get("REPRO_UNIT_TIMEOUT", "").strip()
         faults_raw = env.get("REPRO_FAULTS", "").strip()
+        budget_raw = env.get("REPRO_MEMORY_BUDGET", "").strip()
+        try:
+            memory_budget = parse_bytes(budget_raw) if budget_raw else None
+        except ValueError:
+            raise ValueError(
+                f"REPRO_MEMORY_BUDGET must be a byte size (e.g. 2GiB), got {budget_raw!r}"
+            ) from None
         try:
             unit_timeout = float(timeout_raw) if timeout_raw else None
         except ValueError:
@@ -206,6 +263,7 @@ class RuntimeConfig:
             strict=env.get("REPRO_STRICT", "").strip().lower() in _TRUTHY,
             faults=faults_raw or None,
             kernel_backend=env.get("REPRO_KERNEL_BACKEND", "").strip().lower() or "auto",
+            memory_budget=memory_budget,
         )
 
     def replace(self, **overrides: Any) -> "RuntimeConfig":

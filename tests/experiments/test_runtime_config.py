@@ -41,6 +41,7 @@ class TestFromEnv:
             "REPRO_STRICT": "1",
             "REPRO_FAULTS": "raise:rate=0.1:seed=7",
             "REPRO_KERNEL_BACKEND": "Native ",
+            "REPRO_MEMORY_BUDGET": "2GiB",
         }
         assert set(env) == set(ENV_VARS)
         config = RuntimeConfig.from_env(env)
@@ -58,6 +59,7 @@ class TestFromEnv:
         assert config.strict is True
         assert config.faults == "raise:rate=0.1:seed=7"
         assert config.kernel_backend == "native"  # normalised (strip + lower)
+        assert config.memory_budget == 2 << 30
 
     def test_fault_tolerance_defaults(self):
         config = RuntimeConfig.from_env({})
@@ -96,6 +98,24 @@ class TestFromEnv:
         assert RuntimeConfig.from_env({"REPRO_KERNEL_BACKEND": ""}).kernel_backend == "auto"
         with pytest.raises(ValueError, match="kernel_backend"):
             RuntimeConfig(kernel_backend="fortran")
+
+    def test_memory_budget_parsing(self):
+        from repro.runtime import parse_bytes
+
+        assert RuntimeConfig.from_env({}).memory_budget is None
+        assert RuntimeConfig.from_env({"REPRO_MEMORY_BUDGET": "1048576"}).memory_budget == 1 << 20
+        assert RuntimeConfig.from_env({"REPRO_MEMORY_BUDGET": "512MiB"}).memory_budget == 512 << 20
+        assert parse_bytes("2GiB") == parse_bytes("2g") == parse_bytes("2GB") == 2 << 30
+        assert parse_bytes("1.5KiB") == 1536
+        assert parse_bytes(4096) == 4096
+        assert parse_bytes("64k") == 64 << 10  # binary multiples throughout
+        for bad in ("", "fast", "12 parsecs", "-1", "5..0MB"):
+            with pytest.raises(ValueError):
+                parse_bytes(bad)
+        with pytest.raises(ValueError, match="REPRO_MEMORY_BUDGET"):
+            RuntimeConfig.from_env({"REPRO_MEMORY_BUDGET": "plenty"})
+        with pytest.raises(ValueError, match="memory_budget"):
+            RuntimeConfig(memory_budget=0)
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,240 @@
+"""Sharded ACD evaluation: bit-identity, resume, fault tolerance.
+
+The sharded path reuses the study engine's executor and result store;
+these tests pin that (a) the merged result is exactly the dense one at
+any job count, (b) a failed run leaves its finished tiles in the store
+and the rerun pays only what is missing, and (c) faults injected into
+tile units follow the ordinary retry policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.experiments.executor import (
+    ExecutionPolicy,
+    UnitFailedError,
+    shutdown_shared_executor,
+)
+from repro.experiments.sharded import (
+    ShardedAcdResult,
+    acd_tile_key,
+    evaluate_acd_sharded,
+)
+from repro.experiments.store import ResultStore
+from repro.faults import parse_faults
+from repro.fmm.events import CommunicationEvents
+from repro.metrics.acd import compute_acd
+from repro.runtime import configure
+from repro.topology.registry import make_topology
+
+P = 64
+BUDGET = 4096  # far below the 16 KiB dense matrix: forces tiling
+
+
+@pytest.fixture
+def fresh_pool():
+    yield
+    shutdown_shared_executor(wait=False, cancel_futures=True, timeout=5.0)
+
+
+def _events(seed: int = 0, weighted: bool = True) -> CommunicationEvents:
+    rng = np.random.default_rng(seed)
+    events = CommunicationEvents()
+    n = 3000
+    weights = rng.integers(1, 6, n) if weighted else None
+    events.add(rng.integers(0, P, n), rng.integers(0, P, n), weights)
+    return events
+
+
+def _policy(**overrides) -> ExecutionPolicy:
+    kwargs = dict(max_retries=2, backoff_base=0.0)
+    kwargs.update(overrides)
+    if isinstance(kwargs.get("faults"), str):
+        kwargs["faults"] = parse_faults(kwargs["faults"])
+    return ExecutionPolicy(**kwargs)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("weighted", [False, True], ids=["unweighted", "weighted"])
+    def test_matches_dense(self, weighted, tmp_path):
+        events = _events(weighted=weighted)
+        topology = make_topology("torus", P, processor_curve="hilbert")
+        dense = compute_acd(events.compact(P), topology, memory_budget=None)
+        sharded = evaluate_acd_sharded(
+            events, topology, memory_budget=BUDGET, store=ResultStore(tmp_path)
+        )
+        assert isinstance(sharded, ShardedAcdResult)
+        assert sharded.result == dense
+        assert sharded.computed == sharded.tiles and sharded.resumed == 0
+
+    def test_matches_dense_without_store(self):
+        events = _events(1)
+        topology = make_topology("hypercube", P)
+        dense = compute_acd(events.compact(P), topology, memory_budget=None)
+        assert evaluate_acd_sharded(
+            events, topology, memory_budget=BUDGET, store=None
+        ).result == dense
+
+    @pytest.mark.usefixtures("fresh_pool")
+    def test_matches_dense_at_any_job_count(self, tmp_path):
+        events = _events(2)
+        topology = make_topology("mesh", P, processor_curve="hilbert")
+        dense = compute_acd(events.compact(P), topology, memory_budget=None)
+        for jobs in (1, 3):
+            result = evaluate_acd_sharded(
+                events, topology, memory_budget=BUDGET, store=None, jobs=jobs
+            )
+            assert result.result == dense
+
+    def test_accepts_precompacted_histogram(self):
+        events = _events(3)
+        topology = make_topology("ring", P)
+        hist = events.compact(P)
+        assert (
+            evaluate_acd_sharded(hist, topology, memory_budget=BUDGET, store=None).result
+            == compute_acd(hist, topology, memory_budget=None)
+        )
+
+
+class TestResume:
+    def test_second_run_pays_nothing(self, tmp_path):
+        events = _events(4)
+        topology = make_topology("torus", P, processor_curve="hilbert")
+        store = ResultStore(tmp_path)
+        first = evaluate_acd_sharded(events, topology, memory_budget=BUDGET, store=store)
+        second = evaluate_acd_sharded(events, topology, memory_budget=BUDGET, store=store)
+        assert second.result == first.result
+        assert second.computed == 0 and second.resumed == second.tiles
+
+    def test_failed_run_flushes_finished_tiles(self, tmp_path):
+        """Strict failure mid-run leaves completed tiles; rerun pays the rest."""
+        events = _events(5)
+        topology = make_topology("torus", P, processor_curve="hilbert")
+        store = ResultStore(tmp_path)
+        with pytest.raises(UnitFailedError):
+            evaluate_acd_sharded(
+                events,
+                topology,
+                memory_budget=BUDGET,
+                store=store,
+                policy=_policy(strict=True, faults="raise:unit=2:attempts=99"),
+            )
+        flushed = len(store)
+        assert flushed >= 2  # units 0 and 1 completed and were persisted
+        dense = compute_acd(events.compact(P), topology, memory_budget=None)
+        rerun = evaluate_acd_sharded(events, topology, memory_budget=BUDGET, store=store)
+        assert rerun.result == dense
+        assert rerun.resumed == flushed
+        assert rerun.computed == rerun.tiles - flushed
+
+    def test_key_distinguishes_histograms_and_geometry(self, tmp_path):
+        topology = make_topology("torus", P, processor_curve="hilbert")
+        key = acd_tile_key(topology, "digest", 8, (0, 8), (8, 16))
+        assert key["row"] == 0 and key["col"] == 8 and key["tile_side"] == 8
+        other = acd_tile_key(topology, "digest2", 8, (0, 8), (8, 16))
+        assert key != other
+        events_a, events_b = _events(6), _events(7)
+        store = ResultStore(tmp_path)
+        ra = evaluate_acd_sharded(events_a, topology, memory_budget=BUDGET, store=store)
+        rb = evaluate_acd_sharded(events_b, topology, memory_budget=BUDGET, store=store)
+        assert rb.resumed == 0  # different histogram digest: no aliasing
+        assert ra.result != rb.result
+
+
+class TestPolicyAndErrors:
+    def test_transient_fault_is_retried(self):
+        events = _events(8)
+        topology = make_topology("ring", P)
+        dense = compute_acd(events.compact(P), topology, memory_budget=None)
+        with obs.recording() as rec:
+            result = evaluate_acd_sharded(
+                events,
+                topology,
+                memory_budget=BUDGET,
+                store=None,
+                policy=_policy(faults="raise:unit=1"),
+            )
+        assert result.result == dense
+        assert rec.counters["units.retries"] == 1
+
+    def test_budget_is_required(self):
+        events = _events(9)
+        topology = make_topology("ring", P)
+        with configure(memory_budget=None):
+            with pytest.raises(ValueError, match="memory budget"):
+                evaluate_acd_sharded(events, topology, store=None)
+
+    def test_budget_from_runtime_config(self):
+        events = _events(10)
+        topology = make_topology("ring", P)
+        dense = compute_acd(events.compact(P), topology, memory_budget=None)
+        with configure(memory_budget=BUDGET):
+            result = evaluate_acd_sharded(events, topology, store=None)
+        assert result.result == dense and result.tiles > 1
+
+    def test_rejects_oversized_histogram(self):
+        events = CommunicationEvents()
+        events.add([0, 9], [1, 3])
+        hist = events.compact(16)
+        with pytest.raises(ValueError, match="ranks"):
+            evaluate_acd_sharded(
+                hist, make_topology("ring", 8), memory_budget=BUDGET, store=None
+            )
+
+    def test_observability(self):
+        events = _events(11)
+        topology = make_topology("torus", P, processor_curve="hilbert")
+        with obs.recording() as rec:
+            result = evaluate_acd_sharded(
+                events, topology, memory_budget=BUDGET, store=None
+            )
+        (span,) = rec.find_spans("acd.sharded")
+        assert span.attrs["tiles"] == result.tiles
+        assert rec.counters["acd.tiles"] == result.tiles
+        assert "acd.tile_bytes_peak" in rec.gauges
+
+
+class TestTopologyTransport:
+    """Units receive a tiny registry spec, not megabytes of pickled layout."""
+
+    def test_registry_topologies_ship_as_specs(self):
+        from repro.experiments.sharded import (
+            _TopologySpec,
+            _resolve_topology,
+            _topology_transport,
+        )
+        from repro.topology.cache import topology_cache_key
+        from repro.topology.registry import topology_names
+
+        for name in topology_names():
+            topology = make_topology(name, P, processor_curve="hilbert")
+            transport = _topology_transport(topology)
+            assert isinstance(transport, _TopologySpec), name
+            rebuilt = _resolve_topology(transport)
+            assert topology_cache_key(rebuilt) == topology_cache_key(topology)
+            # the worker-side memo hands back the same instance next time
+            assert _resolve_topology(transport) is rebuilt
+
+    def test_unregistered_topology_falls_back_to_instance(self):
+        from repro.experiments.sharded import _resolve_topology, _topology_transport
+        from repro.topology.ring import RingTopology
+
+        class BespokeTopology(RingTopology):
+            pass
+
+        topology = BespokeTopology(P)
+        transport = _topology_transport(topology)
+        assert transport is topology  # pickled as-is, never misrebuilt
+        assert _resolve_topology(transport) is topology
+
+    def test_spec_transport_preserves_results(self, fresh_pool):
+        events = _events(21)
+        topology = make_topology("torus", P, processor_curve="zcurve")
+        dense = compute_acd(events.compact(P), topology, memory_budget=None)
+        result = evaluate_acd_sharded(
+            events, topology, memory_budget=BUDGET, jobs=2, store=None
+        )
+        assert result.result == dense

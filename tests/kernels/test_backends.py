@@ -160,6 +160,96 @@ class TestHistogramDot:
         assert got == numpy_impl.histogram_dot(matrix, src, dst, weights)
 
 
+class TestTileHistogramDot:
+    def _case(self, rng, h=12, w=20, n=300, row_off=40, col_off=7, dtype=np.int64):
+        block = rng.integers(0, 40, (h, w)).astype(dtype)
+        src = (rng.integers(0, h, n) + row_off).astype(np.int64)
+        dst = (rng.integers(0, w, n) + col_off).astype(np.int64)
+        weights = rng.integers(0, 9, n).astype(np.int64)
+        return block, src, dst, weights, row_off, col_off
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_backends_agree(self, dtype):
+        rng = np.random.default_rng(4)
+        case = self._case(rng, dtype=dtype)
+        results = {}
+        backends = ["numpy"] + (["native"] if kernels.native_available() else [])
+        for backend in backends:
+            with configure(kernel_backend=backend):
+                results[backend] = kernels.tile_histogram_dot(*case)
+        assert len(set(results.values())) == 1
+        assert isinstance(results["numpy"], int)
+
+    def test_matches_full_matrix_histogram_dot(self):
+        """A tile dot over offset ranks equals the dense dot on the slice."""
+        rng = np.random.default_rng(5)
+        p = 30
+        matrix = rng.integers(0, 9, (p, p)).astype(np.int64)
+        rows, cols = (10, 22), (5, 30)
+        n = 200
+        src = rng.integers(rows[0], rows[1], n).astype(np.int64)
+        dst = rng.integers(cols[0], cols[1], n).astype(np.int64)
+        weights = rng.integers(0, 7, n).astype(np.int64)
+        block = matrix[rows[0] : rows[1], cols[0] : cols[1]].copy()
+        assert kernels.tile_histogram_dot(
+            block, src, dst, weights, rows[0], cols[0]
+        ) == kernels.histogram_dot(matrix, src, dst, weights)
+
+    def test_empty(self):
+        block = np.zeros((3, 3), dtype=np.int32)
+        empty = np.array([], dtype=np.int64)
+        assert kernels.tile_histogram_dot(block, empty, empty, empty, 5, 5) == 0
+
+    def test_zero_offsets_degenerate_to_histogram_dot(self):
+        rng = np.random.default_rng(6)
+        block, src, dst, weights, _, _ = self._case(rng, row_off=0, col_off=0)
+        assert kernels.tile_histogram_dot(
+            block, src, dst, weights, 0, 0
+        ) == kernels.histogram_dot(block, src, dst, weights)
+
+    def test_out_of_block_ranks_raise_on_every_backend(self):
+        block = np.zeros((4, 4), dtype=np.int64)
+        inside = np.array([10], dtype=np.int64)
+        backends = ["numpy"] + (["native"] if kernels.native_available() else [])
+        for backend in backends:
+            with configure(kernel_backend=backend):
+                for bad in (np.array([9]), np.array([14]), np.array([-1])):
+                    with pytest.raises(ValueError, match="distance block"):
+                        kernels.tile_histogram_dot(
+                            block, bad.astype(np.int64), inside, inside, 10, 10
+                        )
+                    with pytest.raises(ValueError, match="distance block"):
+                        kernels.tile_histogram_dot(
+                            block, inside, bad.astype(np.int64), inside, 10, 10
+                        )
+
+    def test_shape_mismatch_raises(self):
+        block = np.zeros((4, 4), dtype=np.int64)
+        with pytest.raises(ValueError, match="equal-length"):
+            kernels.tile_histogram_dot(
+                block,
+                np.array([0, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                0,
+                0,
+            )
+
+    @needs_native
+    def test_stale_native_module_falls_back(self, monkeypatch):
+        """An older compiled module without the symbol degrades to NumPy."""
+
+        class _Stale:
+            pass
+
+        rng = np.random.default_rng(7)
+        case = self._case(rng)
+        want = numpy_impl.tile_histogram_dot(*case)
+        monkeypatch.setattr(kernels, "_native", _Stale())
+        with configure(kernel_backend="native"):
+            assert kernels.tile_histogram_dot(*case) == want
+
+
 class TestEndToEndParity:
     """route_batch and histogram ACD agree across backends."""
 

@@ -96,6 +96,24 @@ def test_compact_dense_and_sparse_paths_agree(monkeypatch):
     assert dense.num_events == sparse.num_events
 
 
+def test_compact_cutoff_derives_from_memory_budget():
+    """A configured budget moves the dense/sparse crossover, not the result."""
+    from repro.runtime import configure
+
+    rng = np.random.default_rng(13)
+    events = random_events(rng, 32, weighted=True)
+    default = events.compact(32)
+    # 32*32 cells need 8 KiB of dense scratch; a tiny budget forces the
+    # sparse path, a large one allows the dense path — identical output.
+    for budget in (64, 1 << 30):
+        with configure(memory_budget=budget):
+            hist = events.compact(32)
+        for a, b in zip(
+            (default.src, default.dst, default.weights), (hist.src, hist.dst, hist.weights)
+        ):
+            np.testing.assert_array_equal(a, b)
+
+
 def test_compact_independent_of_chunk_boundaries():
     rng = np.random.default_rng(3)
     src = rng.integers(0, 16, 200)

@@ -1,0 +1,174 @@
+"""Property tests: memory-bounded tiled ACD ≡ dense ≡ streaming.
+
+The tiled path partitions the (src, dst) rank plane into budget-sized
+tiles and reduces exact ``int64`` partials; these tests pin the
+bit-identity the million-rank campaigns rest on, plus the tile-grid
+edge cases (single-cell tiles, non-divisible sides, boundary ranks,
+empty tile rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fmm.events import CommunicationEvents
+from repro.metrics.acd import (
+    TILE_BYTES_PER_CELL,
+    acd_breakdown,
+    compute_acd,
+    dense_matrix_bytes,
+    iter_histogram_tiles,
+    tile_side_for_budget,
+)
+from repro.runtime import configure
+from repro.topology.registry import make_topology, topology_names
+
+#: 64 ranks is valid for every registered topology.
+P = 64
+
+
+def random_events(rng: np.random.Generator, p: int, weighted: bool) -> CommunicationEvents:
+    events = CommunicationEvents(component="random")
+    for _ in range(rng.integers(1, 5)):
+        n = int(rng.integers(1, 400))
+        weights = rng.integers(0, 7, n) if weighted else None
+        events.add(rng.integers(0, p, n), rng.integers(0, p, n), weights)
+    return events
+
+
+@pytest.mark.parametrize("topology_name", topology_names())
+@pytest.mark.parametrize("weighted", [False, True], ids=["unweighted", "weighted"])
+def test_tiled_matches_dense_and_streaming(topology_name, weighted):
+    topology = make_topology(topology_name, P, processor_curve="hilbert")
+    rng = np.random.default_rng(sum(map(ord, topology_name)) * 3 + int(weighted))
+    for _ in range(3):
+        events = random_events(rng, P, weighted)
+        histogram = events.compact(P)
+        dense = compute_acd(histogram, topology, memory_budget=None)
+        streamed = compute_acd(events, topology, memory_budget=None)
+        assert dense == streamed
+        # a budget far below the 16 KiB dense matrix forces the tiled path
+        for budget in (32, 1000, 5000):
+            assert compute_acd(histogram, topology, memory_budget=budget) == dense
+            assert compute_acd(events, topology, memory_budget=budget) == dense
+        # tiled without any cache (direct kernel evaluation per tile)
+        assert compute_acd(histogram, topology, cache=None, memory_budget=1000) == dense
+
+
+def test_tile_size_one_is_exact():
+    topology = make_topology("torus", 16, processor_curve="hilbert")
+    events = CommunicationEvents()
+    events.add([0, 15, 7, 0], [15, 0, 7, 15], [3, 1, 2, 4])
+    histogram = events.compact(16)
+    dense = compute_acd(histogram, topology, memory_budget=None)
+    # budget below 4*TILE_BYTES_PER_CELL -> isqrt(budget/32) <= 1 -> 1x1 tiles
+    assert tile_side_for_budget(TILE_BYTES_PER_CELL, 16) == 1
+    assert compute_acd(histogram, topology, memory_budget=TILE_BYTES_PER_CELL) == dense
+
+
+def test_last_tile_boundary_ranks():
+    """Pairs at rank p-1 land in a clipped edge tile and stay exact."""
+    p = 30  # not divisible by most tile sides
+    topology = make_topology("ring", p)
+    events = CommunicationEvents()
+    events.add([p - 1, p - 1, 0], [0, p - 1, p - 1], [7, 5, 2])
+    histogram = events.compact(p)
+    dense = compute_acd(histogram, topology, memory_budget=None)
+    for budget in (TILE_BYTES_PER_CELL * k * k for k in (1, 2, 4, 7)):
+        assert compute_acd(histogram, topology, memory_budget=budget) == dense
+
+
+def test_iter_histogram_tiles_partitions_pairs():
+    rng = np.random.default_rng(5)
+    events = random_events(rng, P, weighted=True)
+    histogram = events.compact(P)
+    for tile_side in (1, 3, 7, 64, 100):
+        tiles = list(iter_histogram_tiles(histogram, P, min(tile_side, P)))
+        # every tile is non-empty, within its ranges, and the union is
+        # a permutation of the histogram
+        total_pairs = 0
+        seen_keys = []
+        for (r0, r1), (c0, c1), src, dst, weights in tiles:
+            assert src.size > 0
+            assert 0 <= r0 < r1 <= P and 0 <= c0 < c1 <= P
+            assert r1 - r0 <= tile_side and c1 - c0 <= tile_side
+            assert (src >= r0).all() and (src < r1).all()
+            assert (dst >= c0).all() and (dst < c1).all()
+            total_pairs += src.size
+            seen_keys.append(src * P + dst)
+        assert total_pairs == histogram.num_pairs
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(seen_keys)), histogram.flat_keys()
+        )
+
+
+def test_iter_histogram_tiles_empty_histogram():
+    histogram = CommunicationEvents().compact(8)
+    assert list(iter_histogram_tiles(histogram, 8, 3)) == []
+
+
+def test_iter_histogram_tiles_rejects_bad_inputs():
+    events = CommunicationEvents()
+    events.add([0], [1])
+    histogram = events.compact(4)
+    with pytest.raises(ValueError, match="tile_side"):
+        list(iter_histogram_tiles(histogram, 4, 0))
+    with pytest.raises(ValueError, match="grid"):
+        list(iter_histogram_tiles(histogram, 2, 1))
+
+
+def test_tile_side_formula():
+    assert tile_side_for_budget(2 << 30, 1 << 20) == 8192
+    assert tile_side_for_budget(1, 100) == 1  # degrades, never fails
+    assert tile_side_for_budget(1 << 40, 64) == 64  # clamped to p
+    with pytest.raises(ValueError):
+        tile_side_for_budget(0, 64)
+    with pytest.raises(ValueError):
+        tile_side_for_budget(1024, 0)
+    assert dense_matrix_bytes(4096) == 4096 * 4096 * 4
+
+
+def test_budget_resolves_from_runtime_config():
+    topology = make_topology("torus", 16, processor_curve="hilbert")
+    events = CommunicationEvents()
+    events.add([0, 5], [9, 3], [2, 2])
+    histogram = events.compact(16)
+    dense = compute_acd(histogram, topology)
+    with configure(memory_budget=64), obs.recording() as rec:
+        assert compute_acd(histogram, topology) == dense
+    assert rec.counters.get("acd.tiles", 0) > 0  # tiled path actually ran
+
+
+def test_invalid_explicit_budget_rejected():
+    topology = make_topology("ring", 4)
+    events = CommunicationEvents()
+    events.add([0], [1])
+    with pytest.raises(ValueError, match="memory_budget"):
+        compute_acd(events.compact(4), topology, memory_budget=0)
+
+
+def test_acd_breakdown_forwards_budget():
+    rng = np.random.default_rng(9)
+    topology = make_topology("hypercube", P)
+    phases = {name: random_events(rng, P, weighted=True) for name in ("a", "b")}
+    unbounded = acd_breakdown(phases, topology, memory_budget=None)
+    tiled = acd_breakdown(
+        {name: ev.compact(P) for name, ev in phases.items()},
+        topology,
+        memory_budget=500,
+    )
+    assert unbounded == tiled
+
+
+def test_tiled_observability():
+    topology = make_topology("torus", P, processor_curve="hilbert")
+    events = random_events(np.random.default_rng(2), P, weighted=False)
+    histogram = events.compact(P)
+    with obs.recording() as rec:
+        compute_acd(histogram, topology, memory_budget=1000)
+    (span,) = rec.find_spans("acd.tiled")
+    assert span.attrs["processors"] == P
+    assert rec.counters["acd.tiles"] > 0
+    assert "acd.tile_bytes_peak" in rec.gauges
