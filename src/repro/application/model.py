@@ -16,8 +16,9 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.fmm.events import CommunicationEvents
-from repro.metrics.acd import ACDResult, compute_acd
+from repro.metrics.acd import _DEFAULT_CACHE, ACDResult, compute_acd
 from repro.topology.base import Topology
+from repro.topology.cache import TopologyCache
 
 __all__ = ["ApplicationPhase", "ApplicationReport", "ApplicationModel", "recommend_configuration"]
 
@@ -100,15 +101,25 @@ class ApplicationModel:
         """Names of the registered phases, in registration order."""
         return tuple(name for name, _, _ in self._phases)
 
-    def evaluate(self, topology: Topology) -> ApplicationReport:
-        """Per-phase ACD of the whole application on one network."""
+    def evaluate(
+        self,
+        topology: Topology,
+        *,
+        cache: TopologyCache | None | str = _DEFAULT_CACHE,
+    ) -> ApplicationReport:
+        """Per-phase ACD of the whole application on one network.
+
+        ``cache`` is passed through to :func:`~repro.metrics.acd.
+        compute_acd` (default: the shared process-wide topology cache;
+        ``None`` disables caching).
+        """
         if not self._phases:
             raise ValueError("no phases registered")
         results: dict[str, ACDResult] = {}
         repeats: dict[str, int] = {}
         for name, events, reps in self._phases:
             ev = events(topology) if callable(events) else events
-            results[name] = compute_acd(ev, topology)
+            results[name] = compute_acd(ev, topology, cache=cache)
             repeats[name] = reps
         return ApplicationReport(phases=results, repeats=repeats)
 
@@ -116,16 +127,24 @@ class ApplicationModel:
 def recommend_configuration(
     model: ApplicationModel,
     candidates: Mapping[str, Topology] | Iterable[tuple[str, Topology]],
+    *,
+    cache: TopologyCache | None | str = _DEFAULT_CACHE,
 ) -> list[tuple[str, ApplicationReport]]:
     """Rank candidate networks by predicted per-timestep communication cost.
 
     Returns ``(label, report)`` pairs sorted best-first by total weighted
     hop count — the §VII selection rule ("the curve that gives rise to
-    the lowest ACD value can then be selected").
+    the lowest ACD value can then be selected").  ``cache`` is passed
+    through to every evaluation, like :func:`~repro.metrics.acd.
+    acd_breakdown`.
+
+    An empty ``candidates`` iterable is rejected *before* any
+    evaluation runs — an exhausted generator fails fast instead of
+    surfacing as a late, confusing error.
     """
-    items = candidates.items() if isinstance(candidates, Mapping) else candidates
-    ranked = [(label, model.evaluate(topo)) for label, topo in items]
-    if not ranked:
+    items = list(candidates.items() if isinstance(candidates, Mapping) else candidates)
+    if not items:
         raise ValueError("no candidate configurations supplied")
+    ranked = [(label, model.evaluate(topo, cache=cache)) for label, topo in items]
     ranked.sort(key=lambda pair: pair[1].total_distance_per_timestep)
     return ranked

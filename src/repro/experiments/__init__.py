@@ -93,11 +93,18 @@ from repro.experiments.sharded import (
     acd_tile_key,
     evaluate_acd_sharded,
 )
+from repro.experiments.backends import (
+    DirectoryBackend,
+    SqliteBackend,
+    StoreBackend,
+    open_backend,
+)
 from repro.experiments.store import (
     MISS,
     STORE_SCHEMA_VERSION,
     ResultStore,
     default_store,
+    open_store,
     register_store_codec,
 )
 from repro.experiments.study import (
@@ -207,6 +214,11 @@ __all__ = [
     "study_names",
     "run_study",
     "ResultStore",
+    "StoreBackend",
+    "DirectoryBackend",
+    "SqliteBackend",
+    "open_backend",
+    "open_store",
     "default_store",
     "register_store_codec",
     "MISS",

@@ -15,6 +15,14 @@ Usage::
     repro-experiments all --json out/ --csv out/   # one file per study
     repro-experiments fig7 --store results/        # resumable result store
 
+    repro-experiments precompute --store sqlite://results.db   # warm the grid
+    repro-experiments serve --store sqlite://results.db        # /recommend HTTP
+    repro-experiments store stats --store sqlite://results.db  # backend profile
+
+The last three delegate to :mod:`repro.service` (also installed as
+``repro-service``): the store accepts a directory path or a
+``sqlite://`` URL — a WAL-mode database many processes share safely.
+
 Every command resolves to one or more registered studies (see
 :mod:`repro.experiments.study`) executed by the shared driver — grouped
 campaign lowering, ``--jobs`` fan-out and the persistent result store
@@ -68,8 +76,20 @@ def _print(text: str) -> None:
     print()
 
 
+#: Subcommands handled by the service CLI (:mod:`repro.service`) —
+#: dispatched before the experiment parser so ``repro-experiments
+#: serve/precompute/store ...`` and ``repro-service ...`` are the same
+#: tool with two front doors.
+SERVICE_COMMANDS = ("serve", "precompute", "store")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run one (or all) of the paper's experiments and print the results."""
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] in SERVICE_COMMANDS:
+        from repro.service import main as service_main
+
+        return service_main(list(raw))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of DeFord & Kalyanaraman (ICPP 2013).",
@@ -96,9 +116,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--store",
         default=None,
-        metavar="DIR",
-        help="persistent result store directory (default: REPRO_STORE env var); "
-        "finished cases are reused, interrupted sweeps resume",
+        metavar="URL",
+        help="persistent result store: a directory path or a sqlite://path URL "
+        "(default: REPRO_STORE env var); finished cases are reused, "
+        "interrupted sweeps resume",
     )
     parser.add_argument(
         "--no-store",

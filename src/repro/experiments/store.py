@@ -4,33 +4,44 @@ Large SFC sweeps are exactly the workloads where repeated re-computation
 wastes the most time and energy: a paper-scale campaign takes tens of
 minutes, and extending a sweep by one more processor count (or resuming
 after an interruption) used to mean recomputing every finished case.
-This module gives the study driver a durable memo:
+This module gives the study driver — and the query service built on top
+of it (:mod:`repro.service`) — a durable memo:
 
 * **Content-addressed keys** — every case is identified by the SHA-256
   of a canonical-JSON key covering the full case specification, the
   trial count, the experiment seed and the code-schema version
   (:data:`STORE_SCHEMA_VERSION`, bumped whenever the computation
   changes meaning).  Identical inputs hit; anything else misses.
-* **Per-case granularity** — one file per case, written *as each case
+* **Per-case granularity** — one entry per case, written *as each case
   completes* (the campaign engine streams finished cases), so an
   interrupted sweep resumes from the cases already done and an extended
   sweep computes only the new cases.
-* **Atomic, durable writes** — values are fsynced into a temp file in
-  the store directory, published with ``os.replace`` and the directory
-  entry fsynced; a crash or power loss mid-write never leaves a torn
+* **Pluggable storage** — the :class:`ResultStore` owns the store
+  *semantics* (keys, codecs, corruption tolerance, counters) and
+  delegates raw payload IO to a :class:`~repro.experiments.backends.
+  StoreBackend`: the original directory-of-JSON layout, or a shared
+  SQLite database in WAL mode so many processes and hosts read and
+  write one warm store concurrently.  Selected by URL
+  (:func:`open_store`): ``REPRO_STORE=results/`` or
+  ``REPRO_STORE=sqlite://results.db``.
+* **Atomic, durable writes** — both backends publish entries
+  atomically (fsynced temp file + ``os.replace``, or a SQLite
+  transaction); a crash or power loss mid-write never leaves a torn
   entry, and concurrent writers of the same key are safe.
 * **Corruption tolerance** — an entry that cannot be read, parsed *or
   decoded* (truncated payload, codec schema drift) reads as a miss:
-  the bad file is quarantined as ``*.corrupt`` and counted under
-  ``store.corrupt``, and the case is simply recomputed.
+  the bad payload is quarantined (``*.corrupt`` file / quarantine
+  table) and counted under ``store.corrupt``, and the case is simply
+  recomputed.
 
-The store is enabled by pointing ``REPRO_STORE`` at a directory (or the
-CLI's ``--store DIR``; ``--no-store`` bypasses it).  Values round-trip
-through JSON: Python's float repr is exact, so a resumed result is
-bit-identical to a recomputed one.  Tuples inside stored values come
-back as lists — study unit outputs are therefore defined in JSON-native
-shapes, with dataclass values (``CaseResult`` and friends) handled by a
-small extensible codec (:func:`register_store_codec`).
+The store is enabled by pointing ``REPRO_STORE`` at a directory or
+backend URL (or the CLI's ``--store``; ``--no-store`` bypasses it).
+Values round-trip through JSON: Python's float repr is exact, so a
+resumed result is bit-identical to a recomputed one.  Tuples inside
+stored values come back as lists — study unit outputs are therefore
+defined in JSON-native shapes, with dataclass values (``CaseResult``
+and friends) handled by a small extensible codec
+(:func:`register_store_codec`).
 """
 
 from __future__ import annotations
@@ -38,12 +49,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Callable
 
 from repro import obs
+from repro.experiments.backends import (
+    DirectoryBackend,
+    SqliteBackend,
+    StoreBackend,
+    StoreCorruptPayload,
+    open_backend,
+)
 from repro.experiments.config import FmmCase
 from repro.experiments.runner import CaseResult
 from repro.runtime import runtime_config
@@ -52,6 +68,10 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "MISS",
     "ResultStore",
+    "StoreBackend",
+    "DirectoryBackend",
+    "SqliteBackend",
+    "open_store",
     "default_store",
     "canonical_key",
     "register_store_codec",
@@ -74,6 +94,15 @@ _TAG = "__store__"
 #: tag -> (type, encode to JSON tree, decode from JSON tree)
 _CODECS: dict[str, tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {}
 
+#: Exact-type dispatch cache over :data:`_CODECS`: ``type -> (tag,
+#: encode)`` for codec-registered types, ``None`` for everything else.
+#: Encoding a large ``CaseResult`` tree visits thousands of plain
+#: dicts/floats/strings; without the cache each one re-scanned the whole
+#: codec registry with ``isinstance``.  Subclasses resolve to the first
+#: matching registered base (same semantics as the ``isinstance`` scan);
+#: the cache is invalidated whenever a codec registers.
+_ENCODE_DISPATCH: dict[type, tuple[str, Callable[[Any], Any]] | None] = {}
+
 
 def register_store_codec(
     tag: str,
@@ -93,13 +122,35 @@ def register_store_codec(
     if existing is not None and existing[0] is not cls:
         raise ValueError(f"store codec tag {tag!r} already bound to {existing[0].__name__}")
     _CODECS[tag] = (cls, encode, decode)
+    _ENCODE_DISPATCH.clear()  # a new codec may claim previously plain types
+
+
+def _codec_for(tp: type) -> tuple[str, Callable[[Any], Any]] | None:
+    """The codec handling exact type ``tp`` (cached), or ``None``."""
+    try:
+        return _ENCODE_DISPATCH[tp]
+    except KeyError:
+        pass
+    entry = None
+    for tag, (cls, encode, _) in _CODECS.items():
+        if issubclass(tp, cls):
+            entry = (tag, encode)
+            break
+    _ENCODE_DISPATCH[tp] = entry
+    return entry
 
 
 def encode_value(value: Any) -> Any:
-    """Recursively convert a unit output to a JSON-able tree."""
-    for tag, (cls, encode, _) in _CODECS.items():
-        if isinstance(value, cls):
-            return {_TAG: tag, "data": encode_value(encode(value))}
+    """Recursively convert a unit output to a JSON-able tree.
+
+    Type dispatch is O(1) per node via the exact-type cache
+    (:data:`_ENCODE_DISPATCH`) — the codec registry is scanned at most
+    once per distinct runtime type, not once per value.
+    """
+    codec = _codec_for(type(value))
+    if codec is not None:
+        tag, encode = codec
+        return {_TAG: tag, "data": encode_value(encode(value))}
     if isinstance(value, dict):
         out = {}
         for k, v in value.items():
@@ -132,25 +183,6 @@ def decode_value(value: Any) -> Any:
     return value
 
 
-def _fsync_dir(path: Path) -> None:
-    """Flush a directory entry to stable storage (best effort).
-
-    Required for the rename in :meth:`ResultStore.put` to survive a
-    power loss; skipped silently where directories cannot be opened
-    (e.g. Windows).
-    """
-    try:
-        dir_fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(dir_fd)
-    except OSError:
-        pass
-    finally:
-        os.close(dir_fd)
-
-
 def canonical_key(key: Any) -> str:
     """Canonical JSON text of a key tree (sorted keys, no whitespace).
 
@@ -161,69 +193,85 @@ def canonical_key(key: Any) -> str:
 
 
 class ResultStore:
-    """A directory of content-addressed, atomically written results.
+    """Content-addressed, atomically written results over any backend.
 
-    Each entry is ``<sha256(canonical key)>.json`` holding the canonical
-    key (for audit/debugging — the hash alone is write-only) and the
-    encoded value.  ``get`` verifies the stored key against the request,
-    so a corrupt or colliding file reads as a miss rather than a wrong
-    answer.
+    The store layer owns keys (SHA-256 of the canonical key), the value
+    codec, hit/miss/corruption accounting and quarantine policy; the
+    backend moves opaque payload text.  Each entry holds the canonical
+    key (for audit/debugging — the hash alone is write-only) alongside
+    the encoded value, and ``get`` verifies the stored key against the
+    request, so a corrupt or colliding entry reads as a miss rather
+    than a wrong answer.
+
+    Construct with a directory path (the original layout), a backend
+    URL (``sqlite://results.db``) or a ready-made
+    :class:`~repro.experiments.backends.StoreBackend` instance.
     """
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: "str | Path | StoreBackend"):
+        if isinstance(root, (str, Path)):
+            self.backend: StoreBackend = open_backend(root)
+        else:
+            self.backend = root
+        self.root = self.backend.location
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
 
+    def digest_for(self, key: Any) -> str:
+        """The backend address (hex SHA-256 of the canonical key)."""
+        return hashlib.sha256(canonical_key(key).encode()).hexdigest()
+
     def path_for(self, key: Any) -> Path:
-        """The entry file a key addresses."""
-        digest = hashlib.sha256(canonical_key(key).encode()).hexdigest()
-        return self.root / f"{digest}.json"
+        """The entry file a key addresses (directory backend only)."""
+        path_for = getattr(self.backend, "path_for", None)
+        if path_for is None:
+            raise TypeError(
+                f"{self.backend.kind} backend keeps entries in "
+                f"{self.backend.location}, not per-entry files"
+            )
+        return path_for(self.digest_for(key))
 
     def _miss(self) -> Any:
         self.misses += 1
         obs.count("store.misses")
         return MISS
 
-    def _quarantine(self, path: Path) -> Any:
-        """Move a corrupt entry aside (``*.corrupt``) and read as a miss.
+    def _quarantine(self, digest: str) -> Any:
+        """Move a corrupt entry aside and read as a miss.
 
-        The bad bytes are kept for forensics but leave the addressable
-        namespace, so the next :meth:`put` of the key is a clean write
-        and repeated :meth:`get`\\ s stop re-parsing garbage.
+        The bad payload is kept for forensics (``*.corrupt`` file or
+        quarantine table) but leaves the addressable namespace, so the
+        next :meth:`put` of the key is a clean write and repeated
+        :meth:`get`\\ s stop re-parsing garbage.
         """
         self.corrupt += 1
         obs.count("store.corrupt")
-        try:
-            path.replace(path.with_suffix(".corrupt"))
-        except OSError:
-            pass  # a concurrent reader may have quarantined it already
+        self.backend.quarantine(digest)
         return self._miss()
 
     def get(self, key: Any) -> Any:
         """The stored value for ``key``, or :data:`MISS`.
 
-        *Any* failure to produce a value — unreadable file, invalid
-        JSON, a payload that drifted from the codec schema — reads as a
-        miss (the corrupt file is quarantined and counted under
+        *Any* failure to produce a value — unreadable payload, invalid
+        JSON, a tree that drifted from the codec schema — reads as a
+        miss (the corrupt entry is quarantined and counted under
         ``store.corrupt``), never as an exception: a damaged entry must
         cost a recomputation, not the run.
         """
-        path = self.path_for(key)
+        digest = self.digest_for(key)
         try:
-            text = path.read_text()
-        except FileNotFoundError:
+            text = self.backend.get_raw(digest)
+        except StoreCorruptPayload:
+            return self._quarantine(digest)
+        if text is None:
             return self._miss()
-        except (OSError, UnicodeDecodeError):
-            return self._quarantine(path)
         try:
             payload = json.loads(text)
         except json.JSONDecodeError:
-            return self._quarantine(path)
+            return self._quarantine(digest)
         if not isinstance(payload, dict):
-            return self._quarantine(path)
+            return self._quarantine(digest)
         if payload.get("key") != json.loads(canonical_key(key)):
             return self._miss()  # collision/tamper: put() overwrites in place
         try:
@@ -232,53 +280,45 @@ class ResultStore:
             # decode_value raises KeyError/TypeError/ValueError on
             # truncated or schema-drifted payloads; all of them are
             # "this entry is unusable", not caller errors.
-            return self._quarantine(path)
+            return self._quarantine(digest)
         self.hits += 1
         obs.count("store.hits")
         return value
 
-    def put(self, key: Any, value: Any) -> Path:
+    def put(self, key: Any, value: Any) -> None:
         """Persist ``value`` under ``key``, atomically *and* durably.
 
-        The payload is fsynced in the temp file before ``os.replace``
-        publishes it, and the directory entry is fsynced after — a
-        power loss leaves either the old entry or the complete new one,
-        never a torn-but-parseable file.
+        The directory backend fsyncs the payload into a temp file
+        before ``os.replace`` publishes it; the SQLite backend commits
+        one WAL transaction — either way a power loss leaves the old
+        entry or the complete new one, never a torn-but-parseable
+        payload.
         """
-        path = self.path_for(key)
         payload = {
             "schema": STORE_SCHEMA_VERSION,
             "key": json.loads(canonical_key(key)),
             "value": encode_value(value),
         }
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-            _fsync_dir(self.root)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
+        self.backend.put_raw(self.digest_for(key), json.dumps(payload, sort_keys=True))
         obs.count("store.puts")
-        return path
+
+    def contains(self, key: Any) -> bool:
+        """Whether an entry exists for ``key`` (no decode, no counters)."""
+        return self.backend.contains(self.digest_for(key))
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return int(self.backend.stats()["entries"])
 
     def clear(self) -> None:
-        """Delete every entry, quarantined files included (keeps the directory)."""
-        for pattern in ("*.json", "*.corrupt"):
-            for path in self.root.glob(pattern):
-                path.unlink(missing_ok=True)
+        """Delete every entry, quarantined payloads included."""
+        self.backend.clear()
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; the store stays usable)."""
+        self.backend.close()
 
     @property
     def stats(self) -> dict[str, int]:
@@ -290,11 +330,36 @@ class ResultStore:
             "entries": len(self),
         }
 
+    def storage_stats(self) -> dict[str, Any]:
+        """Uniform residency profile of the underlying storage.
+
+        The ``store stats`` CLI face: backend kind and location, entry
+        count, total payload bytes, the code-schema version current
+        writes carry, and how many payloads sit in quarantine.
+        """
+        return {
+            "backend": self.backend.kind,
+            "location": str(self.backend.location),
+            "schema_version": STORE_SCHEMA_VERSION,
+            **self.backend.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.backend!r})"
+
+
+def open_store(url: "str | Path | None") -> ResultStore | None:
+    """Open the store a URL names (``None`` stays ``None``).
+
+    Accepts everything :func:`repro.runtime.parse_store_url` does: a
+    plain directory path, ``dir://path`` or ``sqlite://path``.
+    """
+    return ResultStore(url) if url else None
+
 
 def default_store() -> ResultStore | None:
     """The store named by the runtime config (``REPRO_STORE``), or ``None``."""
-    root = runtime_config().store_dir
-    return ResultStore(root) if root else None
+    return open_store(runtime_config().store_dir)
 
 
 def _encode_case_result(result: CaseResult) -> dict:

@@ -109,6 +109,21 @@ def _resilience(counters: Mapping[str, int | float]) -> dict[str, int]:
     }
 
 
+def _service_section(counters: Mapping[str, int | float]) -> dict[str, int]:
+    """Query-service lifetime profile (empty when no service ran).
+
+    Distilled from the ``service.*`` counters merged at shutdown:
+    requests answered, warm store hits, coalesced joiners (identical
+    in-flight requests that shared one computation) and cold
+    computations actually executed.
+    """
+    return {
+        name[len("service."):]: int(value)
+        for name, value in counters.items()
+        if name.startswith("service.")
+    }
+
+
 def _cache_sections(counters: Mapping[str, int | float]) -> dict[str, dict[str, int | float]]:
     """Group dotted counters into per-subsystem cache sections.
 
@@ -148,6 +163,7 @@ class RunManifest:
     caches: dict[str, dict[str, int | float]] = field(default_factory=dict)
     workers: dict[str, Any] = field(default_factory=dict)
     resilience: dict[str, int] = field(default_factory=dict)
+    service: dict[str, int] = field(default_factory=dict)
     spans: list[dict[str, Any]] = field(default_factory=list)
 
     @classmethod
@@ -174,6 +190,7 @@ class RunManifest:
             caches=_cache_sections(snap["counters"]),
             workers=_worker_stats(recorder),
             resilience=_resilience(snap["counters"]),
+            service=_service_section(snap["counters"]),
             spans=snap["spans"],
         )
 

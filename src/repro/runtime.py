@@ -16,7 +16,7 @@ Environment variable         Field                    Default
 ===========================  =======================  ==================
 ``REPRO_SCALE``              ``scale``                ``"small"``
 ``REPRO_JOBS``               ``jobs``                 ``None`` (serial)
-``REPRO_STORE``              ``store_dir``            ``None`` (no store)
+``REPRO_STORE``              ``store_dir``            ``None`` (no store; dir path or ``sqlite://`` URL)
 ``REPRO_CACHE_ENTRIES``      ``cache_entries``        ``32``
 ``REPRO_CACHE_MATRIX_BYTES`` ``cache_matrix_bytes``   ``256 MiB``
 ``REPRO_EVENT_CACHE_BYTES``  ``event_cache_bytes``    ``256 MiB``
@@ -54,8 +54,10 @@ __all__ = [
     "runtime_config",
     "configure",
     "parse_bytes",
+    "parse_store_url",
     "ENV_VARS",
     "KERNEL_BACKENDS",
+    "STORE_SCHEMES",
 ]
 
 #: Environment variable -> :class:`RuntimeConfig` field, the documented
@@ -80,6 +82,10 @@ ENV_VARS: dict[str, str] = {
 
 #: Accepted values of ``kernel_backend`` (see :mod:`repro.kernels`).
 KERNEL_BACKENDS = ("auto", "numpy", "native")
+
+#: Store-URL schemes accepted by :func:`parse_store_url` (see
+#: :mod:`repro.experiments.backends` for the backends they select).
+STORE_SCHEMES = ("dir", "sqlite")
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
@@ -116,6 +122,39 @@ def parse_bytes(size: "int | str") -> int:
     return int(float(match.group(1)) * _BYTE_SUFFIXES[unit])
 
 
+def parse_store_url(url: str) -> tuple[str, str]:
+    """Parse a result-store URL into ``(scheme, filesystem path)``.
+
+    The one grammar behind ``REPRO_STORE``, ``--store`` and
+    :func:`repro.experiments.store.open_store`:
+
+    * a plain path (no scheme) — a directory store: ``results/`` or
+      ``/var/cache/repro`` → ``("dir", path)``;
+    * ``dir://<path>`` — the same, explicitly;
+    * ``sqlite://<path>`` — a shared SQLite (WAL) database file:
+      everything after the scheme is the path verbatim, so
+      ``sqlite:///var/results.db`` is absolute and
+      ``sqlite://results.db`` is relative.
+
+    Raises ``ValueError`` for an unknown scheme or an empty path, so a
+    typo in ``REPRO_STORE`` fails loudly at configuration time instead
+    of silently creating a directory named ``sqlite:``.
+    """
+    text = str(url).strip()
+    scheme, sep, rest = text.partition("://")
+    if not sep:
+        scheme, rest = "dir", text
+    elif scheme not in STORE_SCHEMES:
+        raise ValueError(
+            f"unknown store scheme {scheme!r} in {url!r}; "
+            f"expected a plain directory path or one of: "
+            + ", ".join(f"{s}://" for s in STORE_SCHEMES)
+        )
+    if not rest:
+        raise ValueError(f"store URL {url!r} has an empty path")
+    return scheme, rest
+
+
 def _int_env(env: Mapping[str, str], var: str, default: int, minimum: int = 0) -> int:
     raw = env.get(var, "").strip()
     if not raw:
@@ -138,7 +177,10 @@ class RuntimeConfig:
     jobs:
         Worker processes for trial/unit fan-out; ``None`` means serial.
     store_dir:
-        Directory of the persistent result store; ``None`` disables it.
+        Location of the persistent result store — a directory path or a
+        backend URL (``sqlite://path/to/results.db`` for the shared
+        WAL-mode SQLite backend; see :func:`parse_store_url` for the
+        grammar).  ``None`` disables the store.
     cache_entries, cache_matrix_bytes:
         Topology-cache budgets (entries per section / max bytes of one
         distance matrix; ``0`` disables matrix caching).
@@ -199,6 +241,8 @@ class RuntimeConfig:
     memory_budget: int | None = None
 
     def __post_init__(self) -> None:
+        if self.store_dir is not None:
+            parse_store_url(self.store_dir)  # raises ValueError on a bad URL
         if self.memory_budget is not None and self.memory_budget < 1:
             raise ValueError(
                 f"memory_budget must be >= 1 byte or None, got {self.memory_budget}"

@@ -150,10 +150,10 @@ class TestResultStore:
         assert store.stats == {"hits": 0, "misses": 0, "corrupt": 0, "entries": 0}
 
     def test_put_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
-        import repro.experiments.store as store_mod
+        import repro.experiments.backends as backends_mod
 
         synced = []
-        monkeypatch.setattr(store_mod.os, "fsync", synced.append)
+        monkeypatch.setattr(backends_mod.os, "fsync", synced.append)
         store = ResultStore(tmp_path)
         store.put("k", 1)
         # once for the temp payload file, once for the directory entry
@@ -343,3 +343,69 @@ class TestResumableStudies:
         assert len(list((tmp_path / "envstore").glob("*.json"))) == len(
             plan_anns_study(ctx).units
         )
+
+
+@pytest.fixture
+def tiny_result() -> CaseResult:
+    return CaseResult(
+        case=_case(), trials=2, nfi_acd=1.5, nfi_acd_std=0.1,
+        ffi_acd=2.5, ffi_acd_std=0.2,
+        ffi_phases={"combined": 2.5}, nfi_events=10.0, ffi_events=20.0,
+    )
+
+
+class TestEncodeDispatchCache:
+    """encode_value resolves codecs through an exact-type cache."""
+
+    def test_cache_populated_on_first_encode(self):
+        import repro.experiments.store as store_mod
+
+        store_mod._ENCODE_DISPATCH.clear()
+        store_mod.encode_value({"n": 1, "xs": [1.5, "a", None]})
+        # plain types are cached as "no codec" so the registry is never
+        # rescanned for them
+        assert store_mod._ENCODE_DISPATCH[int] is None
+        assert store_mod._ENCODE_DISPATCH[str] is None
+        assert all(cls is not int for cls, _, _ in store_mod._CODECS.values())
+
+    def test_codec_types_cached(self, tiny_result):
+        import repro.experiments.store as store_mod
+
+        store_mod._ENCODE_DISPATCH.clear()
+        encoded = store_mod.encode_value(tiny_result)
+        assert encoded["__store__"] == "CaseResult"
+        cached = store_mod._ENCODE_DISPATCH[CaseResult]
+        assert cached is not None and cached[0] == "CaseResult"
+
+    def test_subclass_dispatches_to_base_codec(self, tiny_result):
+        import dataclasses
+
+        import repro.experiments.store as store_mod
+
+        sub_cls = dataclasses.make_dataclass(
+            "SubResult", [], bases=(CaseResult,), frozen=True
+        )
+        sub = sub_cls(**dataclasses.asdict(tiny_result) | {"case": tiny_result.case})
+        encoded = store_mod.encode_value(sub)
+        assert encoded["__store__"] == "CaseResult"
+        decoded = store_mod.decode_value(encoded)
+        assert decoded == tiny_result  # isinstance semantics preserved
+
+    def test_registration_invalidates_cache(self):
+        import repro.experiments.store as store_mod
+
+        class Marker:
+            pass
+
+        store_mod._ENCODE_DISPATCH.clear()
+        with pytest.raises(TypeError):
+            store_mod.encode_value(Marker())  # cached as "no codec"
+        assert store_mod._ENCODE_DISPATCH[Marker] is None
+        tag = "test-marker-codec"
+        try:
+            store_mod.register_store_codec(tag, Marker, lambda m: {}, lambda d: Marker())
+            encoded = store_mod.encode_value(Marker())  # cache was cleared
+            assert encoded["__store__"] == tag
+        finally:
+            store_mod._CODECS.pop(tag, None)
+            store_mod._ENCODE_DISPATCH.clear()

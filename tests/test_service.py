@@ -1,0 +1,319 @@
+"""Tests for the recommendation query service (store-first, coalescing).
+
+The acceptance properties from the service's design:
+
+* a warm request answers without executing any trial computation —
+  its manifest section proves it with ``campaign.trials == 0``;
+* N identical concurrent cold requests trigger exactly one
+  computation (``service.coalesced == N - 1``);
+* precompute fills exactly the keys ``/recommend`` reads (key parity
+  with the study driver's ``store_key``), on either backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.store import open_store
+from repro.obs import RunManifest, recording
+from repro.service import (
+    QueryService,
+    RecommendRequest,
+    RequestError,
+    default_order,
+    main,
+    precompute,
+    request_plan,
+    serve,
+)
+
+#: A deliberately tiny request (4 candidate cases, 32 particles) so a
+#: cold computation takes well under a second.
+TINY = {
+    "num_processors": 16,
+    "distribution": "uniform",
+    "num_particles": 32,
+    "topologies": ["mesh", "torus"],
+    "curves": ["hilbert", "zcurve"],
+    "trials": 1,
+}
+
+BACKEND_URLS = {
+    "directory": lambda tmp: str(tmp / "results"),
+    "sqlite": lambda tmp: f"sqlite://{tmp}/results.db",
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_URLS))
+def store(request, tmp_path):
+    return open_store(BACKEND_URLS[request.param](tmp_path))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequest:
+    def test_default_order_keeps_occupancy_low(self):
+        for n in (1, 32, 60_000, 250_000):
+            order = default_order(n)
+            assert 4**order >= 4 * n
+            assert order >= 4
+        assert default_order(60_000) == 9  # matches the small-scale regime
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(RequestError, match="missing request fields"):
+            RecommendRequest.from_payload({"num_processors": 16})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(RequestError, match="unknown request fields"):
+            RecommendRequest.from_payload({**TINY, "speed": "maximum"})
+
+    def test_non_power_of_four_processors_rejected(self):
+        for bad in (0, 2, 8, 100):
+            with pytest.raises(RequestError, match="power of four"):
+                RecommendRequest.from_payload({**TINY, "num_processors": bad})
+
+    def test_overfull_lattice_rejected(self):
+        with pytest.raises(RequestError, match="exceed"):
+            RecommendRequest.from_payload({**TINY, "order": 2, "num_particles": 32})
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(RequestError, match="unknown topology"):
+            RecommendRequest.from_payload({**TINY, "topologies": ["escher"]})
+
+    def test_payload_round_trips(self):
+        request = RecommendRequest.from_payload(TINY)
+        again = RecommendRequest.from_payload(request.payload())
+        assert again == request
+        assert again.canonical() == request.canonical()
+
+    def test_plan_covers_candidate_grid(self):
+        request = RecommendRequest.from_payload(TINY)
+        plan = request_plan(request)
+        assert [u.key for u in plan.units] == [
+            ("mesh", "hilbert"), ("mesh", "zcurve"),
+            ("torus", "hilbert"), ("torus", "zcurve"),
+        ]
+        cases = [u.case for u in plan.units]
+        assert len({c.instance_key() for c in cases}) == 1  # events shared
+        assert len({c.evaluation_key() for c in cases}) == 4
+
+
+class TestQueryService:
+    def test_cold_then_warm(self, store):
+        service = QueryService(store)
+        cold = run(service.recommend(TINY))
+        assert cold["source"] == "computed"
+        assert cold["manifest"]["campaign.trials"] >= 1
+        warm = run(service.recommend(TINY))
+        assert warm["source"] == "store"
+        assert warm["manifest"] == {
+            "campaign.trials": 0,
+            "cases": 4,
+            "store.hits": 4,
+            "store.misses": 0,
+        }
+        assert warm["ranking"] == cold["ranking"]
+        assert service.counters["service.hits"] == 1
+        assert service.counters["service.computed"] == 1
+
+    def test_concurrent_identical_requests_coalesce(self, store):
+        service = QueryService(store)
+        n = 5
+
+        async def burst():
+            return await asyncio.gather(*(service.recommend(TINY) for _ in range(n)))
+
+        responses = run(burst())
+        assert service.counters["service.requests"] == n
+        assert service.counters["service.computed"] == 1  # exactly one campaign
+        assert service.counters["service.coalesced"] == n - 1
+        assert all(r == responses[0] for r in responses)
+
+    def test_distinct_requests_do_not_coalesce(self, store):
+        service = QueryService(store)
+        other = {**TINY, "distribution": "normal"}
+
+        async def burst():
+            return await asyncio.gather(
+                service.recommend(TINY), service.recommend(other)
+            )
+
+        first, second = run(burst())
+        assert service.counters["service.coalesced"] == 0
+        assert service.counters["service.computed"] == 2
+        assert first["request"]["distribution"] == "uniform"
+        assert second["request"]["distribution"] == "normal"
+
+    def test_partial_warm_computes_only_missing(self, store):
+        service = QueryService(store)
+        narrow = {**TINY, "topologies": ["mesh"]}
+        run(service.recommend(narrow))  # warms the mesh half of the grid
+        wide = run(service.recommend(TINY))
+        assert wide["source"] == "computed"
+        assert wide["manifest"]["store.hits"] == 2
+        assert wide["manifest"]["store.misses"] == 2
+
+    def test_storeless_service_still_answers(self):
+        service = QueryService(None)
+        out = run(service.recommend(TINY))
+        assert out["source"] == "computed"
+        assert [e["rank"] for e in out["ranking"]] == [1, 2, 3, 4]
+
+    def test_ranking_scores_ascending(self, store):
+        service = QueryService(store)
+        ranking = run(service.recommend(TINY))["ranking"]
+        scores = [e["score"] for e in ranking]
+        assert scores == sorted(scores)
+        assert {e["topology"] for e in ranking} == {"mesh", "torus"}
+
+    def test_invalid_request_raises_before_counting_compute(self, store):
+        service = QueryService(store)
+        with pytest.raises(RequestError):
+            run(service.recommend({"num_processors": 16}))
+        assert service.counters["service.computed"] == 0
+
+
+class TestPrecompute:
+    def test_warms_exactly_the_request_keys(self, store):
+        stats = precompute(
+            store,
+            num_particles=TINY["num_particles"],
+            num_processors=TINY["num_processors"],
+            distributions=("uniform",),
+            topologies=tuple(TINY["topologies"]),
+            curves=tuple(TINY["curves"]),
+            trials=1,
+        )
+        assert stats == {"cases": 4, "reused": 0, "computed": 4, "trials": 1}
+        service = QueryService(store)
+        warm = run(service.recommend(TINY))
+        assert warm["source"] == "store"
+        assert warm["manifest"]["campaign.trials"] == 0
+
+    def test_second_run_reuses_everything(self, store):
+        kwargs = dict(
+            num_particles=32,
+            num_processors=16,
+            distributions=("uniform", "normal"),
+            topologies=("mesh",),
+            curves=("hilbert",),
+            trials=1,
+        )
+        precompute(store, **kwargs)
+        stats = precompute(store, **kwargs)
+        assert stats["computed"] == 0
+        assert stats["reused"] == stats["cases"] == 2
+
+
+def _request_json(port: int, path: str, payload=None, timeout=30):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        method="GET" if data is None else "POST",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+class TestHttpFrontEnd:
+    def test_round_trip(self, store):
+        async def scenario():
+            service = QueryService(store)
+            ready = asyncio.Event()
+            server = asyncio.create_task(serve(service, port=0, ready=ready))
+            await ready.wait()
+            port = service.port
+            assert (await asyncio.to_thread(_request_json, port, "/healthz")) == {
+                "status": "ok"
+            }
+            cold = await asyncio.to_thread(_request_json, port, "/recommend", TINY)
+            assert cold["source"] == "computed"
+            warm = await asyncio.to_thread(_request_json, port, "/recommend", TINY)
+            assert warm["source"] == "store"
+            assert warm["manifest"]["campaign.trials"] == 0
+            stats = await asyncio.to_thread(_request_json, port, "/stats")
+            assert stats["service.requests"] == 2
+            assert stats["store"]["entries"] == 4
+            with pytest.raises(urllib.error.HTTPError) as err:
+                await asyncio.to_thread(
+                    _request_json, port, "/recommend", {"num_processors": 16}
+                )
+            assert err.value.code == 400
+            with pytest.raises(urllib.error.HTTPError) as err:
+                await asyncio.to_thread(_request_json, port, "/nowhere")
+            assert err.value.code == 404
+            await asyncio.to_thread(_request_json, port, "/shutdown", {})
+            await asyncio.wait_for(server, timeout=10)
+
+        run(scenario())
+
+
+class TestManifestSection:
+    def test_service_counters_surface_in_manifest(self, store):
+        service = QueryService(store)
+        with recording() as rec:
+            run(service.recommend(TINY))
+            run(service.recommend(TINY))
+        rec.merge_counters(service.counters)
+        manifest = RunManifest.from_recorder(rec)
+        assert manifest.service == {
+            "requests": 2,
+            "hits": 1,
+            "coalesced": 0,
+            "computed": 1,
+        }
+        # the section survives the JSON round trip
+        reloaded = RunManifest.load(manifest.write(store.root.parent / "m.json"))
+        assert reloaded.service == manifest.service
+
+
+class TestServiceCli:
+    def test_store_stats_json(self, tmp_path, capsys):
+        url = f"sqlite://{tmp_path}/r.db"
+        open_store(url).put("k", 1)
+        assert main(["store", "stats", "--store", url, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["backend"] == "sqlite"
+        assert stats["entries"] == 1
+        assert stats["schema_version"] == 1
+
+    def test_store_stats_human(self, tmp_path, capsys):
+        assert main(["store", "stats", "--store", str(tmp_path / "d")]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "directory" in out
+
+    def test_store_stats_requires_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit, match="no store configured"):
+            main(["store", "stats"])
+
+    def test_precompute_cli(self, tmp_path, capsys):
+        url = f"sqlite://{tmp_path}/r.db"
+        assert (
+            main(
+                [
+                    "precompute", "--store", url,
+                    "--particles", "32", "--processors", "16",
+                    "--distributions", "uniform", "--trials", "1",
+                ]
+            )
+            == 0
+        )
+        assert "16 cases" in capsys.readouterr().out
+        assert len(open_store(url)) == 16
+
+    def test_experiments_cli_delegates(self, tmp_path, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        url = f"sqlite://{tmp_path}/r.db"
+        open_store(url).put("k", 1)
+        assert experiments_main(["store", "stats", "--store", url, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
