@@ -4,23 +4,29 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.reporting import format_series
-from repro.experiments.study3d import (
-    format_study3d,
-    run_anns3d_study,
-    run_study3d,
+from repro.experiments import (
+    StudyContext,
+    plan_anns3d_study,
+    plan_study3d,
+    run_study,
 )
+from repro.experiments.reporting import format_series
+from repro.experiments.study3d import format_study3d
 
 
-def _kwargs(scale):
+def _plan(ctx, scale):
     if scale.name == "paper":
-        return {"num_particles": 250_000, "order": 7, "num_processors": 32_768, "trials": 3}
-    return {"num_particles": 20_000, "order": 6, "num_processors": 4_096, "trials": 2}
+        return plan_study3d(ctx, num_particles=250_000, order=7, num_processors=32_768)
+    return plan_study3d(ctx, num_particles=20_000, order=6, num_processors=4_096)
 
 
 @pytest.mark.paper_artifact("ext-3d-acd")
 def test_3d_acd_validation(benchmark, scale, report):
-    result = benchmark.pedantic(run_study3d, kwargs=_kwargs(scale), rounds=1, iterations=1)
+    ctx = StudyContext(scale=scale, trials=3 if scale.name == "paper" else 2)
+    plan = _plan(ctx, scale)
+    result = benchmark.pedantic(
+        run_study, args=("validate3d", ctx), kwargs={"plan": plan}, rounds=1, iterations=1
+    )
     report(f"3D ACD validation (scale={scale.name})", format_study3d(result))
     # the 2D conclusions that must carry over:
     for topo in result.topologies:
@@ -33,9 +39,12 @@ def test_3d_acd_validation(benchmark, scale, report):
 @pytest.mark.paper_artifact("ext-3d-anns")
 def test_3d_anns(benchmark, scale, report):
     orders = (1, 2, 3, 4, 5) if scale.name == "paper" else (1, 2, 3, 4)
-    series = benchmark.pedantic(
-        run_anns3d_study, kwargs={"orders": orders}, rounds=1, iterations=1
+    ctx = StudyContext(scale=scale)
+    plan = plan_anns3d_study(ctx, orders=orders)
+    result = benchmark.pedantic(
+        run_study, args=("anns3d", ctx), kwargs={"plan": plan}, rounds=1, iterations=1
     )
+    series = result.values
     report(
         f"3D ANNS sweep (scale={scale.name})",
         format_series(series, [1 << k for k in orders], "3D ANNS (r=1)", "cube side"),

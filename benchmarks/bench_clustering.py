@@ -9,10 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.clustering_study import (
-    format_clustering_study,
-    run_clustering_study,
-)
+from repro.experiments import StudyContext, plan_clustering_study, run_study
+from repro.experiments.clustering_study import format_clustering_study
 from repro.metrics import anns
 
 
@@ -23,7 +21,11 @@ def test_clustering_ranking(benchmark, scale, report):
         if scale.name == "paper"
         else {"order": 7, "query_sizes": (2, 4, 8, 16), "samples": 300}
     )
-    result = benchmark.pedantic(run_clustering_study, kwargs=kwargs, rounds=1, iterations=1)
+    ctx = StudyContext(scale=scale)
+    plan = plan_clustering_study(ctx, **kwargs)
+    result = benchmark.pedantic(
+        run_study, args=("clustering", ctx), kwargs={"plan": plan}, rounds=1, iterations=1
+    )
     report(f"Clustering metric (scale={scale.name})", format_clustering_study(result))
     for i, q in enumerate(result.query_sizes):
         snapshot = {c: result.values[c][i] for c in result.curves}

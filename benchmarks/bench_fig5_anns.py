@@ -4,14 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import format_anns_study, run_anns_study
+from repro.experiments import StudyContext, format_anns_study, run_study
 from repro.experiments.anns_study import AnnsStudyResult
 
 
 @pytest.mark.paper_artifact("fig5")
 def test_fig5_anns(benchmark, scale, report):
+    ctx = StudyContext(scale=scale)
     result: AnnsStudyResult = benchmark.pedantic(
-        run_anns_study, args=(scale,), rounds=1, iterations=1
+        run_study, args=("fig5", ctx), rounds=1, iterations=1
     )
     report(f"Fig. 5 (scale={scale.name})", format_anns_study(result))
     # sanity: the paper's headline ordering must hold at the top resolution

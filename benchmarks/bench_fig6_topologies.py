@@ -4,14 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import format_topology_study, run_topology_study
+from repro.experiments import StudyContext, format_topology_study, run_study
 
 
 @pytest.mark.paper_artifact("fig6")
 def test_fig6_topologies(benchmark, scale, report):
-    result = benchmark.pedantic(
-        run_topology_study, kwargs={"scale": scale, "seed": 2013}, rounds=1, iterations=1
-    )
+    ctx = StudyContext(scale=scale, seed=2013)
+    result = benchmark.pedantic(run_study, args=("fig6", ctx), rounds=1, iterations=1)
     report(f"Fig. 6 (scale={scale.name})", format_topology_study(result))
     # shape checks (paper's text, §VI-B)
     for curve in ("zcurve", "gray"):

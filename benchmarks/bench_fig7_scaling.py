@@ -4,14 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import format_scaling_study, run_scaling_study
+from repro.experiments import StudyContext, format_scaling_study, run_study
 
 
 @pytest.mark.paper_artifact("fig7")
 def test_fig7_scaling(benchmark, scale, report):
-    result = benchmark.pedantic(
-        run_scaling_study, kwargs={"scale": scale, "seed": 2013}, rounds=1, iterations=1
-    )
+    ctx = StudyContext(scale=scale, seed=2013)
+    result = benchmark.pedantic(run_study, args=("fig7", ctx), rounds=1, iterations=1)
     report(f"Fig. 7 (scale={scale.name})", format_scaling_study(result))
     # shape checks: Hilbert best throughout, row-major far worse at the
     # largest processor count (the paper drops those points as off-scale)

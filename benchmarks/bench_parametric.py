@@ -4,19 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import (
-    format_sweep,
-    run_distribution_sweep,
-    run_input_size_sweep,
-    run_radius_sweep,
-)
+from repro.experiments import StudyContext, format_sweep, run_study
 
 
 @pytest.mark.paper_artifact("sec6c-radius")
 def test_radius_sweep(benchmark, scale, report):
-    result = benchmark.pedantic(
-        run_radius_sweep, kwargs={"scale": scale, "seed": 2013}, rounds=1, iterations=1
-    )
+    ctx = StudyContext(scale=scale, seed=2013)
+    result = benchmark.pedantic(run_study, args=("sweep_radius", ctx), rounds=1, iterations=1)
     report(f"§VI-C radius sweep (scale={scale.name})", format_sweep(result))
     # 'larger radii ... result in higher ACD values' but never reorder
     for curve in result.curves:
@@ -29,9 +23,8 @@ def test_radius_sweep(benchmark, scale, report):
 
 @pytest.mark.paper_artifact("sec6c-size")
 def test_input_size_sweep(benchmark, scale, report):
-    result = benchmark.pedantic(
-        run_input_size_sweep, kwargs={"scale": scale, "seed": 2013}, rounds=1, iterations=1
-    )
+    ctx = StudyContext(scale=scale, seed=2013)
+    result = benchmark.pedantic(run_study, args=("sweep_input_size", ctx), rounds=1, iterations=1)
     report(f"§VI-C input-size sweep (scale={scale.name})", format_sweep(result))
     for i in range(len(result.values)):
         snapshot = {c: result.nfi[c][i] for c in result.curves}
@@ -40,9 +33,8 @@ def test_input_size_sweep(benchmark, scale, report):
 
 @pytest.mark.paper_artifact("sec6c-distribution")
 def test_distribution_sweep(benchmark, scale, report):
-    result = benchmark.pedantic(
-        run_distribution_sweep, kwargs={"scale": scale, "seed": 2013}, rounds=1, iterations=1
-    )
+    ctx = StudyContext(scale=scale, seed=2013)
+    result = benchmark.pedantic(run_study, args=("sweep_distribution", ctx), rounds=1, iterations=1)
     report(f"§VI-C distribution sweep (scale={scale.name})", format_sweep(result))
     # 'NFI best for uniform, followed by exponential and normal'
     idx = {v: i for i, v in enumerate(result.values)}

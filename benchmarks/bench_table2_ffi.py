@@ -4,15 +4,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import run_sfc_pairs
+from repro.experiments import StudyContext, plan_sfc_pairs, run_study
 from repro.experiments.reporting import format_matrix, pretty
 
 
 @pytest.mark.paper_artifact("table2")
 def test_table2_ffi(benchmark, scale, report):
+    ctx = StudyContext(scale=scale, seed=2013)
+    plan = plan_sfc_pairs(ctx, parts=("ffi",))
     result = benchmark.pedantic(
-        run_sfc_pairs,
-        kwargs={"scale": scale, "seed": 2013, "parts": ("ffi",)},
+        run_study,
+        args=("tables", ctx),
+        kwargs={"plan": plan},
         rounds=1,
         iterations=1,
     )

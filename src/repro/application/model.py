@@ -13,10 +13,12 @@ processor-order} configurations by the predicted per-timestep cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
-from repro.fmm.events import CommunicationEvents
+from repro.fmm.events import CommunicationEvents, PairHistogram
 from repro.metrics.acd import _DEFAULT_CACHE, ACDResult, compute_acd
+from repro.metrics.base import MetricValue
+from repro.metrics.registry import METRICS, get_metric
 from repro.topology.base import Topology
 from repro.topology.cache import TopologyCache
 
@@ -48,26 +50,45 @@ class ApplicationPhase:
 
 @dataclass(frozen=True)
 class ApplicationReport:
-    """Per-phase and pooled ACD of an application on one network."""
+    """Per-phase and pooled objective value of an application on one network.
 
-    phases: dict[str, ACDResult]
+    ``phases`` holds :class:`~repro.metrics.acd.ACDResult` values for
+    the default ``"acd"`` objective and
+    :class:`~repro.metrics.base.MetricValue` aggregates for any other
+    communication metric; both pool with exact integer arithmetic.
+    """
+
+    phases: dict[str, ACDResult] | dict[str, MetricValue]
     repeats: dict[str, int]
+    objective: str = "acd"
 
     @property
-    def total(self) -> ACDResult:
+    def total(self) -> ACDResult | MetricValue:
         """All phases pooled, each weighted by its repeat count."""
-        pooled = ACDResult(0, 0)
+        if self.objective == "acd":
+            pooled = ACDResult(0, 0)
+            for name, result in self.phases.items():
+                r = self.repeats[name]
+                pooled = pooled.merged(
+                    ACDResult(result.total_distance * r, result.count * r)
+                )
+            return pooled
+        value = MetricValue(0, 0)
         for name, result in self.phases.items():
-            r = self.repeats[name]
-            pooled = pooled.merged(
-                ACDResult(result.total_distance * r, result.count * r)
-            )
-        return pooled
+            value = value.merged(result.scaled(self.repeats[name]))
+        return value
+
+    @property
+    def cost_per_timestep(self) -> int:
+        """Total objective cost per timestep — the quantity to minimise."""
+        total = self.total
+        return total.total_distance if self.objective == "acd" else total.total
 
     @property
     def total_distance_per_timestep(self) -> int:
-        """Total hop-weight moved per timestep — the cost to minimise."""
-        return self.total.total_distance
+        """Total hop-weight moved per timestep (the ACD spelling of
+        :attr:`cost_per_timestep`)."""
+        return self.cost_per_timestep
 
 
 class ApplicationModel:
@@ -105,38 +126,62 @@ class ApplicationModel:
         self,
         topology: Topology,
         *,
+        objective: str = "acd",
         cache: TopologyCache | None | str = _DEFAULT_CACHE,
     ) -> ApplicationReport:
-        """Per-phase ACD of the whole application on one network.
+        """Per-phase objective value of the whole application on one network.
 
-        ``cache`` is passed through to :func:`~repro.metrics.acd.
+        ``objective`` names any registered *communication* metric
+        (:mod:`repro.metrics.registry`); the default is the paper's
+        ACD.  ``cache`` is passed through to :func:`~repro.metrics.acd.
         compute_acd` (default: the shared process-wide topology cache;
-        ``None`` disables caching).
+        ``None`` disables caching).  Non-ACD objectives evaluate the
+        compacted phase histograms through the metric protocol, which
+        always uses the shared cache.
         """
         if not self._phases:
             raise ValueError("no phases registered")
-        results: dict[str, ACDResult] = {}
+        objective = METRICS.canonical(objective)
+        if objective == "acd":
+            metric = None
+        else:
+            metric = get_metric(objective)
+            if metric.kind != "communication":
+                raise ValueError(
+                    f"objective {objective!r} is a {metric.kind} metric; "
+                    "application models need a communication metric"
+                )
+        results: dict[str, Any] = {}
         repeats: dict[str, int] = {}
         for name, events, reps in self._phases:
             ev = events(topology) if callable(events) else events
-            results[name] = compute_acd(ev, topology, cache=cache)
+            if metric is None:
+                results[name] = compute_acd(ev, topology, cache=cache)
+            else:
+                if isinstance(ev, PairHistogram):
+                    histogram = ev
+                else:
+                    histogram = ev.compact(topology.num_processors)
+                results[name] = metric.evaluate(histogram, topology)
             repeats[name] = reps
-        return ApplicationReport(phases=results, repeats=repeats)
+        return ApplicationReport(phases=results, repeats=repeats, objective=objective)
 
 
 def recommend_configuration(
     model: ApplicationModel,
     candidates: Mapping[str, Topology] | Iterable[tuple[str, Topology]],
     *,
+    objective: str = "acd",
     cache: TopologyCache | None | str = _DEFAULT_CACHE,
 ) -> list[tuple[str, ApplicationReport]]:
     """Rank candidate networks by predicted per-timestep communication cost.
 
-    Returns ``(label, report)`` pairs sorted best-first by total weighted
-    hop count — the §VII selection rule ("the curve that gives rise to
-    the lowest ACD value can then be selected").  ``cache`` is passed
-    through to every evaluation, like :func:`~repro.metrics.acd.
-    acd_breakdown`.
+    Returns ``(label, report)`` pairs sorted best-first by the chosen
+    ``objective``'s total cost — the §VII selection rule ("the curve
+    that gives rise to the lowest ACD value can then be selected"),
+    generalised to any registered communication metric.  ``cache`` is
+    passed through to every evaluation, like
+    :func:`~repro.metrics.acd.acd_breakdown`.
 
     An empty ``candidates`` iterable is rejected *before* any
     evaluation runs — an exhausted generator fails fast instead of
@@ -145,6 +190,9 @@ def recommend_configuration(
     items = list(candidates.items() if isinstance(candidates, Mapping) else candidates)
     if not items:
         raise ValueError("no candidate configurations supplied")
-    ranked = [(label, model.evaluate(topo, cache=cache)) for label, topo in items]
-    ranked.sort(key=lambda pair: pair[1].total_distance_per_timestep)
+    ranked = [
+        (label, model.evaluate(topo, objective=objective, cache=cache))
+        for label, topo in items
+    ]
+    ranked.sort(key=lambda pair: pair[1].cost_per_timestep)
     return ranked

@@ -7,6 +7,9 @@ message crosses.  Each topology gets its textbook deterministic router:
 * mesh / torus — XY dimension-ordered routing (shorter wrap per axis),
 * hypercube — e-cube routing (fix differing bits from the lowest),
 * quadtree / octree — up to the lowest common ancestor switch and down,
+* fat tree — the same up/down tree walk, over leaf ranks directly,
+* dragonfly — minimal direct routing (gateway router, global link,
+  gateway router),
 * mesh3d / torus3d — XYZ dimension-ordered routing.
 
 Every hop is a directed edge between *network nodes*; for the quadtree
@@ -39,6 +42,8 @@ from repro._typing import IntArray
 from repro.topology.base import Topology
 from repro.topology.bus import BusTopology
 from repro.topology.cache import TopologyCache, get_topology_cache
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fat_tree import FatTreeTopology
 from repro.topology.grid3d import Mesh3DTopology, OctreeTopology, Torus3DTopology
 from repro.topology.hypercube import HypercubeTopology
 from repro.topology.mesh import MeshTopology
@@ -125,6 +130,24 @@ def _tree_path(a: int, b: int, za: int, zb: int, m: int, bits: int) -> list[Node
     return path
 
 
+def _dragonfly_path(topo: DragonflyTopology, a: int, b: int) -> list[Node]:
+    """Minimal direct routing: gateway router, global link, gateway router."""
+    s = topo.group_size
+    gi, ri = a // s, a % s
+    gj, rj = b // s, b % s
+    if gi == gj:
+        return [a] if a == b else [a, b]
+    attach_i = gj if gj < gi else gj - 1
+    attach_j = gi if gi < gj else gi - 1
+    path: list[Node] = [a]
+    if ri != attach_i:
+        path.append(gi * s + attach_i)
+    path.append(gj * s + attach_j)
+    if rj != attach_j:
+        path.append(b)
+    return path
+
+
 def _grid3d_path(topo: Mesh3DTopology, a: int, b: int, wrap: bool) -> list[Node]:
     gax, gay, gaz = topo.layout.coords(np.array([a]))
     gbx, gby, gbz = topo.layout.coords(np.array([b]))
@@ -162,6 +185,10 @@ def route(topology: Topology, src: int, dst: int) -> list[Node]:
         return _tree_path(
             a, b, int(topology._zcodes[a]), int(topology._zcodes[b]), topology.height, 2
         )
+    if isinstance(topology, FatTreeTopology):
+        return _tree_path(a, b, a, b, topology.height, 2)
+    if isinstance(topology, DragonflyTopology):
+        return _dragonfly_path(topology, a, b)
     if isinstance(topology, OctreeTopology):
         return _tree_path(
             a, b, int(topology._codes[a]), int(topology._codes[b]), topology.height, 3
@@ -405,6 +432,33 @@ def _tree_links(
     return links, offsets, 2 * num_nodes
 
 
+def _dragonfly_links(
+    topo: DragonflyTopology, a: IntArray, b: IntArray
+) -> tuple[IntArray, IntArray, int]:
+    # link id = source rank * group_size + local target router index; the
+    # source's own index marks its (unique) global link, a slot no local
+    # hop uses.  Id space: p * group_size.
+    s = topo.group_size
+    gi, ri = a // s, a % s
+    gj, rj = b // s, b % s
+    same = gi == gj
+    attach_i = topo.attach_router(gi, gj)
+    attach_j = topo.attach_router(gj, gi)
+    first_local = ~same & (ri != attach_i)
+    last_local = ~same & (rj != attach_j)
+    lengths = np.where(same, 1, 1 + first_local + last_local)
+    offsets, _, _ = _csr_layout(lengths)
+    links = np.empty(offsets[-1], dtype=np.int64)
+    starts = offsets[:-1]
+    links[starts[same]] = (a * s + rj)[same]
+    links[starts[first_local]] = (a * s + attach_i)[first_local]
+    gateway = starts + first_local
+    diff = ~same
+    links[gateway[diff]] = ((gi * s + attach_i) * s + attach_i)[diff]
+    links[(gateway + 1)[last_local]] = ((gj * s + attach_j) * s + rj)[last_local]
+    return links, offsets, topo.num_processors * s
+
+
 def _link_paths(
     topology: Topology, a: IntArray, b: IntArray, cache: TopologyCache
 ) -> tuple[IntArray, IntArray, int]:
@@ -421,6 +475,10 @@ def _link_paths(
         return _hypercube_links(topology, a, b, cache=cache)
     if isinstance(topology, QuadtreeTopology):
         return _tree_links(topology, topology._zcodes, a, b, bits=2, cache=cache)
+    if isinstance(topology, FatTreeTopology):
+        return _tree_links(topology, topology._codes, a, b, bits=2, cache=cache)
+    if isinstance(topology, DragonflyTopology):
+        return _dragonfly_links(topology, a, b)
     if isinstance(topology, OctreeTopology):
         return _tree_links(topology, topology._codes, a, b, bits=3, cache=cache)
     if isinstance(topology, Torus3DTopology):

@@ -12,8 +12,10 @@ surface is:
   store, cache budgets, trace/metrics sinks) in one declarative object;
 * :class:`~repro.obs.RunManifest` — the per-run observability document.
 
-The per-study ``run_*`` functions are deprecated thin wrappers over
-``run_study(name)`` and will be removed in a future release.
+The per-study ``run_*`` runners have been removed; calling one raises
+with a pointer at ``run_study(name)``.  Custom parameters go through the
+exported ``plan_*`` builders: ``run_study("tables", ctx,
+plan=plan_sfc_pairs(ctx, parts=("nfi",)))``.
 """
 
 from repro.faults import FaultPlan, InjectedFault, parse_faults
@@ -32,10 +34,16 @@ from repro.experiments.ablation import (
     quadtree_convention_ablation,
     run_ablation,
 )
-from repro.experiments.anns_study import AnnsStudyResult, format_anns_study, run_anns_study
+from repro.experiments.anns_study import (
+    AnnsStudyResult,
+    format_anns_study,
+    plan_anns_study,
+    run_anns_study,
+)
 from repro.experiments.clustering_study import (
     ClusteringStudyResult,
     format_clustering_study,
+    plan_clustering_study,
     run_clustering_study,
 )
 from repro.experiments.artifacts import (
@@ -65,9 +73,24 @@ from repro.experiments.config import (
     active_scale,
 )
 from repro.experiments.io import load_result, result_to_csv_rows, save_result, write_csv
+from repro.experiments.metric_studies import (
+    METRIC_TOPOLOGIES,
+    CommunicationMetricResult,
+    SurfaceVolumeStudyResult,
+    evaluate_communication_metric,
+    evaluate_partition_metric,
+    format_communication_metric,
+    format_surface_volume_study,
+    plan_data_volume_study,
+    plan_energy_study,
+    plan_surface_volume_study,
+)
 from repro.experiments.parametric import (
     SweepResult,
     format_sweep,
+    plan_distribution_sweep,
+    plan_input_size_sweep,
+    plan_radius_sweep,
     run_distribution_sweep,
     run_input_size_sweep,
     run_radius_sweep,
@@ -85,9 +108,15 @@ from repro.experiments.runner import (
 from repro.experiments.scaling_study import (
     ScalingStudyResult,
     format_scaling_study,
+    plan_scaling_study,
     run_scaling_study,
 )
-from repro.experiments.sfc_pairs import SfcPairsResult, format_sfc_pairs, run_sfc_pairs
+from repro.experiments.sfc_pairs import (
+    SfcPairsResult,
+    format_sfc_pairs,
+    plan_sfc_pairs,
+    run_sfc_pairs,
+)
 from repro.experiments.sharded import (
     ShardedAcdResult,
     acd_tile_key,
@@ -126,14 +155,18 @@ from repro.experiments.study3d import (
     Study3DResult,
     format_anns3d_study,
     format_study3d,
+    plan_anns3d_study,
+    plan_study3d,
     run_anns3d_study,
     run_study3d,
 )
 from repro.experiments.topology_study import (
     TopologyStudyResult,
     format_topology_study,
+    plan_topology_study,
     run_topology_study,
 )
+from repro.metrics.registry import METRICS, get_metric, list_metrics, metric_names
 
 __all__ = [
     "RunManifest",
@@ -198,6 +231,17 @@ __all__ = [
     "ClusteringStudyResult",
     "run_clustering_study",
     "format_clustering_study",
+    "METRICS",
+    "get_metric",
+    "list_metrics",
+    "metric_names",
+    "METRIC_TOPOLOGIES",
+    "CommunicationMetricResult",
+    "SurfaceVolumeStudyResult",
+    "evaluate_communication_metric",
+    "evaluate_partition_metric",
+    "format_communication_metric",
+    "format_surface_volume_study",
     "expand_grid",
     "run_campaign",
     "iter_campaign",
@@ -213,6 +257,19 @@ __all__ = [
     "get_study",
     "study_names",
     "run_study",
+    "plan_anns_study",
+    "plan_anns3d_study",
+    "plan_clustering_study",
+    "plan_data_volume_study",
+    "plan_distribution_sweep",
+    "plan_energy_study",
+    "plan_input_size_sweep",
+    "plan_radius_sweep",
+    "plan_scaling_study",
+    "plan_sfc_pairs",
+    "plan_study3d",
+    "plan_surface_volume_study",
+    "plan_topology_study",
     "ResultStore",
     "StoreBackend",
     "DirectoryBackend",

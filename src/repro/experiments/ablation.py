@@ -35,9 +35,8 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     register_study,
-    run_study,
 )
 from repro.fmm.model import FmmCommunicationModel
 from repro.metrics.acd import acd_breakdown, compute_acd
@@ -287,8 +286,7 @@ _register_ablation("continuity", "continuity vs recursion", continuity_ablation)
 
 
 def run_ablation(name: str, *, seed: SeedLike = 0) -> AblationResult:
-    """Run one registered ablation through the study driver."""
-    _warn_legacy_runner("run_ablation", f"ablation_{name}")
-    from repro.experiments.study import get_study
-
-    return run_study(get_study(f"ablation_{name}"), StudyContext(seed=seed))
+    """Removed legacy runner; raises with the
+    ``run_study("ablation_<name>")`` replacement."""
+    _legacy_runner_error("run_ablation", f"ablation_{name}")
+    raise AssertionError("unreachable")

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.config import Scale, active_scale
+from repro.experiments.config import Scale
 from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_series
 from repro.experiments.study import (
@@ -21,7 +21,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     outputs_by_key,
     register_study,
     run_study,
@@ -121,14 +121,14 @@ def run_anns_study(
     curves: tuple[str, ...] = PAPER_CURVES,
     radii: tuple[int, ...] = FIG5_RADII,
 ) -> AnnsStudyResult:
-    """Run the Fig. 5 sweep at the given scale."""
-    _warn_legacy_runner("run_anns_study", "fig5")
-    ctx = StudyContext(scale=scale if isinstance(scale, Scale) else active_scale(scale))
-    return run_study(ANNS_STUDY, ctx, plan=plan_anns_study(ctx, curves, radii))
+    """Removed legacy runner for the Fig. 5 sweep; raises with the
+    ``run_study("fig5")`` replacement."""
+    _legacy_runner_error("run_anns_study", "fig5")
+    raise AssertionError("unreachable")
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI test
-    print(format_anns_study(run_anns_study()))
+    print(format_anns_study(run_study(ANNS_STUDY)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,7 +43,6 @@ from repro.experiments.runner import (
     case_topology,
     execute_units,
     resolve_jobs,
-    run_trial,
 )
 from repro.util.rng import spawn_seeds
 
@@ -226,22 +225,16 @@ def run_campaign_case(
     seed: SeedLike,
     parts: tuple[str, ...],
 ) -> CaseResult:
-    """Deprecated per-case entry point; use :func:`run_campaign`.
+    """Removed per-case entry point; raises pointing at :func:`run_campaign`.
 
-    Kept as a shim for old callers — the grouped campaign engine
-    produces bit-identical results (same spawned child seeds) while
-    sharing event generation across cases.
+    The grouped campaign engine produces bit-identical results (same
+    spawned child seeds) while sharing event generation across cases,
+    so there is exactly one supported spelling.
     """
-    import warnings
-
-    warnings.warn(
-        "run_campaign_case() is deprecated; use "
-        "repro.experiments.run_campaign([case], ...) instead",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RuntimeError(
+        "run_campaign_case() has been removed; use "
+        "repro.experiments.run_campaign([case], ...) instead"
     )
-    outputs = [run_trial(case, child, parts) for child in spawn_seeds(seed, trials)]
-    return aggregate_trials(case, outputs)
 
 
 def format_campaign(results: Sequence[CaseResult]) -> str:

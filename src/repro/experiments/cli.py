@@ -9,6 +9,7 @@ Usage::
     repro-experiments sweeps                 # §VI-C parametric sweeps
     repro-experiments ablations              # DESIGN.md convention ablations
     repro-experiments validate3d             # future-work 3D validation
+    repro-experiments metrics                # objective metrics (energy, ...)
     repro-experiments all                    # everything, in paper order
 
     repro-experiments fig5 --json fig5.json --csv fig5.csv
@@ -63,10 +64,22 @@ COMMANDS: dict[str, tuple[str, ...]] = {
     ),
     "validate3d": ("validate3d", "anns3d"),
     "clustering": ("clustering",),
+    "metrics": ("energy", "data_volume", "surface_to_volume"),
 }
 
-#: ``all`` regenerates every artefact in the paper's order.
-ALL_ORDER = ("fig5", "tables", "fig6", "fig7", "sweeps", "ablations", "validate3d", "clustering")
+#: ``all`` regenerates every artefact in the paper's order (the metric
+#: studies are extensions, so they come last).
+ALL_ORDER = (
+    "fig5",
+    "tables",
+    "fig6",
+    "fig7",
+    "sweeps",
+    "ablations",
+    "validate3d",
+    "clustering",
+    "metrics",
+)
 
 EXPERIMENTS = (*COMMANDS, "all")
 

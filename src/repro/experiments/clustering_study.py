@@ -23,10 +23,9 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     outputs_by_key,
     register_study,
-    run_study,
 )
 from repro.metrics.clustering import average_clusters
 from repro.sfc.registry import PAPER_CURVES
@@ -143,11 +142,7 @@ def run_clustering_study(
     samples: int = DEFAULT_SAMPLES,
     seed: SeedLike = 2013,
 ) -> ClusteringStudyResult:
-    """Sweep query sizes and average cluster counts per curve."""
-    _warn_legacy_runner("run_clustering_study", "clustering")
-    ctx = StudyContext(seed=seed)
-    return run_study(
-        CLUSTERING_STUDY,
-        ctx,
-        plan=plan_clustering_study(ctx, order, tuple(query_sizes), curves, samples),
-    )
+    """Removed legacy runner; raises with the ``run_study("clustering")``
+    replacement."""
+    _legacy_runner_error("run_clustering_study", "clustering")
+    raise AssertionError("unreachable")

@@ -1,0 +1,439 @@
+"""Objective-metric studies: energy, data volume, partition quality.
+
+One registered Study per pluggable metric (see
+:mod:`repro.metrics.registry`), so each inherits the store, fault
+tolerance, ``--jobs`` fan-out and manifests exactly like the paper
+studies:
+
+* ``energy`` — Reissmann-style per-hop + per-message energy of the FMM
+  communication pattern, per {topology, curve} pairing;
+* ``data_volume`` — Walker & Skjellum-style bytes moved over the same
+  histograms;
+* ``surface_to_volume`` — Gadouleau–Weinzierl partition quality of the
+  contiguous chunkings every registered curve induces (the one study
+  where the Peano curve participates on its native radix-3 lattice).
+
+Every grid point is a :class:`~repro.experiments.study.ComputeUnit`
+calling a top-level evaluation function whose keyword arguments —
+**including the metric name** — form the unit's canonical store key, so
+warm-store semantics stay exact per objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.artifacts import FFI_PHASES, get_trial_artifact
+from repro.experiments.config import FmmCase
+from repro.experiments.io import ResultSchema
+from repro.experiments.reporting import format_matrix
+from repro.experiments.study import (
+    ComputeUnit,
+    Study,
+    StudyContext,
+    StudyPlan,
+    outputs_by_key,
+    register_study,
+)
+from repro.metrics.base import CommunicationMetric, MetricValue, PartitionMetric
+from repro.metrics.registry import get_metric
+from repro.sfc.registry import ALL_CURVES, CURVES, PAPER_CURVES
+from repro.topology.registry import make_topology
+from repro.util.rng import spawn_seeds
+
+__all__ = [
+    "METRIC_TOPOLOGIES",
+    "CommunicationMetricResult",
+    "SurfaceVolumeStudyResult",
+    "ENERGY_STUDY",
+    "DATA_VOLUME_STUDY",
+    "SURFACE_VOLUME_STUDY",
+    "evaluate_communication_metric",
+    "evaluate_partition_metric",
+    "default_partition_order",
+    "plan_energy_study",
+    "plan_data_volume_study",
+    "plan_surface_volume_study",
+    "format_communication_metric",
+    "format_surface_volume_study",
+]
+
+#: Networks the communication-metric grids evaluate: the four Fig. 6
+#: topologies plus the two hierarchical extensions.
+METRIC_TOPOLOGIES: tuple[str, ...] = (
+    "mesh",
+    "torus",
+    "quadtree",
+    "hypercube",
+    "fat_tree",
+    "dragonfly",
+)
+
+#: Default communication-metric workload (a trend grid, not a table;
+#: kept modest so cold smoke runs finish in seconds).
+DEFAULT_PARTICLES = 10_000
+DEFAULT_ORDER = 8
+DEFAULT_PROCESSORS = 256
+DEFAULT_TRIALS = 2
+
+#: Processor counts the partition-quality grid cuts each curve into.
+DEFAULT_SV_PROCESSORS: tuple[int, ...] = (4, 16, 64)
+#: Lattice orders for the partition grid, by curve radix: a power-of-two
+#: curve at order 5 covers 1024 cells; Peano's radix-3 lattice reaches a
+#: comparable 729 cells at order 3.
+DEFAULT_SV_ORDER = 5
+DEFAULT_SV_ORDER_RADIX3 = 3
+
+
+def default_partition_order(curve: str) -> int:
+    """The partition-grid lattice order for ``curve`` (radix-aware)."""
+    return (
+        DEFAULT_SV_ORDER_RADIX3
+        if CURVES.canonical(curve) == "peano"
+        else DEFAULT_SV_ORDER
+    )
+
+
+# ----------------------------------------------------------------------
+# Unit evaluation functions (top-level: their module:qualname plus their
+# keyword arguments are the canonical store key of each unit)
+# ----------------------------------------------------------------------
+
+def _as_dict(value: MetricValue) -> dict:
+    return {"total": value.total, "count": value.count, "mean": value.mean}
+
+
+def evaluate_communication_metric(
+    *,
+    metric: str,
+    case: dict,
+    trials: int,
+    seed,
+    parts=("nfi", "ffi"),
+) -> dict:
+    """Trial-pooled value of one communication metric on one case.
+
+    ``case`` is the :class:`~repro.experiments.config.FmmCase` field
+    mapping (JSON-native so it can participate in store keys).  Events
+    are drawn exactly as the campaign engine draws them — same
+    ``spawn_seeds`` children, same artifact cache — so the pattern under
+    evaluation is bit-identical to the ACD studies'.
+    """
+    engine = get_metric(metric)
+    if not isinstance(engine, CommunicationMetric):
+        raise TypeError(
+            f"metric {metric!r} is a {engine.kind} metric; "
+            "this unit evaluates communication metrics"
+        )
+    fmm_case = FmmCase(**case)
+    topology = make_topology(
+        fmm_case.topology,
+        fmm_case.num_processors,
+        processor_curve=fmm_case.processor_curve,
+    )
+    parts = tuple(parts)
+    nfi = MetricValue(0, 0)
+    ffi = MetricValue(0, 0)
+    for child in spawn_seeds(seed, trials):
+        artifact = get_trial_artifact(fmm_case, child, parts)
+        if "nfi" in parts:
+            nfi = nfi.merged(engine.evaluate(artifact.nfi, topology))
+        if "ffi" in parts:
+            for phase in FFI_PHASES:
+                ffi = ffi.merged(engine.evaluate(artifact.ffi[phase], topology))
+    return {"metric": metric, "nfi": _as_dict(nfi), "ffi": _as_dict(ffi)}
+
+
+def evaluate_partition_metric(
+    *, metric: str, curve: str, order: int, num_processors: int
+) -> dict:
+    """Value of one partition metric on one contiguous SFC chunking."""
+    engine = get_metric(metric)
+    if not isinstance(engine, PartitionMetric):
+        raise TypeError(
+            f"metric {metric!r} is a {engine.kind} metric; "
+            "this unit evaluates partition metrics"
+        )
+    return {"metric": metric, **engine.evaluate(curve, order, num_processors)}
+
+
+# ----------------------------------------------------------------------
+# Communication-metric studies (energy, data_volume)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CommunicationMetricResult:
+    """Mean metric cost per {topology, curve} for both interaction models."""
+
+    metric: str
+    topologies: tuple[str, ...]
+    curves: tuple[str, ...]
+    nfi: dict[str, dict[str, float]]
+    ffi: dict[str, dict[str, float]]
+
+
+def _plan_communication_study(
+    ctx: StudyContext,
+    metric: str,
+    topologies: tuple[str, ...],
+    curves: tuple[str, ...],
+    num_particles: int,
+    order: int,
+    num_processors: int,
+    radius: int,
+    distribution: str,
+) -> StudyPlan:
+    trials = ctx.trials if ctx.trials is not None else DEFAULT_TRIALS
+    units = tuple(
+        ComputeUnit(
+            key=(topo, curve),
+            fn=evaluate_communication_metric,
+            kwargs=(
+                ("metric", metric),
+                (
+                    "case",
+                    {
+                        "num_particles": num_particles,
+                        "order": order,
+                        "num_processors": num_processors,
+                        "topology": topo,
+                        "particle_curve": curve,
+                        "processor_curve": curve,  # same-SFC pairing, as in Fig. 6
+                        "distribution": distribution,
+                        "radius": radius,
+                    },
+                ),
+                ("trials", trials),
+                ("seed", ctx.seed),
+            ),
+        )
+        for topo in topologies
+        for curve in curves
+    )
+    return StudyPlan(
+        units=units,
+        trials=trials,
+        seed=ctx.seed,
+        meta={"metric": metric, "topologies": tuple(topologies), "curves": tuple(curves)},
+    )
+
+
+def plan_energy_study(
+    ctx: StudyContext,
+    topologies: tuple[str, ...] = METRIC_TOPOLOGIES,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    num_particles: int = DEFAULT_PARTICLES,
+    order: int = DEFAULT_ORDER,
+    num_processors: int = DEFAULT_PROCESSORS,
+    radius: int = 1,
+    distribution: str = "uniform",
+) -> StudyPlan:
+    """Declare the energy grid: every {topology, curve} pairing."""
+    return _plan_communication_study(
+        ctx, "energy", topologies, curves,
+        num_particles, order, num_processors, radius, distribution,
+    )
+
+
+def plan_data_volume_study(
+    ctx: StudyContext,
+    topologies: tuple[str, ...] = METRIC_TOPOLOGIES,
+    curves: tuple[str, ...] = PAPER_CURVES,
+    num_particles: int = DEFAULT_PARTICLES,
+    order: int = DEFAULT_ORDER,
+    num_processors: int = DEFAULT_PROCESSORS,
+    radius: int = 1,
+    distribution: str = "uniform",
+) -> StudyPlan:
+    """Declare the data-volume grid: every {topology, curve} pairing."""
+    return _plan_communication_study(
+        ctx, "data_volume", topologies, curves,
+        num_particles, order, num_processors, radius, distribution,
+    )
+
+
+def collect_communication_metric(
+    plan: StudyPlan, outputs: list
+) -> CommunicationMetricResult:
+    """Assemble the topology x curve mean-cost matrices."""
+    by_key = outputs_by_key(plan, outputs)
+    topologies, curves = plan.meta["topologies"], plan.meta["curves"]
+    nfi = {t: {c: by_key[(t, c)]["nfi"]["mean"] for c in curves} for t in topologies}
+    ffi = {t: {c: by_key[(t, c)]["ffi"]["mean"] for c in curves} for t in topologies}
+    return CommunicationMetricResult(
+        metric=plan.meta["metric"],
+        topologies=topologies,
+        curves=curves,
+        nfi=nfi,
+        ffi=ffi,
+    )
+
+
+_METRIC_UNITS = {"energy": "energy units/event", "data_volume": "bytes/event"}
+
+
+def format_communication_metric(result: CommunicationMetricResult) -> str:
+    """Render both interaction models as topology x curve matrices."""
+    unit = _METRIC_UNITS.get(result.metric, "cost/event")
+    return "\n\n".join(
+        format_matrix(
+            data,
+            result.topologies,
+            result.curves,
+            title=f"{result.metric} — {model.upper()} (mean {unit})",
+            row_axis="Topology",
+            col_axis="SFC",
+        )
+        for model, data in (("nfi", result.nfi), ("ffi", result.ffi))
+    )
+
+
+def _flatten_communication(result: CommunicationMetricResult) -> list[dict]:
+    return [
+        {
+            "metric": result.metric,
+            "model": model,
+            "topology": topo,
+            "curve": curve,
+            "mean": table[topo][curve],
+        }
+        for model, table in (("nfi", result.nfi), ("ffi", result.ffi))
+        for topo in result.topologies
+        for curve in result.curves
+    ]
+
+
+# ----------------------------------------------------------------------
+# Partition-quality study (surface_to_volume)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SurfaceVolumeStudyResult:
+    """Worst-part surface-to-volume ratio per {curve, processor count}."""
+
+    curves: tuple[str, ...]
+    processors: tuple[int, ...]
+    #: Lattice order evaluated per curve (radix-aware, see
+    #: :func:`default_partition_order`).
+    orders: dict[str, int]
+    max_ratio: dict[str, dict[int, float]]
+    mean_ratio: dict[str, dict[int, float]]
+
+
+def plan_surface_volume_study(
+    ctx: StudyContext,
+    curves: tuple[str, ...] = ALL_CURVES,
+    processors: tuple[int, ...] = DEFAULT_SV_PROCESSORS,
+    orders: dict | None = None,
+) -> StudyPlan:
+    """Declare the partition grid: every {curve, processor count} point."""
+    orders = dict(orders) if orders is not None else {
+        curve: default_partition_order(curve) for curve in curves
+    }
+    units = tuple(
+        ComputeUnit(
+            key=(curve, p),
+            fn=evaluate_partition_metric,
+            kwargs=(
+                ("metric", "surface_to_volume"),
+                ("curve", curve),
+                ("order", orders[curve]),
+                ("num_processors", p),
+            ),
+        )
+        for curve in curves
+        for p in processors
+    )
+    return StudyPlan(
+        units=units,
+        meta={"curves": tuple(curves), "processors": tuple(processors), "orders": orders},
+    )
+
+
+def collect_surface_volume_study(
+    plan: StudyPlan, outputs: list
+) -> SurfaceVolumeStudyResult:
+    """Assemble the curve x processor-count ratio matrices."""
+    by_key = outputs_by_key(plan, outputs)
+    curves, processors = plan.meta["curves"], plan.meta["processors"]
+    max_ratio = {c: {p: by_key[(c, p)]["max_ratio"] for p in processors} for c in curves}
+    mean_ratio = {c: {p: by_key[(c, p)]["mean_ratio"] for p in processors} for c in curves}
+    return SurfaceVolumeStudyResult(
+        curves=curves,
+        processors=processors,
+        orders=dict(plan.meta["orders"]),
+        max_ratio=max_ratio,
+        mean_ratio=mean_ratio,
+    )
+
+
+def format_surface_volume_study(result: SurfaceVolumeStudyResult) -> str:
+    """Render worst-part ratios as a curve x processor-count matrix."""
+    lattice = ", ".join(
+        f"{c}: {3 if c == 'peano' else 2}^{result.orders[c]} per side"
+        for c in result.curves
+    )
+    return "\n\n".join(
+        [
+            format_matrix(
+                result.max_ratio,
+                result.curves,
+                result.processors,
+                title="surface_to_volume — worst part (max surface/volume)",
+                row_axis="SFC",
+                col_axis="processors",
+            ),
+            f"(lattice sides — {lattice})",
+        ]
+    )
+
+
+def _flatten_surface_volume(result: SurfaceVolumeStudyResult) -> list[dict]:
+    return [
+        {
+            "curve": curve,
+            "order": result.orders[curve],
+            "processors": p,
+            "max_ratio": result.max_ratio[curve][p],
+            "mean_ratio": result.mean_ratio[curve][p],
+        }
+        for curve in result.curves
+        for p in result.processors
+    ]
+
+
+ENERGY_STUDY = register_study(
+    Study(
+        name="energy",
+        title="Energy cost — per-hop + per-message model across networks",
+        result_type=CommunicationMetricResult,
+        plan=plan_energy_study,
+        collect=collect_communication_metric,
+        render=format_communication_metric,
+        schema=ResultSchema(CommunicationMetricResult, flatten=_flatten_communication),
+    )
+)
+
+DATA_VOLUME_STUDY = register_study(
+    Study(
+        name="data_volume",
+        title="Data volume — bytes moved across networks",
+        result_type=CommunicationMetricResult,
+        plan=plan_data_volume_study,
+        collect=collect_communication_metric,
+        render=format_communication_metric,
+        schema=None,  # CommunicationMetricResult schema registered by "energy"
+    )
+)
+
+SURFACE_VOLUME_STUDY = register_study(
+    Study(
+        name="surface_to_volume",
+        title="Partition quality — discrete surface-to-volume ratio",
+        result_type=SurfaceVolumeStudyResult,
+        plan=plan_surface_volume_study,
+        collect=collect_surface_volume_study,
+        render=format_surface_volume_study,
+        schema=ResultSchema(SurfaceVolumeStudyResult, flatten=_flatten_surface_volume),
+    )
+)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro._typing import SeedLike
 from repro.distributions.registry import PAPER_DISTRIBUTIONS
-from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.config import FmmCase, Scale
 from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_series
 from repro.experiments.study import (
@@ -30,10 +30,9 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     outputs_by_key,
     register_study,
-    run_study,
 )
 from repro.sfc.registry import PAPER_CURVES
 
@@ -219,14 +218,6 @@ DISTRIBUTION_SWEEP_STUDY = register_study(
 )
 
 
-def _ctx(scale, seed, trials) -> StudyContext:
-    return StudyContext(
-        scale=scale if isinstance(scale, Scale) else active_scale(scale),
-        seed=seed,
-        trials=trials,
-    )
-
-
 def run_radius_sweep(
     scale: Scale | str | None = None,
     *,
@@ -235,10 +226,10 @@ def run_radius_sweep(
     seed: SeedLike = 2013,
     trials: int | None = None,
 ) -> SweepResult:
-    """Near-field radius sweep on the torus (fixed uniform input)."""
-    _warn_legacy_runner("run_radius_sweep", "sweep_radius")
-    ctx = _ctx(scale, seed, trials)
-    return run_study(RADIUS_SWEEP_STUDY, ctx, plan=plan_radius_sweep(ctx, tuple(radii), curves))
+    """Removed legacy runner; raises with the ``run_study("sweep_radius")``
+    replacement."""
+    _legacy_runner_error("run_radius_sweep", "sweep_radius")
+    raise AssertionError("unreachable")
 
 
 def run_input_size_sweep(
@@ -249,12 +240,10 @@ def run_input_size_sweep(
     seed: SeedLike = 2013,
     trials: int | None = None,
 ) -> SweepResult:
-    """Particle-count sweep (multiples of the preset size) on the torus."""
-    _warn_legacy_runner("run_input_size_sweep", "sweep_input_size")
-    ctx = _ctx(scale, seed, trials)
-    return run_study(
-        INPUT_SIZE_SWEEP_STUDY, ctx, plan=plan_input_size_sweep(ctx, tuple(fractions), curves)
-    )
+    """Removed legacy runner; raises with the
+    ``run_study("sweep_input_size")`` replacement."""
+    _legacy_runner_error("run_input_size_sweep", "sweep_input_size")
+    raise AssertionError("unreachable")
 
 
 def run_distribution_sweep(
@@ -265,11 +254,7 @@ def run_distribution_sweep(
     seed: SeedLike = 2013,
     trials: int | None = None,
 ) -> SweepResult:
-    """Distribution sweep on the torus (fixed size, same-SFC pairing)."""
-    _warn_legacy_runner("run_distribution_sweep", "sweep_distribution")
-    ctx = _ctx(scale, seed, trials)
-    return run_study(
-        DISTRIBUTION_SWEEP_STUDY,
-        ctx,
-        plan=plan_distribution_sweep(ctx, tuple(distributions), curves),
-    )
+    """Removed legacy runner; raises with the
+    ``run_study("sweep_distribution")`` replacement."""
+    _legacy_runner_error("run_distribution_sweep", "sweep_distribution")
+    raise AssertionError("unreachable")

@@ -18,12 +18,15 @@ _LABELS = {
     "gray": "Gray Code",
     "rowmajor": "Row Major",
     "snake": "Snake",
+    "peano": "Peano Curve",
     "bus": "Bus",
     "ring": "Ring",
     "mesh": "Mesh",
     "torus": "Torus",
     "quadtree": "Quadtree",
     "hypercube": "Hypercube",
+    "fat_tree": "Fat Tree",
+    "dragonfly": "Dragonfly",
     "uniform": "Uniform",
     "normal": "Normal",
     "exponential": "Exponential",

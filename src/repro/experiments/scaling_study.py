@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._typing import SeedLike
-from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.config import FmmCase, Scale
 from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_series
 from repro.experiments.study import (
@@ -20,7 +20,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     outputs_by_key,
     register_study,
     run_study,
@@ -131,22 +131,14 @@ def run_scaling_study(
     topology: str = "torus",
     distribution: str = "uniform",
 ) -> ScalingStudyResult:
-    """Run the Fig. 7 processor sweep."""
-    _warn_legacy_runner("run_scaling_study", "fig7")
-    ctx = StudyContext(
-        scale=scale if isinstance(scale, Scale) else active_scale(scale),
-        seed=seed,
-        trials=trials,
-    )
-    return run_study(
-        SCALING_STUDY,
-        ctx,
-        plan=plan_scaling_study(ctx, curves, topology, distribution),
-    )
+    """Removed legacy runner for the Fig. 7 sweep; raises with the
+    ``run_study("fig7")`` replacement."""
+    _legacy_runner_error("run_scaling_study", "fig7")
+    raise AssertionError("unreachable")
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI test
-    print(format_scaling_study(run_scaling_study()))
+    print(format_scaling_study(run_study(SCALING_STUDY)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro._typing import SeedLike
 from repro.distributions.registry import PAPER_DISTRIBUTIONS
-from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.config import FmmCase, Scale
 from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_matrix, pretty
 from repro.experiments.study import (
@@ -23,7 +23,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     outputs_by_key,
     register_study,
     run_study,
@@ -161,26 +161,14 @@ def run_sfc_pairs(
     topology: str = "torus",
     parts: tuple[str, ...] = ("nfi", "ffi"),
 ) -> SfcPairsResult:
-    """Run the full 16-combination study of §VI-A.
-
-    ``parts`` restricts the evaluation to one interaction model when only
-    Table I (``("nfi",)``) or Table II (``("ffi",)``) is required.
-    """
-    _warn_legacy_runner("run_sfc_pairs", "tables")
-    ctx = StudyContext(
-        scale=scale if isinstance(scale, Scale) else active_scale(scale),
-        seed=seed,
-        trials=trials,
-    )
-    return run_study(
-        SFC_PAIRS_STUDY,
-        ctx,
-        plan=plan_sfc_pairs(ctx, distributions, curves, topology, parts),
-    )
+    """Removed legacy runner for the §VI-A study; raises with the
+    ``run_study("tables")`` replacement."""
+    _legacy_runner_error("run_sfc_pairs", "tables")
+    raise AssertionError("unreachable")
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI test
-    print(format_sfc_pairs(run_sfc_pairs()))
+    print(format_sfc_pairs(run_study(SFC_PAIRS_STUDY)))
 
 
 if __name__ == "__main__":  # pragma: no cover

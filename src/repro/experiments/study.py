@@ -209,19 +209,18 @@ def list_studies() -> tuple[Study, ...]:
     return tuple(STUDIES.values())
 
 
-def _warn_legacy_runner(old: str, study_name: str) -> None:
-    """Deprecation notice shared by the per-study ``run_*`` wrappers.
+def _legacy_runner_error(old: str, study_name: str) -> None:
+    """Shared failure of the removed per-study ``run_*`` wrappers.
 
-    ``stacklevel=3`` points the warning at the wrapper's caller (this
-    helper and the wrapper itself are frames 1 and 2).
+    The wrappers spent a release emitting ``DeprecationWarning``; they
+    are now hard errors that spell out the exact replacement, so stale
+    call sites fail loudly instead of silently diverging from the
+    registered study.
     """
-    import warnings
-
-    warnings.warn(
-        f"{old}() is deprecated; use "
-        f"repro.experiments.run_study({study_name!r}) instead",
-        DeprecationWarning,
-        stacklevel=3,
+    raise RuntimeError(
+        f"{old}() has been removed; use "
+        f"repro.experiments.run_study({study_name!r}) instead "
+        "(pass plan=plan_*(ctx, ...) to run_study for custom parameters)"
     )
 
 

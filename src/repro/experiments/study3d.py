@@ -28,10 +28,9 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     outputs_by_key,
     register_study,
-    run_study,
 )
 from repro.fmm.model3d import FmmCommunicationModel3D
 from repro.metrics.anns3d import neighbor_stretch3d
@@ -280,17 +279,10 @@ def run_study3d(
     trials: int = DEFAULT_TRIALS_3D,
     seed: SeedLike = 2013,
 ) -> Study3DResult:
-    """Same-SFC pairings across the 3D networks, trial-averaged."""
-    _warn_legacy_runner("run_study3d", "validate3d")
-    ctx = StudyContext(seed=seed, trials=trials)
-    return run_study(
-        STUDY3D,
-        ctx,
-        plan=plan_study3d(
-            ctx, num_particles, order, num_processors, radius, distribution,
-            tuple(topologies), tuple(curves),
-        ),
-    )
+    """Removed legacy runner; raises with the ``run_study("validate3d")``
+    replacement."""
+    _legacy_runner_error("run_study3d", "validate3d")
+    raise AssertionError("unreachable")
 
 
 def run_anns3d_study(
@@ -298,10 +290,7 @@ def run_anns3d_study(
     curves: tuple[str, ...] = PAPER_CURVES_3D,
     radius: int = 1,
 ) -> dict[str, list[float]]:
-    """3D ANNS sweep over cube resolutions (per-curve series dict)."""
-    _warn_legacy_runner("run_anns3d_study", "anns3d")
-    ctx = StudyContext()
-    result = run_study(
-        ANNS3D_STUDY, ctx, plan=plan_anns3d_study(ctx, tuple(orders), tuple(curves), radius)
-    )
-    return result.values
+    """Removed legacy runner; raises with the ``run_study("anns3d")``
+    replacement."""
+    _legacy_runner_error("run_anns3d_study", "anns3d")
+    raise AssertionError("unreachable")

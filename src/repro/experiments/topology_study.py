@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._typing import SeedLike
-from repro.experiments.config import FmmCase, Scale, active_scale
+from repro.experiments.config import FmmCase, Scale
 from repro.experiments.io import ResultSchema
 from repro.experiments.reporting import format_matrix
 from repro.experiments.study import (
@@ -25,7 +25,7 @@ from repro.experiments.study import (
     Study,
     StudyContext,
     StudyPlan,
-    _warn_legacy_runner,
+    _legacy_runner_error,
     outputs_by_key,
     register_study,
     run_study,
@@ -151,22 +151,14 @@ def run_topology_study(
     curves: tuple[str, ...] = PAPER_CURVES,
     distribution: str = "uniform",
 ) -> TopologyStudyResult:
-    """Run the 24-sub-case study of §VI-B."""
-    _warn_legacy_runner("run_topology_study", "fig6")
-    ctx = StudyContext(
-        scale=scale if isinstance(scale, Scale) else active_scale(scale),
-        seed=seed,
-        trials=trials,
-    )
-    return run_study(
-        TOPOLOGY_STUDY,
-        ctx,
-        plan=plan_topology_study(ctx, topologies, curves, distribution),
-    )
+    """Removed legacy runner for the §VI-B study; raises with the
+    ``run_study("fig6")`` replacement."""
+    _legacy_runner_error("run_topology_study", "fig6")
+    raise AssertionError("unreachable")
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI test
-    print(format_topology_study(run_topology_study()))
+    print(format_topology_study(run_study(TOPOLOGY_STUDY)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,4 +1,6 @@
-"""Evaluation metrics: ACD (the paper's contribution), ANNS, clustering."""
+"""Evaluation metrics: ACD (the paper's contribution), ANNS, clustering,
+plus the pluggable objective registry (energy, data volume, partition
+surface-to-volume)."""
 
 from repro.metrics.acd import ACDResult, acd_breakdown, compute_acd
 from repro.metrics.anns import (
@@ -10,8 +12,19 @@ from repro.metrics.anns import (
     neighbor_stretch,
 )
 from repro.metrics.anns3d import anns3d, neighbor_stretch3d
+from repro.metrics.base import CommunicationMetric, Metric, MetricValue, PartitionMetric
 from repro.metrics.clustering import average_clusters, cluster_count
+from repro.metrics.data_volume import DataVolumeMetric
+from repro.metrics.energy import EnergyMetric
+from repro.metrics.registry import (
+    METRICS,
+    AcdMetric,
+    get_metric,
+    list_metrics,
+    metric_names,
+)
 from repro.metrics.stretch import all_pairs_stretch, max_nearest_neighbor_stretch
+from repro.metrics.surface_volume import SurfaceVolumeMetric, partition_surfaces
 
 __all__ = [
     "ACDResult",
@@ -29,4 +42,17 @@ __all__ = [
     "average_clusters",
     "all_pairs_stretch",
     "max_nearest_neighbor_stretch",
+    "Metric",
+    "MetricValue",
+    "CommunicationMetric",
+    "PartitionMetric",
+    "AcdMetric",
+    "EnergyMetric",
+    "DataVolumeMetric",
+    "SurfaceVolumeMetric",
+    "partition_surfaces",
+    "METRICS",
+    "get_metric",
+    "list_metrics",
+    "metric_names",
 ]

@@ -1,0 +1,95 @@
+"""Discrete surface-to-volume ratio of SFC partitions.
+
+Gadouleau & Weinzierl ("The maximum discrete surface-to-volume ratio of
+space-filling curve partitions") study exactly the partitions this
+package builds in §IV step 4: cut the curve-ordered lattice into ``p``
+contiguous chunks and hand chunk ``i`` to processor ``i``.  Each part is
+then a polyomino; its *surface* is the number of exposed unit faces
+(lattice-neighbour faces leading out of the part, domain boundary
+included) and its *volume* the number of cells.  The partition's score
+is the worst part's ratio
+
+    max_i  surface(P_i) / volume(P_i),
+
+which bounds the halo-exchange overhead of a stencil/particle code
+relative to its useful work — small is good, and continuous curves
+(Hilbert, Peano) provably keep it O(1/sqrt(V)) while discontinuous
+orders can shatter a chunk into distant fragments.
+
+Two analytic envelopes from the literature cross-check every
+evaluation (asserted in the tests, not here):
+
+* any polyomino of volume ``V`` obeys the isoperimetric lower bound
+  ``surface >= 2 * ceil(2 * sqrt(V))``;
+* a *connected* chunk (every segment of a continuous curve) satisfies
+  ``surface <= 2 * V + 2``, the Gadouleau–Weinzierl worst-case envelope
+  for continuous-curve segments, with equality only for snake-like
+  degenerate shapes.
+
+All surface counting is exact integer arithmetic over the full lattice,
+so results are independent of chunk evaluation order and process count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import PartitionMetric
+from repro.partition.chunking import chunk_assignment
+from repro.sfc.registry import get_curve
+from repro.util.validation import check_positive
+
+__all__ = ["SurfaceVolumeMetric", "partition_surfaces"]
+
+
+def partition_surfaces(curve_name: str, order: int, num_processors: int) -> tuple:
+    """Exact per-part surface and volume of the contiguous SFC chunking.
+
+    Returns ``(surfaces, volumes)`` as int64 arrays of length ``p``:
+    ``surfaces[i]`` counts the exposed unit faces of part ``i`` (4-neighbour
+    faces whose other side lies in a different part or outside the
+    lattice), ``volumes[i]`` its cell count.
+    """
+    p = check_positive(num_processors, "num_processors")
+    curve = get_curve(curve_name, order)
+    if p > curve.size:
+        raise ValueError(
+            f"cannot cut {curve.size} cells into {p} non-empty parts"
+        )
+    # part label of each lattice cell: position along the curve -> chunk
+    labels = chunk_assignment(curve.size, p)[curve.index_grid()]
+    volumes = np.bincount(labels.ravel(), minlength=p)
+    # pad with a sentinel part so domain-boundary faces count as exposed
+    padded = np.pad(labels, 1, constant_values=-1)
+    surfaces = np.zeros(p, dtype=np.int64)
+    for shifted in (
+        padded[:-2, 1:-1],
+        padded[2:, 1:-1],
+        padded[1:-1, :-2],
+        padded[1:-1, 2:],
+    ):
+        exposed = labels != shifted
+        surfaces += np.bincount(labels[exposed], minlength=p)
+    return surfaces, volumes
+
+
+class SurfaceVolumeMetric(PartitionMetric):
+    """Worst-case surface-to-volume ratio over the ``p`` curve chunks."""
+
+    name = "surface_to_volume"
+
+    def evaluate(self, curve: str, order: int, num_processors: int) -> dict:
+        surfaces, volumes = partition_surfaces(curve, order, num_processors)
+        ratios = surfaces / volumes
+        worst = int(np.argmax(ratios))
+        return {
+            "curve": curve,
+            "order": int(order),
+            "num_processors": int(num_processors),
+            "cells": int(volumes.sum()),
+            "total_surface": int(surfaces.sum()),
+            "max_ratio": float(ratios[worst]),
+            "max_surface": int(surfaces[worst]),
+            "max_volume": int(volumes[worst]),
+            "mean_ratio": float(ratios.mean()),
+        }

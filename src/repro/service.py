@@ -12,11 +12,15 @@ This module is that query layer, built from three pieces:
 
 * :class:`RecommendRequest` — the canonical query: workload fields
   (``num_processors``, ``distribution``, ``num_particles``) plus the
-  candidate grid (topologies x processor curves) and campaign
-  parameters (``trials``/``seed``).  Requests lower to the *same*
-  :func:`~repro.experiments.study.store_key` content addresses the
-  study driver uses, so a store warmed by ``precompute`` (or by any
-  earlier study run over the same cases) answers requests directly.
+  candidate grid (topologies x processor curves), campaign parameters
+  (``trials``/``seed``) and the ranking ``objective`` — any registered
+  communication metric (``acd`` by default; ``energy``,
+  ``data_volume``, ... — see :mod:`repro.metrics.registry`).  Requests
+  lower to the *same* :func:`~repro.experiments.study.store_key`
+  content addresses the study driver uses — the objective name is part
+  of every non-ACD unit's key — so a store warmed by ``precompute``
+  (or by any earlier study run over the same cases) answers requests
+  directly.
 * :class:`QueryService` — answers requests from the store when warm;
   on a miss it computes exactly the missing cases through the grouped
   campaign engine (:func:`~repro.experiments.campaign.iter_campaign`,
@@ -56,11 +60,21 @@ from typing import Any, Mapping, Sequence
 
 from repro import obs
 from repro.distributions.registry import PAPER_DISTRIBUTIONS
+from repro.errors import UnknownNameError
 from repro.experiments.campaign import iter_campaign
 from repro.experiments.config import FmmCase, active_scale
+from repro.experiments.metric_studies import evaluate_communication_metric
+from repro.experiments.runner import execute_units, resolve_jobs
 from repro.experiments.store import MISS, ResultStore, canonical_key, open_store
-from repro.experiments.study import FmmUnit, StudyPlan, store_key
+from repro.experiments.study import (
+    ComputeUnit,
+    FmmUnit,
+    StudyPlan,
+    execute_compute_unit,
+    store_key,
+)
 from repro.experiments.topology_study import FIG6_TOPOLOGIES
+from repro.metrics.registry import METRICS, get_metric
 from repro.obs import RunManifest, recording
 from repro.runtime import runtime_config
 from repro.sfc.registry import PAPER_CURVES
@@ -128,8 +142,25 @@ class RecommendRequest:
     curves: tuple[str, ...] = PAPER_CURVES
     trials: int = 1
     seed: int = 2013
+    #: The objective to rank by: any registered *communication* metric
+    #: (see :mod:`repro.metrics.registry`).  Stored canonically so two
+    #: spellings of the same objective coalesce and share store keys.
+    objective: str = "acd"
 
     def __post_init__(self):
+        try:
+            object.__setattr__(self, "objective", METRICS.canonical(self.objective))
+        except UnknownNameError:
+            raise RequestError(
+                f"unknown objective {self.objective!r}; registered: "
+                f"{', '.join(sorted(METRICS.names()))}"
+            ) from None
+        engine = get_metric(self.objective)
+        if engine.kind != "communication":
+            raise RequestError(
+                f"objective {self.objective!r} is a {engine.kind} metric; "
+                "/recommend ranks communication objectives"
+            )
         if self.order == 0:
             object.__setattr__(self, "order", default_order(self.num_particles))
         if self.num_particles < 1:
@@ -192,6 +223,7 @@ class RecommendRequest:
             "curves": list(self.curves),
             "trials": self.trials,
             "seed": self.seed,
+            "objective": self.objective,
         }
 
     def canonical(self) -> str:
@@ -202,43 +234,92 @@ class RecommendRequest:
 def request_plan(request: RecommendRequest) -> StudyPlan:
     """Lower a request to a study plan over its candidate grid.
 
-    One :class:`~repro.experiments.study.FmmUnit` per (topology,
-    processor-curve) pair; every case shares the instance fields, so a
-    cold request generates each trial's events exactly once and
-    evaluates them against all candidate networks — and
-    :func:`~repro.experiments.study.store_key` gives each unit the same
-    content address a study over the same case would use.
+    One unit per (topology, processor-curve) pair.  The default
+    ``"acd"`` objective lowers to :class:`~repro.experiments.study.
+    FmmUnit`\\ s: every case shares the instance fields, so a cold
+    request generates each trial's events exactly once and evaluates
+    them against all candidate networks — and :func:`~repro.experiments.
+    study.store_key` gives each unit the same content address a study
+    over the same case would use.  Any other objective lowers to
+    :class:`~repro.experiments.study.ComputeUnit`\\ s over
+    :func:`~repro.experiments.metric_studies.
+    evaluate_communication_metric`, whose keyword arguments — metric
+    name included — form the store key, so per-objective results never
+    collide and stay addressable by the metric studies.
     """
-    units = tuple(
-        FmmUnit(
-            key=(topology, curve),
-            case=FmmCase(
-                num_particles=request.num_particles,
-                order=request.order,
-                num_processors=request.num_processors,
-                topology=topology,
-                particle_curve=request.particle_curve,
-                processor_curve=curve,
-                distribution=request.distribution,
-                radius=request.radius,
-            ),
+    if request.objective == "acd":
+        units: tuple[FmmUnit | ComputeUnit, ...] = tuple(
+            FmmUnit(
+                key=(topology, curve),
+                case=FmmCase(
+                    num_particles=request.num_particles,
+                    order=request.order,
+                    num_processors=request.num_processors,
+                    topology=topology,
+                    particle_curve=request.particle_curve,
+                    processor_curve=curve,
+                    distribution=request.distribution,
+                    radius=request.radius,
+                ),
+            )
+            for topology in request.topologies
+            for curve in request.curves
         )
-        for topology in request.topologies
-        for curve in request.curves
-    )
+    else:
+        units = tuple(
+            ComputeUnit(
+                key=(topology, curve),
+                fn=evaluate_communication_metric,
+                kwargs=(
+                    ("metric", request.objective),
+                    (
+                        "case",
+                        {
+                            "num_particles": request.num_particles,
+                            "order": request.order,
+                            "num_processors": request.num_processors,
+                            "topology": topology,
+                            "particle_curve": request.particle_curve,
+                            "processor_curve": curve,
+                            "distribution": request.distribution,
+                            "radius": request.radius,
+                        },
+                    ),
+                    ("trials", request.trials),
+                    ("seed", request.seed),
+                ),
+            )
+            for topology in request.topologies
+            for curve in request.curves
+        )
     return StudyPlan(units=units, trials=request.trials, seed=request.seed)
 
 
 def rank_results(plan: StudyPlan, outputs: Sequence[Any]) -> list[dict[str, Any]]:
     """Rank candidate configurations best-first by predicted cost.
 
-    The §VII selection rule: total weighted hop count per case
-    (``nfi_acd * nfi_events + ffi_acd * ffi_events``), ascending, with
-    (topology, curve) as the deterministic tie-break.
+    The §VII selection rule generalised to any objective: total cost
+    per case, ascending, with (topology, curve) as the deterministic
+    tie-break.  For the ``"acd"`` objective that total is the weighted
+    hop count (``nfi_acd * nfi_events + ffi_acd * ffi_events``); other
+    objectives report the metric's own exact integer totals (energy
+    units, bytes, ...) with per-event means alongside.
     """
     entries = []
     for unit, result in zip(plan.units, outputs):
         topology, curve = unit.key
+        if isinstance(result, Mapping):  # metric-objective ComputeUnit output
+            score = result["nfi"]["total"] + result["ffi"]["total"]
+            entries.append(
+                {
+                    "topology": topology,
+                    "processor_curve": curve,
+                    "score": score,
+                    "nfi_mean": result["nfi"]["mean"],
+                    "ffi_mean": result["ffi"]["mean"],
+                }
+            )
+            continue
         score = result.nfi_acd * result.nfi_events + result.ffi_acd * result.ffi_events
         entries.append(
             {
@@ -338,20 +419,37 @@ class QueryService:
         so the returned section's ``campaign.trials`` is exactly what
         this computation executed; cases persist as they complete, so
         even an aborted request leaves its finished cases warm.
+        ``"acd"`` requests run through the grouped campaign engine;
+        metric objectives fan their compute units out over the same
+        worker pool.
         """
+        case_idx = [i for i in missing if isinstance(plan.units[i], FmmUnit)]
+        comp_idx = [i for i in missing if isinstance(plan.units[i], ComputeUnit)]
         with recording() as rec:
-            stream = iter_campaign(
-                [plan.units[i].case for i in missing],
-                trials=plan.trials,
-                seed=plan.seed,
-                parts=plan.parts,
-                jobs=self.jobs,
-            )
-            for local, result in stream:
-                i = missing[local]
-                outputs[i] = result
-                if self.store is not None and keys[i] is not None:
-                    self.store.put(keys[i], result)
+            if case_idx:
+                stream = iter_campaign(
+                    [plan.units[i].case for i in case_idx],
+                    trials=plan.trials,
+                    seed=plan.seed,
+                    parts=plan.parts,
+                    jobs=self.jobs,
+                )
+                for local, result in stream:
+                    i = case_idx[local]
+                    outputs[i] = result
+                    if self.store is not None and keys[i] is not None:
+                        self.store.put(keys[i], result)
+            if comp_idx:
+                results = execute_units(
+                    execute_compute_unit,
+                    [(plan.units[i],) for i in comp_idx],
+                    resolve_jobs(self.jobs),
+                )
+                for local, result in results:
+                    i = comp_idx[local]
+                    outputs[i] = result
+                    if self.store is not None and keys[i] is not None:
+                        self.store.put(keys[i], result)
         return {
             "campaign.trials": int(rec.counters.get("campaign.trials", 0)),
             "cases": len(outputs),
@@ -512,14 +610,16 @@ def precompute(
     trials: int = 1,
     seed: int = 2013,
     jobs: int | None = None,
+    objective: str = "acd",
 ) -> dict[str, int]:
     """Warm a store over the full recommendation grid.
 
     Builds, per distribution, the *same* plan a ``/recommend`` request
-    for that workload would build — so every precomputed entry is
-    addressable by the service with zero key drift.  Workload size
-    defaults to the active scale's Fig. 6 parameters.  Already-stored
-    cases are skipped; the grid resumes and extends incrementally.
+    for that workload (and ``objective``) would build — so every
+    precomputed entry is addressable by the service with zero key
+    drift.  Workload size defaults to the active scale's Fig. 6
+    parameters.  Already-stored cases are skipped; the grid resumes and
+    extends incrementally.
     """
     preset = active_scale(scale)
     n = num_particles if num_particles is not None else preset.topo_particles
@@ -533,6 +633,7 @@ def precompute(
         curves=tuple(curves),
         trials=trials,
         seed=seed,
+        objective=objective,
     )
     for distribution in distributions:
         request = replace(base, distribution=distribution)
@@ -543,19 +644,33 @@ def precompute(
         stats["reused"] += len(keys) - len(missing)
         if not missing:
             continue
+        case_idx = [i for i in missing if isinstance(plan.units[i], FmmUnit)]
+        comp_idx = [i for i in missing if isinstance(plan.units[i], ComputeUnit)]
         with recording() as rec:
-            stream = iter_campaign(
-                [plan.units[i].case for i in missing],
-                trials=plan.trials,
-                seed=plan.seed,
-                parts=plan.parts,
-                jobs=jobs,
-            )
-            for local, result in stream:
-                i = missing[local]
-                if keys[i] is not None:
-                    store.put(keys[i], result)
-                stats["computed"] += 1
+            if case_idx:
+                stream = iter_campaign(
+                    [plan.units[i].case for i in case_idx],
+                    trials=plan.trials,
+                    seed=plan.seed,
+                    parts=plan.parts,
+                    jobs=jobs,
+                )
+                for local, result in stream:
+                    i = case_idx[local]
+                    if keys[i] is not None:
+                        store.put(keys[i], result)
+                    stats["computed"] += 1
+            if comp_idx:
+                results = execute_units(
+                    execute_compute_unit,
+                    [(plan.units[i],) for i in comp_idx],
+                    resolve_jobs(jobs),
+                )
+                for local, result in results:
+                    i = comp_idx[local]
+                    if keys[i] is not None:
+                        store.put(keys[i], result)
+                    stats["computed"] += 1
         stats["trials"] += int(rec.counters.get("campaign.trials", 0))
     return stats
 
@@ -619,6 +734,7 @@ def _run_precompute(args: argparse.Namespace) -> int:
         trials=args.trials,
         seed=args.seed,
         jobs=args.jobs,
+        objective=args.objective,
     )
     print(
         f"precompute: {stats['cases']} cases "
@@ -678,6 +794,13 @@ def main(argv: list[str] | None = None) -> int:
     p_pre.add_argument("--trials", type=int, default=1)
     p_pre.add_argument("--seed", type=int, default=2013)
     p_pre.add_argument("--jobs", type=int, default=None)
+    p_pre.add_argument(
+        "--objective",
+        default="acd",
+        metavar="NAME",
+        help="communication metric to precompute (any registered objective; "
+        "default: acd)",
+    )
 
     p_store = sub.add_parser("store", help="inspect a store backend")
     store_sub = p_store.add_subparsers(dest="store_command", required=True)

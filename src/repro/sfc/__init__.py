@@ -22,6 +22,7 @@ from repro.sfc.curves3d import (
 )
 from repro.sfc.gray import GrayCurve
 from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.peano import PeanoCurve
 from repro.sfc.registry import ALL_CURVES, CURVES, PAPER_CURVES, curve_names, get_curve
 from repro.sfc.rowmajor import RowMajorCurve
 from repro.sfc.snake import SnakeCurve
@@ -34,6 +35,7 @@ __all__ = [
     "GrayCurve",
     "RowMajorCurve",
     "SnakeCurve",
+    "PeanoCurve",
     "CURVES",
     "PAPER_CURVES",
     "ALL_CURVES",

@@ -34,11 +34,15 @@ __all__ = [
     "zcurve_recursive_ordering",
     "gray_recursive_ordering",
     "rowmajor_recursive_ordering",
+    "peano_recursive_ordering",
 ]
 
 #: A practical cap: the reference recursions materialise Python lists and
 #: are meant for validation at small orders only.
 _MAX_REFERENCE_ORDER = 10
+
+#: The Peano reference grows as ``9**order``, so its cap is lower.
+_MAX_PEANO_REFERENCE_ORDER = 6
 
 
 def _check(order: int) -> int:
@@ -124,3 +128,38 @@ def rowmajor_recursive_ordering(order: int) -> IntArray:
     k = _check(order)
     side = 1 << k
     return _to_array([(x, y) for x in range(side) for y in range(side)])
+
+
+def peano_recursive_ordering(order: int) -> IntArray:
+    """Peano curve via the nine-copies serpentine recursion.
+
+    :math:`\\mathcal{P}_{k+1}` places nine copies of
+    :math:`\\mathcal{P}_k` in a 3x3 arrangement of sub-squares visited in
+    serpentine order (columns bottom-to-top, alternating direction).  A
+    copy is reflected along an axis whenever the serpentine has traversed
+    an odd number of sub-squares in the *other* axis — exactly the
+    digit-complement rule of the closed form — so entry and exit points
+    of consecutive copies coincide and the curve stays continuous.
+
+    Returns a ``(9**order, 2)`` array (note: *not* ``4**order``).
+    """
+    k = check_order(order, max_order=_MAX_PEANO_REFERENCE_ORDER)
+
+    def build(level: int) -> list[tuple[int, int]]:
+        if level == 0:
+            return [(0, 0)]
+        prev = build(level - 1)
+        s = 3 ** (level - 1)
+        out: list[tuple[int, int]] = []
+        for qx in range(3):
+            ys = range(3) if qx % 2 == 0 else range(2, -1, -1)
+            for qy in ys:
+                flip_x = qy % 2 == 1
+                flip_y = qx % 2 == 1
+                for u, v in prev:
+                    cu = s - 1 - u if flip_x else u
+                    cv = s - 1 - v if flip_y else v
+                    out.append((qx * s + cu, qy * s + cv))
+        return out
+
+    return _to_array(build(k))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.sfc.base import SpaceFillingCurve
 from repro.sfc.gray import GrayCurve
 from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.peano import PeanoCurve
 from repro.sfc.rowmajor import RowMajorCurve
 from repro.sfc.snake import SnakeCurve
 from repro.sfc.zcurve import ZCurve
@@ -24,6 +25,7 @@ CURVES.register("zcurve", ZCurve, aliases=("z-curve", "z", "morton", "z curve"))
 CURVES.register("gray", GrayCurve, aliases=("gray code", "gray order", "g"))
 CURVES.register("rowmajor", RowMajorCurve, aliases=("row major", "row-major", "rm"))
 CURVES.register("snake", SnakeCurve, aliases=("boustrophedon",))
+CURVES.register("peano", PeanoCurve, aliases=("peano curve",))
 
 #: The four curves evaluated in the paper, in its table order.
 PAPER_CURVES: tuple[str, ...] = ("hilbert", "zcurve", "gray", "rowmajor")

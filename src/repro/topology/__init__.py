@@ -16,6 +16,8 @@ from repro.topology.cache import (
     set_topology_cache,
     topology_cache_key,
 )
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fat_tree import FatTreeTopology
 from repro.topology.grid3d import (
     GridLayout3D,
     Mesh3DTopology,
@@ -46,6 +48,8 @@ __all__ = [
     "TorusTopology",
     "QuadtreeTopology",
     "HypercubeTopology",
+    "FatTreeTopology",
+    "DragonflyTopology",
     "GridLayout",
     "hypercube_labels",
     "TOPOLOGIES",

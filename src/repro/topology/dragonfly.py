@@ -1,0 +1,100 @@
+"""Dragonfly topology (Kim, Dally, Scott & Abts, ISCA 2008).
+
+A two-level direct hierarchy: ``p = 4**m`` routers are split into
+``g = 2**m`` groups of ``a = 2**m`` routers each.  Routers within a
+group form a complete graph (one local hop between any two), and every
+ordered pair of groups is joined by exactly one global link.  Rank
+``i * a + r`` is router ``r`` of group ``i`` — a rank-labelled network;
+processor-order SFCs do not apply.
+
+The global link between groups ``i`` and ``j`` attaches to router
+``attach(i, j) = j if j < i else j - 1`` inside group ``i`` (the
+classical consecutive assignment: router ``r`` of a group owns the
+global link toward group ``r`` or ``r + 1``, and router ``a - 1`` owns
+none).  Minimal direct routing gives the shortest path
+
+    d((i, ri), (j, rj)) = 1 + [ri != attach(i, j)] + [rj != attach(j, i)]
+
+for ``i != j`` (at most one local hop to the gateway router, one global
+hop, one local hop to the destination) and ``d = [ri != rj]`` inside a
+group.  Any route through an intermediate group needs two global hops
+plus a local hop between two distinct gateways, so it is never shorter;
+the formula is the exact graph metric and the router below follows it
+hop for hop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.errors import TopologySizeError
+from repro.topology.base import DirectTopology
+from repro.util.bits import is_power_of_two
+
+__all__ = ["DragonflyTopology"]
+
+
+class DragonflyTopology(DirectTopology):
+    """Balanced dragonfly: ``2**m`` all-to-all groups of ``2**m`` routers."""
+
+    name = "dragonfly"
+
+    def __init__(self, num_processors: int):
+        super().__init__(num_processors)
+        p = int(num_processors)
+        # The balanced split g = a = sqrt(p) needs p = 4**m; an uneven
+        # split would leave group pairs without a global link.
+        if not (is_power_of_two(p) and (p.bit_length() - 1) % 2 == 0):
+            raise TopologySizeError(
+                f"dragonfly topologies need 4**m processors "
+                f"(equal group count and group size), got {p}"
+            )
+        self._group_size = 1 << ((p.bit_length() - 1) // 2)
+
+    @property
+    def group_size(self) -> int:
+        """Routers per group ``a`` (= number of groups ``g`` = ``sqrt(p)``)."""
+        return self._group_size
+
+    @property
+    def num_groups(self) -> int:
+        """Number of all-to-all router groups (balanced: equals ``a``)."""
+        return self._group_size
+
+    @property
+    def diameter(self) -> int:
+        # local hop - global hop - local hop; degenerate at tiny sizes
+        # (p = 1 is a single router, p = 4 already needs all three hops).
+        return 0 if self._p == 1 else 3
+
+    def attach_router(self, group: IntArray, other: IntArray) -> IntArray:
+        """Router index inside ``group`` owning the global link to ``other``."""
+        return np.where(other < group, other, other - 1)
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        s = self._group_size
+        gi, ri = a // s, a % s
+        gj, rj = b // s, b % s
+        local = (ri != rj).astype(np.int64)
+        remote = (
+            1
+            + (ri != self.attach_router(gi, gj))
+            + (rj != self.attach_router(gj, gi))
+        )
+        return np.where(gi == gj, local, remote)
+
+    def links(self) -> IntArray:
+        s = self._group_size
+        pairs = []
+        # local links: a complete graph inside every group
+        lo, hi = np.triu_indices(s, k=1)
+        for group in range(s):
+            pairs.append(np.stack([group * s + lo, group * s + hi], axis=1))
+        # global links: one per unordered group pair
+        gi, gj = np.triu_indices(s, k=1)
+        u = gi * s + self.attach_router(gi, gj)
+        v = gj * s + self.attach_router(gj, gi)
+        pairs.append(np.sort(np.stack([u, v], axis=1), axis=1))
+        links = np.concatenate(pairs) if pairs else np.empty((0, 2), np.int64)
+        return links[np.lexsort((links[:, 1], links[:, 0]))].astype(np.int64)

@@ -1,0 +1,65 @@
+"""Fat-tree (folded Clos) topology.
+
+Leiserson's fat tree is the switch tree most large clusters actually
+deploy: ``p = 4**m`` processors are the leaves of a complete 4-ary
+switch tree whose link capacity grows toward the root, so the *hop*
+metric is that of the tree while the bandwidth taper is a property of
+the links (the contention simulator sees it through link multiplicity,
+not through the distance).
+
+Unlike the quadtree — whose leaves are embedded on a square lattice via
+a processor-order SFC so the tree coincides with the spatial quadtree —
+the fat tree is an *indirect, rank-labelled* network: leaf ``i`` is
+simply the ``i``-th leaf in tree order (its base-4 digit string is the
+root-to-leaf path), and processor-order SFCs do not apply, matching the
+convention for bus, ring and hypercube.  The hop distance between two
+leaves is ``2 * (m - lca_depth)``: up to the lowest common ancestor
+switch and back down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.errors import TopologySizeError
+from repro.topology.base import Topology
+from repro.util.bits import bit_length, is_power_of_two
+
+__all__ = ["FatTreeTopology"]
+
+
+class FatTreeTopology(Topology):
+    """Complete 4-ary fat tree over ``4**m`` rank-labelled leaves."""
+
+    name = "fat_tree"
+
+    def __init__(self, num_processors: int):
+        super().__init__(num_processors)
+        p = int(num_processors)
+        # The LCA arithmetic below walks base-4 digit prefixes of the leaf
+        # ranks; anything but a complete 4-ary tree would misprice hops.
+        if not (is_power_of_two(p) and (p.bit_length() - 1) % 2 == 0):
+            raise TopologySizeError(
+                f"fat trees need 4**m leaf processors "
+                f"(a complete 4-ary switch tree), got {p}"
+            )
+        self._height = (p.bit_length() - 1) // 2
+        # Leaf codes are the ranks themselves: the tree router shares its
+        # machinery with the quadtree, which reads the path digits here.
+        self._codes = np.arange(p, dtype=np.int64)
+
+    @property
+    def height(self) -> int:
+        """Tree height ``m`` (levels between a leaf and the root)."""
+        return self._height
+
+    @property
+    def diameter(self) -> int:
+        return 2 * self._height
+
+    def _distance(self, a: IntArray, b: IntArray) -> IntArray:
+        diff = a ^ b
+        # Number of tree levels on which the leaf paths disagree:
+        levels = (bit_length(diff) + 1) >> 1
+        return 2 * levels

@@ -50,6 +50,11 @@ class GridLayout:
         self._curve_name = curve
         order = side.bit_length() - 1
         sfc = get_curve(curve, order)
+        if sfc.side != side:
+            raise TopologySizeError(
+                f"curve {curve!r} fills a {sfc.side}x{sfc.side} lattice at order "
+                f"{order}; grid layouts need a power-of-two side ({side})"
+            )
         gx, gy = sfc.decode(np.arange(p, dtype=np.int64))
         self._gx = gx
         self._gy = gy

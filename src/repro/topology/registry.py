@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from repro.topology.base import Topology
 from repro.topology.bus import BusTopology
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fat_tree import FatTreeTopology
 from repro.topology.grid3d import Mesh3DTopology, OctreeTopology, Torus3DTopology
 from repro.topology.hypercube import HypercubeTopology
 from repro.topology.mesh import MeshTopology
@@ -38,6 +40,8 @@ TOPOLOGIES.register("hypercube", HypercubeTopology, aliases=("cube",))
 TOPOLOGIES.register("mesh3d", Mesh3DTopology)
 TOPOLOGIES.register("torus3d", Torus3DTopology)
 TOPOLOGIES.register("octree", OctreeTopology)
+TOPOLOGIES.register("fat_tree", FatTreeTopology, aliases=("clos",))
+TOPOLOGIES.register("dragonfly", DragonflyTopology)
 
 #: The six topologies evaluated in the paper (§II-B order).
 PAPER_TOPOLOGIES: tuple[str, ...] = (

@@ -48,14 +48,15 @@ class Registry(Generic[T]):
         """Instantiate the factory registered under ``name``."""
         canonical = self._aliases.get(self._canon(name))
         if canonical is None:
-            raise UnknownNameError(self._kind, name, tuple(self._factories))
+            # Sorted, not registration order: the message is a lookup aid.
+            raise UnknownNameError(self._kind, name, tuple(sorted(self._factories)))
         return self._factories[canonical](*args, **kwargs)
 
     def canonical(self, name: str) -> str:
         """Resolve any accepted spelling to the canonical registered name."""
         canonical = self._aliases.get(self._canon(name))
         if canonical is None:
-            raise UnknownNameError(self._kind, name, tuple(self._factories))
+            raise UnknownNameError(self._kind, name, tuple(sorted(self._factories)))
         return canonical
 
     def names(self) -> tuple[str, ...]:

@@ -120,3 +120,53 @@ class TestRecommendation:
         app = ApplicationModel().add_phase("x", events_of([(0, 1)]))
         report = app.evaluate(make_topology("ring", 8), cache=None)
         assert report.phases["x"].count == 1
+
+
+class TestObjectives:
+    def _model(self, events):
+        return ApplicationModel("halo").add_phase("halo", events, repeats=3)
+
+    def test_energy_objective_evaluates_each_phase(self):
+        app = self._model(events_of([(0, 1), (1, 2), (0, 2)]))
+        report = app.evaluate(make_topology("ring", 8), objective="energy")
+        assert report.objective == "energy"
+        # hop_cost=3, message_cost=5; ring distances 1, 1, 2
+        assert report.phases["halo"].total == 3 * (1 + 1 + 2) + 5 * 3
+
+    def test_partition_objective_rejected(self):
+        app = self._model(events_of([(0, 1)]))
+        with pytest.raises(ValueError, match="partition"):
+            app.evaluate(make_topology("ring", 8), objective="surface_to_volume")
+
+    def test_unknown_objective_rejected(self):
+        app = self._model(events_of([(0, 1)]))
+        with pytest.raises(KeyError, match="energy"):
+            app.evaluate(make_topology("ring", 8), objective="nope")
+
+    @pytest.mark.parametrize("objective", ["acd", "energy", "data_volume"])
+    def test_precompacted_histogram_phase(self, objective):
+        """A phase registered as a PairHistogram must evaluate like raw events."""
+        raw = events_of([(0, 1), (1, 2), (0, 2)])
+        compacted = events_of([(0, 1), (1, 2), (0, 2)]).compact(8)
+        topo = make_topology("ring", 8)
+        from_raw = self._model(raw).evaluate(topo, objective=objective)
+        from_hist = self._model(compacted).evaluate(topo, objective=objective)
+
+        def totals(report):
+            phase = report.phases["halo"]
+            total = phase.total_distance if objective == "acd" else phase.total
+            return total, phase.count
+
+        assert totals(from_raw) == totals(from_hist)
+
+    def test_recommend_with_energy_objective(self):
+        app = self._model(events_of([(i, i + 1) for i in range(7)]))
+        candidates = {
+            "ring": make_topology("ring", 8),
+            "bus": make_topology("bus", 8),
+        }
+        ranked = recommend_configuration(app, candidates, objective="energy")
+        labels = [label for label, _ in ranked]
+        assert set(labels) == {"ring", "bus"}
+        totals = [r.total.total for _, r in ranked]
+        assert totals == sorted(totals)

@@ -4,16 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import StudyContext, run_study
 from repro.experiments.clustering_study import (
     format_clustering_study,
-    run_clustering_study,
+    plan_clustering_study,
 )
 
 
 class TestClusteringStudy:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_clustering_study(order=6, query_sizes=(2, 4, 8), samples=150, seed=3)
+        ctx = StudyContext(seed=3)
+        plan = plan_clustering_study(ctx, order=6, query_sizes=(2, 4, 8), samples=150)
+        return run_study("clustering", ctx, plan=plan)
 
     def test_structure(self, result):
         assert result.query_sizes == (2, 4, 8)
@@ -36,7 +39,7 @@ class TestClusteringStudy:
 
     def test_oversized_query_rejected(self):
         with pytest.raises(ValueError):
-            run_clustering_study(order=3, query_sizes=(16,))
+            plan_clustering_study(StudyContext(), order=3, query_sizes=(16,))
 
     def test_format(self, result):
         text = format_clustering_study(result)

@@ -1,4 +1,4 @@
-"""The legacy per-study runners warn and point at run_study(name)."""
+"""The legacy per-study runners raise and point at run_study(name)."""
 
 from __future__ import annotations
 
@@ -24,19 +24,19 @@ TINY = Scale(
 
 
 class TestLegacyRunnerShims:
-    def test_run_anns_study_warns_with_replacement(self):
+    def test_run_anns_study_raises_with_replacement(self):
         from repro.experiments import run_anns_study
 
-        with pytest.warns(DeprecationWarning, match=r"run_study\('fig5'\)"):
+        with pytest.raises(RuntimeError, match=r"run_study\('fig5'\)"):
             run_anns_study(TINY)
 
-    def test_run_sfc_pairs_warns_with_replacement(self):
+    def test_run_sfc_pairs_raises_with_replacement(self):
         from repro.experiments import run_sfc_pairs
 
-        with pytest.warns(DeprecationWarning, match=r"run_study\('tables'\)"):
+        with pytest.raises(RuntimeError, match=r"run_study\('tables'\)"):
             run_sfc_pairs(TINY, seed=1, trials=1, curves=("hilbert",))
 
-    def test_run_campaign_case_warns(self):
+    def test_run_campaign_case_raises(self):
         from repro.experiments.campaign import run_campaign_case
         from repro.experiments.config import FmmCase
 
@@ -49,17 +49,11 @@ class TestLegacyRunnerShims:
             processor_curve="hilbert",
             distribution="uniform",
         )
-        with pytest.warns(DeprecationWarning, match="run_campaign"):
+        with pytest.raises(RuntimeError, match="run_campaign"):
             run_campaign_case(case, 1, 0, ("nfi",))
 
-    def test_warning_points_at_caller(self):
-        import warnings
-
+    def test_error_mentions_plan_builder_escape_hatch(self):
         from repro.experiments import run_clustering_study
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+        with pytest.raises(RuntimeError, match=r"plan=plan_\*\(ctx"):
             run_clustering_study(order=4, query_sizes=(2,), samples=10, seed=1)
-        ours = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert ours, "expected a DeprecationWarning"
-        assert ours[0].filename == __file__

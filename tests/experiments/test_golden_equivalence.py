@@ -2,7 +2,7 @@
 
 The goldens under ``tests/experiments/goldens/`` were captured from the
 pre-refactor study runners (hand-rolled serial ``run_case`` loops) at a
-tiny scale::
+tiny scale (re-capture with)::
 
     PYTHONPATH=src python tests/experiments/test_golden_equivalence.py capture
 
@@ -46,66 +46,90 @@ SEED = 7
 TRIALS = 2
 
 
-def _run_fig5():
-    from repro.experiments import run_anns_study
+def _ctx(**overrides):
+    from repro.experiments import StudyContext
 
-    return run_anns_study(TINY)
+    return StudyContext(**{"scale": TINY, "seed": SEED, "trials": TRIALS, **overrides})
+
+
+def _run_fig5():
+    from repro.experiments import StudyContext, run_study
+
+    return run_study("fig5", StudyContext(scale=TINY))
 
 
 def _run_tables():
-    from repro.experiments import run_sfc_pairs
+    from repro.experiments import run_study
 
-    return run_sfc_pairs(TINY, seed=SEED, trials=TRIALS)
+    return run_study("tables", _ctx())
 
 
 def _run_fig6():
-    from repro.experiments import run_topology_study
+    from repro.experiments import run_study
 
-    return run_topology_study(TINY, seed=SEED, trials=TRIALS)
+    return run_study("fig6", _ctx())
 
 
 def _run_fig7():
-    from repro.experiments import run_scaling_study
+    from repro.experiments import run_study
 
-    return run_scaling_study(TINY, seed=SEED, trials=TRIALS)
+    return run_study("fig7", _ctx())
 
 
 def _run_sweep_radius():
-    from repro.experiments import run_radius_sweep
+    from repro.experiments import run_study
+    from repro.experiments.parametric import plan_radius_sweep
 
-    return run_radius_sweep(TINY, radii=(1, 2), seed=SEED, trials=TRIALS)
+    ctx = _ctx()
+    return run_study("sweep_radius", ctx, plan=plan_radius_sweep(ctx, (1, 2)))
 
 
 def _run_sweep_input_size():
-    from repro.experiments import run_input_size_sweep
+    from repro.experiments import run_study
+    from repro.experiments.parametric import plan_input_size_sweep
 
-    return run_input_size_sweep(TINY, fractions=(0.5, 1.0), seed=SEED, trials=TRIALS)
+    ctx = _ctx()
+    return run_study(
+        "sweep_input_size", ctx, plan=plan_input_size_sweep(ctx, (0.5, 1.0))
+    )
 
 
 def _run_sweep_distribution():
-    from repro.experiments import run_distribution_sweep
+    from repro.experiments import run_study
 
-    return run_distribution_sweep(TINY, seed=SEED, trials=TRIALS)
+    return run_study("sweep_distribution", _ctx())
 
 
 def _run_clustering():
-    from repro.experiments import run_clustering_study
+    from repro.experiments import StudyContext, run_study
+    from repro.experiments.clustering_study import plan_clustering_study
 
-    return run_clustering_study(order=5, query_sizes=(2, 4), samples=50, seed=SEED)
+    ctx = StudyContext(seed=SEED)
+    return run_study(
+        "clustering",
+        ctx,
+        plan=plan_clustering_study(ctx, order=5, query_sizes=(2, 4), samples=50),
+    )
 
 
 def _run_validate3d():
-    from repro.experiments import run_study3d
+    from repro.experiments import StudyContext, run_study
+    from repro.experiments.study3d import plan_study3d
 
-    return run_study3d(
-        num_particles=500, order=3, num_processors=64, trials=TRIALS, seed=SEED
+    ctx = StudyContext(seed=SEED, trials=TRIALS)
+    return run_study(
+        "validate3d",
+        ctx,
+        plan=plan_study3d(ctx, num_particles=500, order=3, num_processors=64),
     )
 
 
 def _run_anns3d():
-    from repro.experiments import run_anns3d_study
+    from repro.experiments import StudyContext, run_study
+    from repro.experiments.study3d import plan_anns3d_study
 
-    return run_anns3d_study(orders=(1, 2))
+    ctx = StudyContext()
+    return run_study("anns3d", ctx, plan=plan_anns3d_study(ctx, (1, 2))).values
 
 
 def _run_ablations():

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import Scale, run_anns_study, run_scaling_study, run_sfc_pairs
+from repro.experiments import Scale, StudyContext, run_study
+from repro.experiments.scaling_study import plan_scaling_study
+from repro.experiments.sfc_pairs import plan_sfc_pairs
 from repro.experiments.io import load_result, result_to_csv_rows, save_result, write_csv
 
 TINY = Scale(
@@ -26,12 +28,15 @@ TINY = Scale(
 
 @pytest.fixture(scope="module")
 def anns_result():
-    return run_anns_study(TINY)
+    return run_study("fig5", StudyContext(scale=TINY))
 
 
 @pytest.fixture(scope="module")
 def pairs_result():
-    return run_sfc_pairs(TINY, seed=0, trials=1, curves=("hilbert", "rowmajor"))
+    ctx = StudyContext(scale=TINY, seed=0, trials=1)
+    return run_study(
+        "tables", ctx, plan=plan_sfc_pairs(ctx, curves=("hilbert", "rowmajor"))
+    )
 
 
 class TestJsonRoundtrip:
@@ -45,7 +50,8 @@ class TestJsonRoundtrip:
         assert load_result(path) == pairs_result
 
     def test_scaling(self, tmp_path):
-        result = run_scaling_study(TINY, seed=0, trials=1, curves=("hilbert",))
+        ctx = StudyContext(scale=TINY, seed=0, trials=1)
+        result = run_study("fig7", ctx, plan=plan_scaling_study(ctx, ("hilbert",)))
         path = save_result(result, tmp_path / "scaling.json")
         assert load_result(path) == result
 

@@ -1,0 +1,155 @@
+"""Tests for the objective-metric studies (energy, data volume, partitions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import StudyContext, run_study
+from repro.experiments.metric_studies import (
+    CommunicationMetricResult,
+    METRIC_TOPOLOGIES,
+    SurfaceVolumeStudyResult,
+    default_partition_order,
+    evaluate_communication_metric,
+    evaluate_partition_metric,
+    format_communication_metric,
+    format_surface_volume_study,
+    plan_data_volume_study,
+    plan_energy_study,
+    plan_surface_volume_study,
+)
+from repro.experiments.store import ResultStore
+from repro.experiments.study import store_key
+
+TINY = dict(
+    topologies=("torus", "fat_tree"),
+    curves=("hilbert", "rowmajor"),
+    num_particles=300,
+    order=5,
+    num_processors=16,
+)
+
+
+def _ctx(**overrides):
+    return StudyContext(**{"seed": 9, "trials": 1, "store": None, **overrides})
+
+
+class TestUnitFunctions:
+    def test_communication_unit_rejects_partition_metric(self):
+        with pytest.raises(TypeError, match="partition"):
+            evaluate_communication_metric(
+                metric="surface_to_volume",
+                case={},
+                trials=1,
+                seed=0,
+            )
+
+    def test_partition_unit_rejects_communication_metric(self):
+        with pytest.raises(TypeError, match="communication"):
+            evaluate_partition_metric(
+                metric="energy", curve="hilbert", order=3, num_processors=4
+            )
+
+    def test_metric_name_lands_in_store_key(self):
+        """The tentpole contract: the objective is part of the canonical key."""
+        ctx = _ctx()
+        for metric, plan in (
+            ("energy", plan_energy_study(ctx, **TINY)),
+            ("data_volume", plan_data_volume_study(ctx, **TINY)),
+        ):
+            key = store_key(plan.units[0], plan)
+            assert key["kwargs"]["metric"] == metric
+
+    def test_default_partition_order_is_radix_aware(self):
+        assert default_partition_order("peano") == 3
+        assert default_partition_order("hilbert") == 5
+
+
+class TestCommunicationStudies:
+    @pytest.fixture(scope="class")
+    def energy(self):
+        ctx = _ctx()
+        return run_study("energy", ctx, plan=plan_energy_study(ctx, **TINY))
+
+    def test_structure(self, energy):
+        assert isinstance(energy, CommunicationMetricResult)
+        assert energy.metric == "energy"
+        assert energy.topologies == ("torus", "fat_tree")
+        assert all(energy.nfi[t][c] > 0 for t in energy.topologies for c in energy.curves)
+
+    def test_energy_exceeds_message_floor(self, energy):
+        """Every event pays the per-message cost; hops only add to it."""
+        from repro.metrics.energy import DEFAULT_MESSAGE_COST
+
+        for t in energy.topologies:
+            for c in energy.curves:
+                assert energy.nfi[t][c] >= DEFAULT_MESSAGE_COST
+
+    def test_data_volume_study_runs(self):
+        ctx = _ctx()
+        result = run_study(
+            "data_volume", ctx, plan=plan_data_volume_study(ctx, **TINY)
+        )
+        assert result.metric == "data_volume"
+        text = format_communication_metric(result)
+        assert "bytes/event" in text and "Fat Tree" in text
+
+    def test_jobs_bit_identical(self, energy):
+        ctx = _ctx(jobs=4)
+        parallel = run_study("energy", ctx, plan=plan_energy_study(ctx, **TINY))
+        assert parallel == energy
+
+    def test_cold_warm_bit_identical(self, tmp_path, energy):
+        store = ResultStore(tmp_path)
+        ctx = _ctx(store=store)
+        cold = run_study("energy", ctx, plan=plan_energy_study(ctx, **TINY))
+        assert cold == energy
+        assert store.stats["entries"] > 0
+        warm = run_study("energy", ctx, plan=plan_energy_study(ctx, **TINY))
+        assert warm == cold
+        assert store.hits > 0 and store.misses == store.stats["entries"]
+
+
+class TestSurfaceVolumeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        ctx = _ctx()
+        plan = plan_surface_volume_study(
+            ctx, curves=("hilbert", "zcurve", "peano"), processors=(4, 16)
+        )
+        return run_study("surface_to_volume", ctx, plan=plan)
+
+    def test_structure(self, result):
+        assert isinstance(result, SurfaceVolumeStudyResult)
+        assert result.orders == {"hilbert": 5, "zcurve": 5, "peano": 3}
+        assert result.max_ratio["hilbert"][4] > 0
+
+    def test_hilbert_beats_zcurve(self, result):
+        for p in result.processors:
+            assert result.max_ratio["hilbert"][p] <= result.max_ratio["zcurve"][p]
+
+    def test_format(self, result):
+        text = format_surface_volume_study(result)
+        assert "surface_to_volume" in text
+        assert "peano: 3^3 per side" in text
+
+    def test_cold_warm_bit_identical(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        ctx = _ctx(store=store)
+        plan = plan_surface_volume_study(
+            ctx, curves=("hilbert", "zcurve", "peano"), processors=(4, 16)
+        )
+        cold = run_study("surface_to_volume", ctx, plan=plan)
+        warm = run_study("surface_to_volume", ctx, plan=plan)
+        assert cold == result and warm == result
+
+
+class TestCliRegistration:
+    def test_metrics_command_group(self):
+        from repro.experiments.cli import ALL_ORDER, COMMANDS
+
+        assert COMMANDS["metrics"] == ("energy", "data_volume", "surface_to_volume")
+        assert "metrics" in ALL_ORDER
+
+    def test_default_topologies_include_extensions(self):
+        assert "fat_tree" in METRIC_TOPOLOGIES and "dragonfly" in METRIC_TOPOLOGIES

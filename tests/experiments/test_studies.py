@@ -1,4 +1,4 @@
-"""Integration tests for the study runners at a tiny scale."""
+"""Integration tests for the registered studies at a tiny scale."""
 
 from __future__ import annotations
 
@@ -6,19 +6,15 @@ import pytest
 
 from repro.experiments import (
     Scale,
+    StudyContext,
     format_anns_study,
     format_scaling_study,
     format_sfc_pairs,
     format_sweep,
     format_topology_study,
-    run_anns_study,
-    run_distribution_sweep,
-    run_input_size_sweep,
-    run_radius_sweep,
-    run_scaling_study,
-    run_sfc_pairs,
-    run_topology_study,
+    run_study,
 )
+from repro.experiments.parametric import plan_input_size_sweep, plan_radius_sweep
 
 TINY = Scale(
     name="tiny",
@@ -39,24 +35,24 @@ TINY = Scale(
 
 class TestAnnsStudy:
     def test_structure(self):
-        result = run_anns_study(TINY)
+        result = run_study("fig5", StudyContext(scale=TINY))
         assert result.orders == (1, 2, 3, 4)
         assert set(result.values) == {1, 6}
         assert set(result.values[1]) == {"hilbert", "zcurve", "gray", "rowmajor"}
         assert len(result.values[1]["hilbert"]) == 4
 
     def test_sides(self):
-        assert run_anns_study(TINY).sides() == [2, 4, 8, 16]
+        assert run_study("fig5", StudyContext(scale=TINY)).sides() == [2, 4, 8, 16]
 
     def test_format_contains_panels(self):
-        text = format_anns_study(run_anns_study(TINY))
+        text = format_anns_study(run_study("fig5", StudyContext(scale=TINY)))
         assert "Fig. 5(a)" in text and "Fig. 5(b)" in text
 
 
 class TestSfcPairs:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_sfc_pairs(TINY, seed=1, trials=1)
+        return run_study("tables", StudyContext(scale=TINY, seed=1, trials=1))
 
     def test_matrix_shape(self, result):
         assert result.distributions == ("uniform", "normal", "exponential")
@@ -81,7 +77,7 @@ class TestSfcPairs:
 class TestTopologyStudy:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_topology_study(TINY, seed=1, trials=1)
+        return run_study("fig6", StudyContext(scale=TINY, seed=1, trials=1))
 
     def test_all_cells_present(self, result):
         assert set(result.topologies) == {"bus", "ring", "mesh", "torus", "quadtree", "hypercube"}
@@ -98,37 +94,44 @@ class TestTopologyStudy:
 
 class TestScalingStudy:
     def test_series_lengths(self):
-        result = run_scaling_study(TINY, seed=1, trials=1)
+        result = run_study("fig7", StudyContext(scale=TINY, seed=1, trials=1))
         assert result.processor_counts == (4, 16)
         for curve in result.curves:
             assert len(result.nfi[curve]) == 2
             assert len(result.ffi[curve]) == 2
 
     def test_acd_grows_with_processors(self):
-        result = run_scaling_study(TINY, seed=1, trials=1)
+        result = run_study("fig7", StudyContext(scale=TINY, seed=1, trials=1))
         for curve in result.curves:
             assert result.nfi[curve][1] >= result.nfi[curve][0]
 
     def test_format(self):
-        text = format_scaling_study(run_scaling_study(TINY, seed=1, trials=1))
+        text = format_scaling_study(run_study("fig7", StudyContext(scale=TINY, seed=1, trials=1)))
         assert "Fig. 7(a)" in text and "Fig. 7(b)" in text
 
 
 class TestSweeps:
     def test_radius_sweep_monotone_event_growth(self):
-        result = run_radius_sweep(TINY, radii=(1, 2), seed=1, trials=1)
+        ctx = StudyContext(scale=TINY, seed=1, trials=1)
+        result = run_study("sweep_radius", ctx, plan=plan_radius_sweep(ctx, (1, 2)))
         assert result.parameter == "radius"
         assert result.values == (1, 2)
 
     def test_input_size_sweep(self):
-        result = run_input_size_sweep(TINY, fractions=(0.5, 1.0), seed=1, trials=1)
+        ctx = StudyContext(scale=TINY, seed=1, trials=1)
+        result = run_study(
+            "sweep_input_size", ctx, plan=plan_input_size_sweep(ctx, (0.5, 1.0))
+        )
         assert len(result.values) == 2
         assert result.values[0] < result.values[1]
 
     def test_distribution_sweep(self):
-        result = run_distribution_sweep(TINY, seed=1, trials=1)
+        result = run_study("sweep_distribution", StudyContext(scale=TINY, seed=1, trials=1))
         assert result.values == ("uniform", "normal", "exponential")
 
     def test_format(self):
-        text = format_sweep(run_radius_sweep(TINY, radii=(1, 2), seed=1, trials=1))
+        ctx = StudyContext(scale=TINY, seed=1, trials=1)
+        text = format_sweep(
+            run_study("sweep_radius", ctx, plan=plan_radius_sweep(ctx, (1, 2)))
+        )
         assert "NFI ACD vs radius" in text

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.distributions import get_distribution
-from repro.experiments import Scale, run_sfc_pairs, run_topology_study
+from repro.experiments import Scale, StudyContext, run_study
 from repro.fmm import FmmCommunicationModel, ffi_events
 from repro.metrics import acd_breakdown, anns
 from repro.partition import partition_particles
@@ -41,12 +41,12 @@ PLOTTED = ("mesh", "torus", "quadtree", "hypercube")  # Fig. 6's bars
 
 @pytest.fixture(scope="module")
 def pairs_result():
-    return run_sfc_pairs(CLAIM_SCALE, seed=7, trials=2)
+    return run_study("tables", StudyContext(scale=CLAIM_SCALE, seed=7, trials=2))
 
 
 @pytest.fixture(scope="module")
 def topo_result():
-    return run_topology_study(CLAIM_SCALE, seed=7, trials=2)
+    return run_study("fig6", StudyContext(scale=CLAIM_SCALE, seed=7, trials=2))
 
 
 class TestTableIClaims:

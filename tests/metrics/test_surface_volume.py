@@ -1,0 +1,91 @@
+"""Tests for the discrete surface-to-volume partition metric.
+
+The analytic envelopes follow Gadouleau & Weinzierl: any polyomino obeys
+the isoperimetric lower bound ``surface >= 2 * ceil(2 * sqrt(V))``, and
+every *connected* part (any segment of a continuous curve) fits under
+the worst-case envelope ``surface <= 2V + 2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.registry import get_metric
+from repro.metrics.surface_volume import SurfaceVolumeMetric, partition_surfaces
+
+CONTINUOUS = ("hilbert", "snake", "peano")
+DISCONTINUOUS = ("zcurve", "gray", "rowmajor")
+
+
+class TestPartitionSurfaces:
+    def test_volumes_cover_lattice(self):
+        surfaces, volumes = partition_surfaces("hilbert", 4, 16)
+        assert volumes.sum() == 256
+        assert np.all(volumes == 16)  # 256 cells split 16 ways evenly
+
+    def test_single_part_is_domain_boundary(self):
+        """p = 1: the only part's surface is the lattice perimeter."""
+        for curve, order, side in (("hilbert", 3, 8), ("peano", 2, 9)):
+            surfaces, volumes = partition_surfaces(curve, order, 1)
+            assert volumes[0] == side * side
+            assert surfaces[0] == 4 * side
+
+    def test_full_split_unit_cells(self):
+        """p = size: every part is one cell with 4 exposed faces."""
+        surfaces, volumes = partition_surfaces("zcurve", 2, 16)
+        assert np.all(volumes == 1)
+        assert np.all(surfaces == 4)
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            partition_surfaces("hilbert", 2, 17)
+
+
+class TestAnalyticEnvelopes:
+    @pytest.mark.parametrize("curve", CONTINUOUS + DISCONTINUOUS)
+    @pytest.mark.parametrize("p", [2, 4, 7, 16])
+    def test_isoperimetric_lower_bound(self, curve, p):
+        order = 3 if curve == "peano" else 5
+        surfaces, volumes = partition_surfaces(curve, order, p)
+        for s, v in zip(surfaces.tolist(), volumes.tolist()):
+            assert s >= 2 * math.ceil(2 * math.sqrt(v))
+
+    @pytest.mark.parametrize("curve", CONTINUOUS)
+    @pytest.mark.parametrize("p", [2, 4, 7, 16])
+    def test_connected_chunk_upper_bound(self, curve, p):
+        """Continuous curves cut into connected polyominoes: s <= 2V + 2."""
+        order = 3 if curve == "peano" else 5
+        surfaces, volumes = partition_surfaces(curve, order, p)
+        for s, v in zip(surfaces.tolist(), volumes.tolist()):
+            assert s <= 2 * v + 2
+
+    def test_hilbert_square_chunks_exact(self):
+        """Order-4 Hilbert split 16 ways gives sixteen 4x4 squares:
+        ratio = 16/16 = 1 for every part."""
+        result = SurfaceVolumeMetric().evaluate("hilbert", 4, 16)
+        assert result["max_ratio"] == pytest.approx(1.0)
+        assert result["mean_ratio"] == pytest.approx(1.0)
+        assert result["max_surface"] == 16 and result["max_volume"] == 16
+
+    def test_peano_square_chunks_exact(self):
+        """Order-2 Peano split 9 ways gives nine 3x3 squares:
+        ratio = 12/9 = 4/3 for every part."""
+        result = SurfaceVolumeMetric().evaluate("peano", 2, 9)
+        assert result["max_ratio"] == pytest.approx(4 / 3)
+        assert result["mean_ratio"] == pytest.approx(4 / 3)
+
+    def test_continuous_beats_discontinuous(self):
+        """§IV chunking: Hilbert's worst part stays more compact than the
+        Z-curve's, whose chunks shatter across the lattice."""
+        metric = get_metric("surface_to_volume")
+        hilbert = metric.evaluate("hilbert", 5, 7)
+        zcurve = metric.evaluate("zcurve", 5, 7)
+        assert hilbert["max_ratio"] < zcurve["max_ratio"]
+
+    def test_result_is_json_native(self):
+        result = get_metric("surface_to_volume").evaluate("gray", 4, 8)
+        for value in result.values():
+            assert isinstance(value, (int, float, str))

@@ -1,0 +1,116 @@
+"""Tests for the radix-3 Peano curve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ResolutionError
+from repro.sfc import get_curve
+from repro.sfc.peano import PEANO_MAX_ORDER, PeanoCurve
+
+
+def _reference_decode(index: int, order: int) -> tuple[int, int]:
+    """Scalar textbook construction: per-level digit flips on running sums."""
+    x = y = sum_p = sum_q = 0
+    for j in range(order):
+        pair = (index // 9 ** (order - 1 - j)) % 9
+        p, q = divmod(pair, 3)
+        xd = 2 - p if sum_q % 2 else p
+        sum_p += p
+        yd = 2 - q if sum_p % 2 else q
+        sum_q += q
+        x = x * 3 + xd
+        y = y * 3 + yd
+    return x, y
+
+
+class TestGeometry:
+    def test_radix_three_sides(self):
+        for order in range(5):
+            c = PeanoCurve(order)
+            assert c.side == 3**order
+            assert c.size == 9**order
+
+    def test_registry_lookup(self):
+        c = get_curve("peano", 2)
+        assert isinstance(c, PeanoCurve)
+        assert c.continuous
+
+    def test_order_zero(self):
+        c = PeanoCurve(0)
+        assert c.size == 1
+        assert c.decode(0) == (0, 0)
+
+    def test_max_order_enforced(self):
+        PeanoCurve(PEANO_MAX_ORDER)  # the boundary order constructs
+        with pytest.raises(ResolutionError):
+            PeanoCurve(PEANO_MAX_ORDER + 1)
+
+
+class TestTraversal:
+    def test_order_one_serpentine(self):
+        """The 3x3 base motif: column-serpentine from (0,0) to (2,2)."""
+        c = PeanoCurve(1)
+        points = [c.decode(i) for i in range(9)]
+        assert points == [
+            (0, 0), (0, 1), (0, 2),
+            (1, 2), (1, 1), (1, 0),
+            (2, 0), (2, 1), (2, 2),
+        ]
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_bijection_and_roundtrip(self, order):
+        c = PeanoCurve(order)
+        idx = np.arange(c.size)
+        x, y = c.decode(idx)
+        assert np.array_equal(c.encode(x, y), idx)
+        grid = c.index_grid()
+        assert sorted(grid.ravel().tolist()) == list(range(c.size))
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_geometric_continuity(self, order):
+        """Every consecutive pair of cells is a Manhattan-1 step."""
+        c = PeanoCurve(order)
+        x, y = c.decode(np.arange(c.size))
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.all(steps == 1)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_matches_scalar_reference(self, order):
+        c = PeanoCurve(order)
+        idx = np.arange(c.size)
+        x, y = c.decode(idx)
+        for i in range(c.size):
+            assert (int(x[i]), int(y[i])) == _reference_decode(i, order)
+
+    def test_self_similarity(self):
+        """The first ninth of an order-k curve is the order-(k-1) curve."""
+        for order in (2, 3):
+            big = PeanoCurve(order)
+            small = PeanoCurve(order - 1)
+            idx = np.arange(small.size)
+            bx, by = big.decode(idx)
+            sx, sy = small.decode(idx)
+            assert np.array_equal(bx, sx)
+            assert np.array_equal(by, sy)
+
+
+class TestDtypeLimit:
+    def test_roundtrip_at_max_order(self):
+        """Order 19 uses the full int64 index space without overflow."""
+        c = PeanoCurve(PEANO_MAX_ORDER)
+        assert c.size == 9**PEANO_MAX_ORDER
+        assert c.size < 2**63
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, c.size, 1000, dtype=np.int64)
+        # include both extremes of the index space
+        idx = np.concatenate([idx, [0, c.size - 1]])
+        x, y = c.decode(idx)
+        assert int(x.max()) < c.side and int(y.max()) < c.side
+        assert np.array_equal(c.encode(x, y), idx)
+
+    def test_endpoints_at_max_order(self):
+        c = PeanoCurve(PEANO_MAX_ORDER)
+        assert c.decode(0) == (0, 0)
+        assert c.decode(c.size - 1) == (c.side - 1, c.side - 1)

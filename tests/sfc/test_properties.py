@@ -12,6 +12,18 @@ from repro.sfc.registry import ALL_CURVES
 curve_names = st.sampled_from(ALL_CURVES)
 orders = st.integers(min_value=0, max_value=9)
 
+# Full-lattice scans materialise curve.size cells; cap the order so a
+# radix-3 curve (9x growth per level) stays as cheap as the radix-2 ones.
+FULL_LATTICE_MAX_CELLS = 1 << 13
+
+
+def _bounded_curve(name, order):
+    curve = get_curve(name, order)
+    while order > 1 and curve.size > FULL_LATTICE_MAX_CELLS:
+        order -= 1
+        curve = get_curve(name, order)
+    return curve
+
 
 @st.composite
 def curve_and_points(draw):
@@ -48,7 +60,7 @@ def test_indices_in_range(args):
 @given(curve_names, st.integers(min_value=1, max_value=6))
 @settings(max_examples=30)
 def test_injective_on_full_lattice(name, order):
-    curve = get_curve(name, order)
+    curve = _bounded_curve(name, order)
     grid = curve.index_grid()
     assert np.unique(grid).size == curve.size
 
@@ -56,7 +68,7 @@ def test_injective_on_full_lattice(name, order):
 @given(curve_names, st.integers(min_value=1, max_value=6))
 @settings(max_examples=30)
 def test_continuity_flag_is_truthful(name, order):
-    curve = get_curve(name, order)
+    curve = _bounded_curve(name, order)
     steps = curve.step_lengths()
     if curve.continuous:
         assert np.all(steps == 1)

@@ -180,6 +180,114 @@ class TestQueryService:
         assert service.counters["service.computed"] == 0
 
 
+class TestObjective:
+    """The redesigned API: /recommend ranks by any registered metric."""
+
+    def test_default_objective_is_acd(self):
+        request = RecommendRequest.from_payload(TINY)
+        assert request.objective == "acd"
+        assert request.payload()["objective"] == "acd"
+
+    def test_objective_canonicalised(self):
+        request = RecommendRequest.from_payload({**TINY, "objective": "Energy"})
+        assert request.objective == "energy"
+        # spelling variants share one canonical request (and store keys)
+        other = RecommendRequest.from_payload({**TINY, "objective": "energy"})
+        assert request.canonical() == other.canonical()
+
+    def test_unknown_objective_lists_registered_names(self):
+        with pytest.raises(RequestError) as exc:
+            RecommendRequest.from_payload({**TINY, "objective": "latency"})
+        msg = str(exc.value)
+        assert "acd" in msg and "energy" in msg and "data_volume" in msg
+
+    def test_partition_objective_rejected(self):
+        with pytest.raises(RequestError, match="partition"):
+            RecommendRequest.from_payload({**TINY, "objective": "surface_to_volume"})
+
+    def test_objective_distinguishes_requests(self):
+        acd = RecommendRequest.from_payload(TINY)
+        energy = RecommendRequest.from_payload({**TINY, "objective": "energy"})
+        assert acd.canonical() != energy.canonical()
+
+    def test_cold_then_warm_energy(self, store):
+        service = QueryService(store)
+        payload = {**TINY, "objective": "energy"}
+        cold = run(service.recommend(payload))
+        assert cold["source"] == "computed"
+        assert cold["request"]["objective"] == "energy"
+        warm = run(service.recommend(payload))
+        assert warm["source"] == "store"
+        assert warm["manifest"]["campaign.trials"] == 0
+        assert warm["manifest"]["store.misses"] == 0
+        assert warm["ranking"] == cold["ranking"]
+
+    def test_energy_ranking_shape(self, store):
+        service = QueryService(store)
+        ranking = run(service.recommend({**TINY, "objective": "energy"}))["ranking"]
+        scores = [e["score"] for e in ranking]
+        assert scores == sorted(scores)
+        for entry in ranking:
+            assert entry["nfi_mean"] > 0 and entry["ffi_mean"] > 0
+
+    def test_objectives_do_not_share_store_entries(self, store):
+        service = QueryService(store)
+        run(service.recommend(TINY))
+        energy = run(service.recommend({**TINY, "objective": "energy"}))
+        # the acd warm-up must not satisfy the energy request
+        assert energy["source"] == "computed"
+
+    def test_precompute_energy_warms_recommend(self, store):
+        stats = precompute(
+            store,
+            num_particles=TINY["num_particles"],
+            num_processors=TINY["num_processors"],
+            distributions=("uniform",),
+            topologies=tuple(TINY["topologies"]),
+            curves=tuple(TINY["curves"]),
+            trials=1,
+            objective="energy",
+        )
+        assert stats == {"cases": 4, "reused": 0, "computed": 4, "trials": 0}
+        service = QueryService(store)
+        warm = run(service.recommend({**TINY, "objective": "energy"}))
+        assert warm["source"] == "store"
+        assert warm["manifest"]["campaign.trials"] == 0
+
+    def test_precompute_cli_objective_flag(self, tmp_path, capsys):
+        url = f"sqlite://{tmp_path}/r.db"
+        assert (
+            main(
+                [
+                    "precompute", "--store", url,
+                    "--particles", "32", "--processors", "16",
+                    "--distributions", "uniform", "--trials", "1",
+                    "--objective", "energy",
+                ]
+            )
+            == 0
+        )
+        assert "16 cases" in capsys.readouterr().out
+        assert len(open_store(url)) == 16
+
+    def test_http_unknown_objective_is_400(self, store):
+        async def scenario():
+            service = QueryService(store)
+            ready = asyncio.Event()
+            server = asyncio.create_task(serve(service, port=0, ready=ready))
+            await ready.wait()
+            port = service.port
+            with pytest.raises(urllib.error.HTTPError) as err:
+                await asyncio.to_thread(
+                    _request_json, port, "/recommend", {**TINY, "objective": "nope"}
+                )
+            assert err.value.code == 400
+            await asyncio.to_thread(_request_json, port, "/shutdown", {})
+            await asyncio.wait_for(server, timeout=10)
+
+        run(scenario())
+
+
 class TestPrecompute:
     def test_warms_exactly_the_request_keys(self, store):
         stats = precompute(

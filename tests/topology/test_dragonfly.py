@@ -1,0 +1,118 @@
+"""Tests for the dragonfly topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import route
+from repro.errors import TopologySizeError
+from repro.topology import DragonflyTopology, make_topology
+
+
+def _bfs_distances(p: int, links: np.ndarray) -> np.ndarray:
+    """All-pairs shortest paths of the undirected link graph."""
+    adj: list[list[int]] = [[] for _ in range(p)]
+    for u, v in links.tolist():
+        adj[u].append(v)
+        adj[v].append(u)
+    dist = np.full((p, p), -1, dtype=np.int64)
+    for s in range(p):
+        dist[s, s] = 0
+        frontier = [s]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in adj[u]:
+                    if dist[s, v] < 0:
+                        dist[s, v] = dist[s, u] + 1
+                        nxt.append(v)
+            frontier = nxt
+    return dist
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("p", [1, 4, 16, 64])
+    def test_powers_of_four_accepted(self, p):
+        topo = DragonflyTopology(p)
+        assert topo.num_processors == p
+        assert topo.group_size * topo.num_groups == p
+
+    @pytest.mark.parametrize("p", [2, 8, 32, 50])
+    def test_other_sizes_rejected(self, p):
+        with pytest.raises(TopologySizeError):
+            DragonflyTopology(p)
+
+    def test_link_counts(self):
+        """g complete graphs plus one global link per group pair."""
+        topo = DragonflyTopology(16)  # 4 groups of 4
+        links = topo.links()
+        local = 4 * (4 * 3 // 2)
+        global_ = 4 * 3 // 2
+        assert len(links) == local + global_
+        # links are unique undirected pairs
+        assert len({tuple(l) for l in links.tolist()}) == len(links)
+
+
+class TestDistance:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_formula_is_exact_graph_metric(self, p):
+        """The closed form must equal BFS over the physical links."""
+        topo = DragonflyTopology(p)
+        ranks = np.arange(p)
+        d = topo.distance(ranks[:, None], ranks[None, :])
+        assert np.array_equal(d, _bfs_distances(p, topo.links()))
+
+    def test_intra_and_inter_group_values(self):
+        topo = DragonflyTopology(16)
+        # same group: one local hop
+        assert topo.distance(0, 1) == 1
+        # gateway-to-gateway: group 0's link to group 1 sits on router 0,
+        # group 1's link back on router 0 (attach(1, 0) = 0)
+        assert topo.distance(0, 4) == 1
+        assert topo.diameter == 3
+        ranks = np.arange(16)
+        d = topo.distance(ranks[:, None], ranks[None, :])
+        assert d.max() == 3
+
+    def test_metric_axioms(self):
+        topo = DragonflyTopology(64)
+        ranks = np.arange(64)
+        d = topo.distance(ranks[:, None], ranks[None, :])
+        assert np.array_equal(d, d.T)
+        assert np.all(np.diag(d) == 0)
+        assert np.all(d[~np.eye(64, dtype=bool)] > 0)
+        assert np.all(d[:, None, :] <= d[:, :, None] + d[None, :, :])
+
+    def test_route_length_equals_distance(self):
+        topo = DragonflyTopology(64)
+        links = {tuple(l) for l in topo.links().tolist()}
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            a, b = (int(v) for v in rng.integers(0, 64, 2))
+            path = route(topo, a, b)
+            assert len(path) - 1 == topo.distance(a, b)
+            assert path[0] == a and path[-1] == b
+            for u, v in zip(path[:-1], path[1:]):
+                assert tuple(sorted((u, v))) in links
+
+    def test_route_batch_hops_equal_distance(self):
+        from repro.contention import route_batch
+
+        topo = DragonflyTopology(64)
+        rng = np.random.default_rng(4)
+        src = rng.integers(0, 64, 500)
+        dst = rng.integers(0, 64, 500)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        batch = route_batch(topo, src, dst)
+        np.testing.assert_array_equal(batch.hop_counts(), topo.distance(src, dst))
+
+    def test_factory_ignores_processor_curve(self):
+        plain = make_topology("dragonfly", 16)
+        curved = make_topology("dragonfly", 16, processor_curve="hilbert")
+        ranks = np.arange(16)
+        assert np.array_equal(
+            plain.distance(ranks[:, None], ranks[None, :]),
+            curved.distance(ranks[:, None], ranks[None, :]),
+        )

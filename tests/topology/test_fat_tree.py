@@ -1,0 +1,88 @@
+"""Tests for the fat-tree (folded Clos) topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import route
+from repro.errors import TopologySizeError
+from repro.topology import FatTreeTopology, make_topology
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("p", [1, 4, 16, 64, 256])
+    def test_powers_of_four_accepted(self, p):
+        topo = FatTreeTopology(p)
+        assert topo.num_processors == p
+        assert topo.diameter == 2 * topo.height
+
+    @pytest.mark.parametrize("p", [2, 8, 32, 48, 100])
+    def test_other_sizes_rejected(self, p):
+        with pytest.raises(TopologySizeError):
+            FatTreeTopology(p)
+
+    def test_factory_ignores_processor_curve(self):
+        """Rank-labelled network: the SFC knob must not change anything."""
+        plain = make_topology("fat_tree", 64)
+        curved = make_topology("fat_tree", 64, processor_curve="hilbert")
+        ranks = np.arange(64)
+        d1 = plain.distance(ranks[:, None], ranks[None, :])
+        d2 = curved.distance(ranks[:, None], ranks[None, :])
+        assert np.array_equal(d1, d2)
+
+    def test_clos_alias(self):
+        assert isinstance(make_topology("clos", 16), FatTreeTopology)
+
+
+class TestDistance:
+    def test_lca_arithmetic_p16(self):
+        topo = FatTreeTopology(16)  # height 2: four 4-leaf switches
+        assert topo.distance(0, 0) == 0
+        # siblings under one leaf switch: up one level and back down
+        assert topo.distance(0, 3) == 2
+        # different leaf switches: through the root
+        assert topo.distance(0, 4) == 4
+        assert topo.distance(3, 12) == 4
+
+    def test_matches_reference_lca(self):
+        topo = FatTreeTopology(64)  # height 3
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            a, b = (int(v) for v in rng.integers(0, 64, 2))
+            depth = 0  # levels below the deepest common switch
+            while (a >> (2 * depth)) != (b >> (2 * depth)):
+                depth += 1
+            assert topo.distance(a, b) == 2 * depth
+
+    def test_metric_axioms(self):
+        topo = FatTreeTopology(64)
+        ranks = np.arange(64)
+        d = topo.distance(ranks[:, None], ranks[None, :])
+        assert np.array_equal(d, d.T)
+        assert np.all(np.diag(d) == 0)
+        assert np.all(d[~np.eye(64, dtype=bool)] > 0)
+        # triangle inequality over the full matrix
+        assert np.all(d[:, None, :] <= d[:, :, None] + d[None, :, :])
+        assert d.max() == topo.diameter
+
+    def test_route_length_equals_distance(self):
+        topo = FatTreeTopology(64)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a, b = (int(v) for v in rng.integers(0, 64, 2))
+            path = route(topo, a, b)
+            assert len(path) - 1 == topo.distance(a, b)
+            assert path[0] == a and path[-1] == b
+
+    def test_route_batch_hops_equal_distance(self):
+        from repro.contention import route_batch
+
+        topo = FatTreeTopology(64)
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 64, 500)
+        dst = rng.integers(0, 64, 500)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        batch = route_batch(topo, src, dst)
+        np.testing.assert_array_equal(batch.hop_counts(), topo.distance(src, dst))

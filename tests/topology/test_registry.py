@@ -38,7 +38,11 @@ class TestMakeTopology:
 
     def test_unknown_raises(self):
         with pytest.raises(UnknownNameError):
-            make_topology("dragonfly", 64)
+            make_topology("escher", 64)
+
+    def test_new_networks_registered(self):
+        names = topology_names()
+        assert "fat_tree" in names and "dragonfly" in names
 
     def test_names(self):
         assert set(PAPER_TOPOLOGIES) <= set(topology_names())

@@ -64,3 +64,43 @@ class TestRegistry:
         reg: Registry[tuple] = Registry("pair")
         reg.register("p", lambda a, b=0: (a, b))
         assert reg.create("p", 1, b=2) == (1, 2)
+
+
+def _package_registries():
+    from repro.distributions.registry import DISTRIBUTIONS
+    from repro.distributions.three_d import DISTRIBUTIONS3D
+    from repro.metrics.registry import METRICS
+    from repro.sfc.curves3d import CURVES3D
+    from repro.sfc.registry import CURVES
+    from repro.topology.registry import TOPOLOGIES
+
+    return {
+        "curves": CURVES,
+        "curves3d": CURVES3D,
+        "topologies": TOPOLOGIES,
+        "distributions": DISTRIBUTIONS,
+        "distributions3d": DISTRIBUTIONS3D,
+        "metrics": METRICS,
+    }
+
+
+class TestPackageRegistries:
+    """Shared contract every repro registry must honour."""
+
+    @pytest.mark.parametrize("which", sorted(_package_registries()))
+    def test_unknown_name_lists_names_sorted(self, which):
+        reg = _package_registries()[which]
+        with pytest.raises(UnknownNameError) as exc:
+            reg.canonical("definitely-not-registered")
+        err = exc.value
+        assert err.known == tuple(sorted(err.known))
+        assert err.known == tuple(sorted(reg.names()))
+        for name in reg.names():
+            assert name in str(err)
+
+    @pytest.mark.parametrize("which", sorted(_package_registries()))
+    def test_every_name_round_trips_canonical(self, which):
+        reg = _package_registries()[which]
+        for name in reg.names():
+            assert reg.canonical(name) == name
+            assert reg.canonical(name.upper().replace("_", "-")) == name
