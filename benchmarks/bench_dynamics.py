@@ -1,0 +1,113 @@
+"""Dynamic repartitioning: cold step loop vs warm per-step store replay.
+
+The ``dynamic`` study keys every (motion, topology, curve, step) point
+individually in the result store, so a warm rerun must replay the whole
+time series from disk without evolving a single step.  This benchmark
+times the cold loop (trajectory evolution + per-step event generation +
+metric evaluation) against the warm replay and asserts the replay is
+computation-free (the step evaluator is patched to forbid execution) and
+bit-identical.  Timings are appended to ``benchmarks/BENCH_dynamics.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dynamics import clear_trajectory_cache
+from repro.experiments.dynamics_study import DYNAMIC_STUDY, plan_dynamic_study
+from repro.experiments.store import ResultStore
+from repro.experiments.study import StudyContext, run_study
+
+TRAJECTORY = Path(__file__).parent / "BENCH_dynamics.json"
+
+SEED = 2013
+
+#: Per-tier workloads: steps x particles are the cold loop's cost axes.
+TIERS = {
+    "tiny": dict(
+        grid=(("drift", "uniform"), ("orbit", "clustered")),
+        topologies=("mesh",),
+        curves=("hilbert", "rowmajor"),
+        steps=3,
+        num_particles=300,
+        order=6,
+        num_processors=16,
+    ),
+    "small": dict(
+        steps=8,
+        num_particles=4_000,
+        order=7,
+        num_processors=64,
+    ),
+    "paper": dict(
+        steps=16,
+        num_particles=20_000,
+        order=8,
+        num_processors=256,
+    ),
+}
+
+
+def append_trajectory(record: dict) -> None:
+    history = []
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text())
+    history.append(record)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.mark.paper_artifact("ext-dynamic-repartitioning")
+def test_dynamic_step_loop_cold_vs_warm(benchmark, scale, report, tmp_path, monkeypatch):
+    if os.environ.get("REPRO_BENCH_TINY"):
+        tier = "tiny"
+    else:
+        tier = "paper" if scale.name == "paper" else "small"
+    params = TIERS[tier]
+    store = ResultStore(tmp_path / "store")
+    ctx = StudyContext(seed=SEED, store=store)
+    plan = plan_dynamic_study(ctx, **params)
+
+    def run():
+        return run_study(DYNAMIC_STUDY, ctx, plan=plan)
+
+    clear_trajectory_cache()
+    t0 = time.perf_counter()
+    cold = run()
+    t1 = time.perf_counter()
+
+    # Warm replay: every step loads from disk; computing any step at all
+    # is a failure, so the evaluator is replaced with a tripwire.
+    import repro.experiments.study as study_mod
+
+    def forbidden(unit):
+        raise AssertionError("step computed despite warm store")
+
+    monkeypatch.setattr(study_mod, "execute_compute_unit", forbidden)
+    clear_trajectory_cache()
+    t2 = time.perf_counter()
+    warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    t3 = time.perf_counter()
+
+    assert warm == cold
+    assert len(store) == len(plan.units)
+
+    cold_s, warm_s = t1 - t0, t3 - t2
+    record = {
+        "tier": tier,
+        "units": len(plan.units),
+        "steps": params["steps"],
+        "num_particles": params["num_particles"],
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "replay_speedup": round(cold_s / warm_s, 2) if warm_s else float("inf"),
+    }
+    append_trajectory(record)
+    report(
+        f"Dynamic step loop: cold evolution vs warm store replay (tier={tier})",
+        json.dumps(record, indent=2),
+    )

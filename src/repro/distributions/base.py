@@ -18,9 +18,30 @@ import numpy as np
 from repro._typing import IntArray, SeedLike
 from repro.errors import SamplingError
 from repro.util.rng import as_generator
-from repro.util.validation import check_in_range, check_nonnegative, check_order
+from repro.util.validation import as_index_array, check_nonnegative, check_order
 
 __all__ = ["Particles", "ParticleDistribution"]
+
+
+def _check_on_lattice(arr, side: int, order: int, name: str) -> IntArray:
+    """Validate lattice coordinates with a bounds message naming the fix.
+
+    Out-of-lattice coordinates would silently produce garbage curve keys
+    (the encoders mask to ``order`` bits), so they are rejected here at
+    construction.  Positions produced by motion must be folded in-bounds
+    first — :func:`repro.dynamics.boundary.reflect_positions` is the
+    documented mechanism.
+    """
+    a = as_index_array(arr, name)
+    if a.size:
+        mn, mx = int(a.min()), int(a.max())
+        if mn < 0 or mx >= side:
+            raise ValueError(
+                f"{name} coordinates must lie on the order-{order} lattice "
+                f"[0, {side}), got range [{mn}, {mx}]; fold moving particles "
+                "in-bounds first (repro.dynamics.boundary.reflect_positions)"
+            )
+    return a
 
 
 @dataclass(frozen=True)
@@ -42,8 +63,8 @@ class Particles:
     def __post_init__(self):
         k = check_order(self.order)
         side = 1 << k
-        object.__setattr__(self, "x", check_in_range(self.x, 0, side, "x"))
-        object.__setattr__(self, "y", check_in_range(self.y, 0, side, "y"))
+        object.__setattr__(self, "x", _check_on_lattice(self.x, side, k, "x"))
+        object.__setattr__(self, "y", _check_on_lattice(self.y, side, k, "y"))
         if self.x.shape != self.y.shape or self.x.ndim != 1:
             raise ValueError("x and y must be equal-length 1D arrays")
 

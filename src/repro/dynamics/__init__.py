@@ -1,0 +1,44 @@
+"""Time-evolution layer: motion models, step loop, repartitioning.
+
+Drives the static distributions of :mod:`repro.distributions` through a
+seeded step loop (drift / diffusion / orbit motion with reflecting
+lattice boundaries), re-sorting and re-chunking along the particle-order
+curve each step.  The :mod:`repro.experiments.dynamics_study` module
+composes this layer with the metric engine into the ``dynamic`` study.
+"""
+
+from repro.dynamics.boundary import reflect_positions
+from repro.dynamics.evolution import (
+    TrajectorySpec,
+    clear_trajectory_cache,
+    evolve_step,
+    resolve_collisions,
+    trajectory,
+)
+from repro.dynamics.motion import (
+    MOTIONS,
+    DiffusionMotion,
+    DriftMotion,
+    Motion,
+    OrbitMotion,
+    get_motion,
+)
+from repro.dynamics.repartition import migration_volume, owners_by_id, stale_assignment
+
+__all__ = [
+    "reflect_positions",
+    "Motion",
+    "DriftMotion",
+    "DiffusionMotion",
+    "OrbitMotion",
+    "MOTIONS",
+    "get_motion",
+    "TrajectorySpec",
+    "trajectory",
+    "clear_trajectory_cache",
+    "evolve_step",
+    "resolve_collisions",
+    "owners_by_id",
+    "migration_volume",
+    "stale_assignment",
+]

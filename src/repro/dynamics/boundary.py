@@ -1,0 +1,38 @@
+"""Reflecting lattice boundaries for time-evolving particle sets.
+
+:class:`~repro.distributions.base.Particles` rejects any coordinate
+outside ``[0, 2**order)`` — a drift step that walks off the lattice must
+therefore apply a boundary condition *before* constructing the next
+step's particle set.  The documented condition for the dynamics layer is
+specular reflection: positions fold back off the walls (a particle at
+``side - 1`` proposing ``side`` lands on ``side - 2``), which preserves
+particle count and keeps trajectories on the lattice for displacements
+of any magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.util.validation import as_index_array, check_positive
+
+__all__ = ["reflect_positions"]
+
+
+def reflect_positions(positions, side: int) -> IntArray:
+    """Fold proposed coordinates back into ``[0, side)`` by reflection.
+
+    The fold is the triangle wave of period ``2 * side - 2``: ``side``
+    maps to ``side - 2``, ``-1`` maps to ``1``, and overshoots larger
+    than the lattice bounce repeatedly, exactly as a specular wall
+    would.  Scalars and arrays are both accepted; the result is always
+    ``int64``.
+    """
+    side = check_positive(side, "side")
+    pos = as_index_array(positions, "positions")
+    if side == 1:
+        return np.zeros_like(pos)
+    period = 2 * side - 2
+    folded = np.mod(pos, period)
+    return np.where(folded >= side, period - folded, folded)

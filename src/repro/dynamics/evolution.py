@@ -1,0 +1,179 @@
+"""Time evolution of particle sets: step loop, collisions, trajectories.
+
+The FMM model requires at most one particle per finest-level cell, so a
+motion model's raw proposals cannot be applied directly — two particles
+may propose the same cell.  :func:`resolve_collisions` applies a
+deterministic, order-free acceptance rule:
+
+* a move is accepted only if its target cell was **unoccupied before the
+  step** (even if the occupant itself moves away this step), and
+* when several particles propose the same free cell, the lowest particle
+  id wins; the rest stay put.
+
+Both clauses are pure functions of the (current, proposed) arrays, so
+the outcome is independent of evaluation order, worker count, and
+platform — a prerequisite for the bit-identical jobs=1 / jobs=4
+guarantee of the dynamic study.
+
+Trajectories are seeded with ``SeedSequence`` spawns: child ``0`` draws
+the initial distribution, child ``1`` initialises motion state, and step
+``t`` consumes child ``1 + t``.  Because spawning is a pure function of
+the root entropy and the child index, frame ``t`` is identical no matter
+how many total steps a caller asks for — a trajectory of length ``T1``
+is a strict prefix of the same spec run to ``T2 > T1``, which is what
+lets the study key its result store by ``step`` alone.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.distributions import get_distribution
+from repro.distributions.base import Particles
+from repro.dynamics.motion import Motion, MotionState, get_motion
+from repro.util.validation import check_nonnegative
+
+__all__ = [
+    "resolve_collisions",
+    "evolve_step",
+    "TrajectorySpec",
+    "trajectory",
+    "clear_trajectory_cache",
+]
+
+
+def resolve_collisions(current: IntArray, proposed: IntArray) -> tuple[IntArray, int]:
+    """Accept non-conflicting moves; return (next codes, accepted count).
+
+    ``current`` must contain distinct cell codes; the result does too
+    (accepted targets are free cells, pairwise distinct, and disjoint
+    from every pre-step cell, so no stayer can be collided with).
+    """
+    out = current.copy()
+    moving = np.flatnonzero(proposed != current)
+    if moving.size == 0:
+        return out, 0
+    free = ~np.isin(proposed[moving], current)
+    cand = moving[free]
+    if cand.size == 0:
+        return out, 0
+    targets = proposed[cand]
+    order = np.lexsort((cand, targets))
+    sorted_targets = targets[order]
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = sorted_targets[1:] != sorted_targets[:-1]
+    winners = cand[order[first]]
+    out[winners] = proposed[winners]
+    return out, int(winners.size)
+
+
+def evolve_step(
+    particles: Particles,
+    motion: Motion,
+    state: MotionState,
+    rng: np.random.Generator,
+) -> tuple[Particles, MotionState, int]:
+    """Advance one step: propose, resolve collisions, rebuild particles.
+
+    Returns the next particle set (same ids, same array positions — the
+    index ``i`` of every array is the persistent particle identity), the
+    successor motion state, and the number of particles that moved.
+    """
+    px, py, next_state = motion.propose(particles, state, rng)
+    side = np.int64(particles.side)
+    codes, accepted = resolve_collisions(particles.cell_codes(), px * side + py)
+    moved = Particles(codes // side, codes % side, particles.order)
+    return moved, next_state, accepted
+
+
+@dataclass(frozen=True)
+class TrajectorySpec:
+    """Hashable identity of a trajectory (store-key compatible fields).
+
+    ``motion_params`` is a sorted tuple of (name, value) pairs so the
+    spec hashes and round-trips through JSON-native study kwargs.
+    """
+
+    distribution: str
+    num_particles: int
+    order: int
+    motion: str
+    motion_params: tuple[tuple[str, Any], ...]
+    seed: int
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        distribution: str,
+        num_particles: int,
+        order: int,
+        motion: str,
+        motion_params: dict[str, Any] | None = None,
+        seed: int,
+    ) -> "TrajectorySpec":
+        params = tuple(sorted((motion_params or {}).items()))
+        return cls(distribution, int(num_particles), int(order), motion, params, int(seed))
+
+    def build_motion(self) -> Motion:
+        return get_motion(self.motion, **dict(self.motion_params))
+
+
+#: Process-wide memo of extendable trajectories.  Step units for the same
+#: spec land in the same worker often enough that replaying 0..t once per
+#: process (instead of once per unit) dominates the cost; the cache is
+#: small because frames are tiny integer arrays.
+_CACHE: OrderedDict[TrajectorySpec, tuple[list[Particles], MotionState]] = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_CACHE_CAPACITY = 8
+
+
+def clear_trajectory_cache() -> None:
+    """Drop all memoised trajectories (tests and memory-pressure hooks)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+
+
+def trajectory(spec: TrajectorySpec, steps: int) -> list[Particles]:
+    """Frames ``0..steps`` of the trajectory identified by ``spec``.
+
+    Frame ``0`` is the freshly sampled distribution; frame ``t`` is the
+    state after ``t`` evolution steps.  Results are memoised per process
+    and extended in place when a longer horizon is requested.
+    """
+    steps = check_nonnegative(steps, "steps")
+    with _CACHE_LOCK:
+        cached = _CACHE.get(spec)
+        if cached is not None:
+            _CACHE.move_to_end(spec)
+            frames, state = cached
+            if len(frames) > steps:
+                return frames[: steps + 1]
+        else:
+            frames, state = [], {}
+
+        root = np.random.SeedSequence(spec.seed)
+        children = root.spawn(steps + 2)
+        motion = spec.build_motion()
+        if not frames:
+            dist = get_distribution(spec.distribution)
+            first = dist.sample(
+                spec.num_particles, spec.order, np.random.default_rng(children[0])
+            )
+            state = motion.init_state(first, np.random.default_rng(children[1]))
+            frames = [first]
+        while len(frames) <= steps:
+            t = len(frames)
+            rng = np.random.default_rng(children[1 + t])
+            nxt, state, _ = evolve_step(frames[-1], motion, state, rng)
+            frames.append(nxt)
+        _CACHE[spec] = (frames, state)
+        while len(_CACHE) > _CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
+        return frames[: steps + 1]

@@ -1,0 +1,202 @@
+"""Motion models driving particle sets through time.
+
+Each model turns the current integer particle positions into *proposed*
+positions for the next step.  Proposals are always folded back onto the
+lattice by :func:`~repro.dynamics.boundary.reflect_positions`; collision
+resolution (two particles proposing the same cell) is the job of
+:mod:`repro.dynamics.evolution`, not the motion model.
+
+Models are registered in :data:`MOTIONS` so studies can name them with
+strings and rebuild them from JSON-native parameter dicts — the same
+(name, params) pair is embedded in result-store keys, making trajectories
+content-addressable.
+
+Three models cover the scenario axes of the dynamic study:
+
+``drift``
+    Per-particle constant velocities drawn once at initialisation;
+    velocity components flip sign when the unreflected proposal leaves
+    the lattice, so particle streams bounce off the walls coherently.
+``diffusion``
+    Independent bounded random jumps each step (no state), modelling
+    thermal churn that slowly decorrelates any initial structure.
+``orbit``
+    Deterministic differential rotation about the lattice centre —
+    inner particles sweep faster than outer ones, shearing clustered
+    (astrophysical) distributions while keeping them clustered.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.distributions.base import Particles
+from repro.dynamics.boundary import reflect_positions
+from repro.util.registry import Registry
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "Motion",
+    "DriftMotion",
+    "DiffusionMotion",
+    "OrbitMotion",
+    "MOTIONS",
+    "get_motion",
+]
+
+#: Opaque per-trajectory motion state (arrays keyed by name).
+MotionState = dict[str, Any]
+
+
+class Motion(abc.ABC):
+    """A rule producing proposed next-step positions for every particle."""
+
+    #: Registry name of the motion model; set by subclasses.
+    name: str = ""
+
+    @abc.abstractmethod
+    def params(self) -> dict[str, Any]:
+        """JSON-native constructor parameters (round-trips via ``MOTIONS``)."""
+
+    def init_state(self, particles: Particles, rng: np.random.Generator) -> MotionState:
+        """Draw any per-trajectory state (velocities, phases) at step 0."""
+        del particles, rng
+        return {}
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        particles: Particles,
+        state: MotionState,
+        rng: np.random.Generator,
+    ) -> tuple[IntArray, IntArray, MotionState]:
+        """Return in-bounds proposed ``(x, y)`` plus the successor state."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({args})"
+
+
+class DriftMotion(Motion):
+    """Constant per-particle velocities with specular wall bounces."""
+
+    name = "drift"
+
+    def __init__(self, speed: int = 1):
+        self.speed = check_positive(speed, "speed")
+
+    def params(self) -> dict[str, Any]:
+        return {"speed": self.speed}
+
+    def init_state(self, particles: Particles, rng: np.random.Generator) -> MotionState:
+        n = len(particles)
+        s = self.speed
+        vx = rng.integers(-s, s + 1, size=n, dtype=np.int64)
+        vy = rng.integers(-s, s + 1, size=n, dtype=np.int64)
+        stuck = (vx == 0) & (vy == 0)
+        vx = np.where(stuck, np.int64(s), vx)
+        return {"vx": vx, "vy": vy}
+
+    def propose(
+        self,
+        particles: Particles,
+        state: MotionState,
+        rng: np.random.Generator,
+    ) -> tuple[IntArray, IntArray, MotionState]:
+        del rng
+        side = particles.side
+        vx, vy = state["vx"], state["vy"]
+        raw_x = particles.x + vx
+        raw_y = particles.y + vy
+        px = reflect_positions(raw_x, side)
+        py = reflect_positions(raw_y, side)
+        new_state = {
+            "vx": np.where(px != raw_x, -vx, vx),
+            "vy": np.where(py != raw_y, -vy, vy),
+        }
+        return px, py, new_state
+
+
+class DiffusionMotion(Motion):
+    """Independent bounded random jumps each step (stateless churn)."""
+
+    name = "diffusion"
+
+    def __init__(self, scale: int = 1):
+        self.scale = check_positive(scale, "scale")
+
+    def params(self) -> dict[str, Any]:
+        return {"scale": self.scale}
+
+    def propose(
+        self,
+        particles: Particles,
+        state: MotionState,
+        rng: np.random.Generator,
+    ) -> tuple[IntArray, IntArray, MotionState]:
+        del state
+        n = len(particles)
+        s = self.scale
+        jx = rng.integers(-s, s + 1, size=n, dtype=np.int64)
+        jy = rng.integers(-s, s + 1, size=n, dtype=np.int64)
+        px = reflect_positions(particles.x + jx, particles.side)
+        py = reflect_positions(particles.y + jy, particles.side)
+        return px, py, {}
+
+
+class OrbitMotion(Motion):
+    """Differential rotation about the lattice centre (cluster shear).
+
+    Angular speed falls off linearly with radius, so inner particles lap
+    outer ones — clustered distributions stay clustered but their shape
+    shears, which is the interesting regime for curve-locality drift.
+    The map is a pure function of the current positions (no RNG), so the
+    per-step seeds only feed the other models.
+    """
+
+    name = "orbit"
+
+    def __init__(self, sweep: int = 12, shear: int = 2):
+        #: Full revolutions near the centre take ``sweep`` steps.
+        self.sweep = check_positive(sweep, "sweep")
+        #: Outer angular speed is ``1 / (1 + shear)`` of the inner speed.
+        self.shear = check_nonnegative(shear, "shear")
+
+    def params(self) -> dict[str, Any]:
+        return {"sweep": self.sweep, "shear": self.shear}
+
+    def propose(
+        self,
+        particles: Particles,
+        state: MotionState,
+        rng: np.random.Generator,
+    ) -> tuple[IntArray, IntArray, MotionState]:
+        del state, rng
+        side = particles.side
+        centre = (side - 1) / 2.0
+        dx = particles.x.astype(np.float64) - centre
+        dy = particles.y.astype(np.float64) - centre
+        radius = np.hypot(dx, dy)
+        rmax = max(centre * np.sqrt(2.0), 1.0)
+        omega = (2.0 * np.pi / self.sweep) / (1.0 + self.shear * radius / rmax)
+        cos_w, sin_w = np.cos(omega), np.sin(omega)
+        nx = np.rint(centre + dx * cos_w - dy * sin_w).astype(np.int64)
+        ny = np.rint(centre + dx * sin_w + dy * cos_w).astype(np.int64)
+        px = reflect_positions(nx, side)
+        py = reflect_positions(ny, side)
+        return px, py, {}
+
+
+MOTIONS: Registry[Motion] = Registry("motion")
+MOTIONS.register("drift", DriftMotion)
+MOTIONS.register("diffusion", DiffusionMotion, aliases=("random-walk",))
+MOTIONS.register("orbit", OrbitMotion, aliases=("rotation",))
+
+
+def get_motion(name: str, **params: Any) -> Motion:
+    """Instantiate the motion model registered under ``name``."""
+    return MOTIONS.create(name, **params)

@@ -1,0 +1,115 @@
+"""Per-step repartitioning and migration accounting.
+
+After every evolution step the particles are re-ordered along the
+particle-order curve and re-chunked onto processors — exactly the static
+pipeline of :func:`repro.partition.assignment.partition_particles`, run
+once per frame.  This module adds the temporal bookkeeping the dynamic
+study needs on top of that:
+
+* :func:`owners_by_id` — the owning rank of every particle *by particle
+  id* (array index), which is the stable identity across frames;
+* :func:`migration_volume` — how many particles changed owner between
+  two frames, and the hop-weighted cost of shipping them on the
+  evaluation topology;
+* :func:`stale_assignment` — the counterfactual where the step-0
+  partition is never refreshed: current positions, frozen ownership.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IntArray
+from repro.distributions.base import Particles
+from repro.partition.assignment import Assignment
+from repro.partition.chunking import chunk_assignment
+from repro.partition.ordering import curve_keys
+from repro.sfc.base import SpaceFillingCurve
+from repro.topology.base import Topology
+from repro.util.validation import check_positive
+
+__all__ = ["owners_by_id", "migration_volume", "stale_assignment"]
+
+
+def owners_by_id(
+    particles: Particles,
+    curve: SpaceFillingCurve | str,
+    num_processors: int,
+) -> IntArray:
+    """Owning rank per particle id after a curve re-sort and re-chunk.
+
+    ``result[i]`` is the rank that owns particle ``i`` (the ``i``-th
+    entry of the particle arrays) once the set is sorted along ``curve``
+    and contiguously chunked onto ``num_processors`` ranks.  Identity is
+    positional, so two frames of the same trajectory can be compared
+    element-wise.
+    """
+    p = check_positive(num_processors, "num_processors")
+    keys = curve_keys(particles, curve)
+    perm = np.argsort(keys, kind="stable")
+    owners = np.empty(len(particles), dtype=np.int64)
+    owners[perm] = chunk_assignment(len(particles), p)
+    return owners
+
+
+def migration_volume(
+    prev_owners: IntArray,
+    next_owners: IntArray,
+    topology: Topology | None = None,
+) -> tuple[int, int]:
+    """Count particles whose owner changed, plus hop-weighted cost.
+
+    Returns ``(migrated, hops)``: ``migrated`` is the number of ids with
+    differing owners between the two frames, and ``hops`` is the sum of
+    topology distances from old to new owner (``0`` when no topology is
+    given).  Both are exact integers, so pooled results are bit-stable.
+    """
+    prev = np.asarray(prev_owners)
+    nxt = np.asarray(next_owners)
+    if prev.shape != nxt.shape:
+        raise ValueError(
+            f"owner arrays must be equal length, got {prev.shape} vs {nxt.shape}"
+        )
+    changed = prev != nxt
+    migrated = int(np.count_nonzero(changed))
+    if migrated == 0 or topology is None:
+        return migrated, 0
+    hops = int(topology.distance(prev[changed], nxt[changed]).sum())
+    return migrated, hops
+
+
+def stale_assignment(
+    particles: Particles,
+    curve: SpaceFillingCurve | str,
+    owners: IntArray,
+    num_processors: int,
+) -> Assignment:
+    """Assignment pairing *current* positions with *frozen* ownership.
+
+    This is the "never repartition" counterfactual: particles have moved
+    but each is still owned by the rank assigned at step 0 (``owners``
+    indexed by particle id).  The particles are sorted along ``curve``
+    (event generation expects curve order) while the ownership array is
+    permuted alongside them, so ``owner_grid`` reflects the stale
+    placement.  The ``processor`` array is generally *not* non-decreasing
+    here — that is the point of the counterfactual.
+    """
+    p = check_positive(num_processors, "num_processors")
+    owner_arr = np.asarray(owners, dtype=np.int64)
+    if owner_arr.shape != (len(particles),):
+        raise ValueError(
+            f"owners must have one entry per particle, got shape {owner_arr.shape} "
+            f"for {len(particles)} particles"
+        )
+    keys = curve_keys(particles, curve)
+    perm = np.argsort(keys, kind="stable")
+    sorted_keys = keys[perm]
+    distinct = np.ones(sorted_keys.size, dtype=bool)
+    distinct[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    if not distinct.all():
+        raise ValueError(
+            "particles collide on the lattice; resolve collisions during evolution "
+            "before building a stale assignment"
+        )
+    sorted_particles = Particles(particles.x[perm], particles.y[perm], particles.order)
+    return Assignment(sorted_particles, sorted_keys, owner_arr[perm], p)

@@ -72,6 +72,15 @@ from repro.experiments.config import (
     Scale,
     active_scale,
 )
+from repro.experiments.dynamics_study import (
+    DYNAMIC_GRID,
+    DYNAMIC_OBJECTIVES,
+    DYNAMIC_TOPOLOGIES,
+    DynamicStudyResult,
+    evaluate_dynamic_step,
+    format_dynamic_study,
+    plan_dynamic_study,
+)
 from repro.experiments.io import load_result, result_to_csv_rows, save_result, write_csv
 from repro.experiments.metric_studies import (
     METRIC_TOPOLOGIES,
@@ -236,6 +245,13 @@ __all__ = [
     "list_metrics",
     "metric_names",
     "METRIC_TOPOLOGIES",
+    "DYNAMIC_GRID",
+    "DYNAMIC_OBJECTIVES",
+    "DYNAMIC_TOPOLOGIES",
+    "DynamicStudyResult",
+    "evaluate_dynamic_step",
+    "format_dynamic_study",
+    "plan_dynamic_study",
     "CommunicationMetricResult",
     "SurfaceVolumeStudyResult",
     "evaluate_communication_metric",

@@ -10,6 +10,7 @@ Usage::
     repro-experiments ablations              # DESIGN.md convention ablations
     repro-experiments validate3d             # future-work 3D validation
     repro-experiments metrics                # objective metrics (energy, ...)
+    repro-experiments dynamic                # time-evolving repartitioning
     repro-experiments all                    # everything, in paper order
 
     repro-experiments fig5 --json fig5.json --csv fig5.csv
@@ -65,6 +66,7 @@ COMMANDS: dict[str, tuple[str, ...]] = {
     "validate3d": ("validate3d", "anns3d"),
     "clustering": ("clustering",),
     "metrics": ("energy", "data_volume", "surface_to_volume"),
+    "dynamic": ("dynamic",),
 }
 
 #: ``all`` regenerates every artefact in the paper's order (the metric
@@ -79,6 +81,7 @@ ALL_ORDER = (
     "validate3d",
     "clustering",
     "metrics",
+    "dynamic",
 )
 
 EXPERIMENTS = (*COMMANDS, "all")

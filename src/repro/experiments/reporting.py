@@ -91,7 +91,7 @@ def format_series(
 ) -> str:
     """Render one column per series against a shared x axis (figures)."""
     names = list(series)
-    width = max(14, precision + 9)
+    width = max(14, precision + 9, *(len(pretty(n)) + 1 for n in names))
     lines = [title, f"{x_label:>12}" + "".join(f"{pretty(n):>{width}}" for n in names)]
     for i, x in enumerate(x_values):
         cells = []

@@ -124,6 +124,20 @@ def _service_section(counters: Mapping[str, int | float]) -> dict[str, int]:
     }
 
 
+def _dynamics_section(counters: Mapping[str, int | float]) -> dict[str, int]:
+    """Time-evolution profile (empty when no dynamic study ran).
+
+    Distilled from the ``dynamics.*`` counters: evolution steps
+    evaluated, particles that changed owner between consecutive frames
+    (``migrated``), and curve re-sorts performed (``resorts``).
+    """
+    return {
+        name[len("dynamics."):]: int(value)
+        for name, value in counters.items()
+        if name.startswith("dynamics.")
+    }
+
+
 def _cache_sections(counters: Mapping[str, int | float]) -> dict[str, dict[str, int | float]]:
     """Group dotted counters into per-subsystem cache sections.
 
@@ -164,6 +178,7 @@ class RunManifest:
     workers: dict[str, Any] = field(default_factory=dict)
     resilience: dict[str, int] = field(default_factory=dict)
     service: dict[str, int] = field(default_factory=dict)
+    dynamics: dict[str, int] = field(default_factory=dict)
     spans: list[dict[str, Any]] = field(default_factory=list)
 
     @classmethod
@@ -191,6 +206,7 @@ class RunManifest:
             workers=_worker_stats(recorder),
             resilience=_resilience(snap["counters"]),
             service=_service_section(snap["counters"]),
+            dynamics=_dynamics_section(snap["counters"]),
             spans=snap["spans"],
         )
 

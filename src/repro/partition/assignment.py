@@ -70,9 +70,17 @@ def partition_particles(
     particles: Particles,
     particle_curve: SpaceFillingCurve | str,
     num_processors: int,
+    *,
+    duplicates: str = "raise",
 ) -> Assignment:
-    """Order ``particles`` by ``particle_curve`` and chunk them onto ranks."""
+    """Order ``particles`` by ``particle_curve`` and chunk them onto ranks.
+
+    ``duplicates`` is forwarded to :func:`order_particles`: co-located
+    particles (possible in time-evolved sets) either raise or are merged
+    before chunking.  ``p > n`` is legal — trailing ranks simply own
+    zero particles and generate no communication events.
+    """
     p = check_positive(num_processors, "num_processors")
-    ordered, keys = order_particles(particles, particle_curve)
+    ordered, keys = order_particles(particles, particle_curve, duplicates=duplicates)
     procs = chunk_assignment(len(ordered), p)
     return Assignment(ordered, keys, procs, p)

@@ -23,14 +23,49 @@ def curve_keys(particles: Particles, curve: SpaceFillingCurve | str) -> IntArray
 
 
 def order_particles(
-    particles: Particles, curve: SpaceFillingCurve | str
+    particles: Particles,
+    curve: SpaceFillingCurve | str,
+    *,
+    duplicates: str = "raise",
 ) -> tuple[Particles, IntArray]:
     """Sort particles along the particle-order SFC.
 
     Returns the reordered :class:`Particles` and the curve keys aligned
-    with it (strictly increasing, since cells are distinct).
+    with it.  The keys are strictly increasing **only if** all particles
+    occupy distinct cells — a property freshly sampled distributions
+    guarantee but time-evolved sets may violate.  The quadtree occupancy
+    pyramid and :meth:`Assignment.owner_grid` both assume at most one
+    particle per cell, so duplicate keys are never passed through
+    silently; the ``duplicates`` policy decides what happens instead:
+
+    ``"raise"`` (default)
+        Raise :class:`ValueError` naming the first colliding cell.
+    ``"merge"``
+        Collapse co-located particles to a single representative (the
+        first in the stable sort order), restoring strictly increasing
+        keys.  Event generation then sees each occupied cell once, which
+        matches the FMM model's one-particle-per-finest-cell abstraction.
     """
+    if duplicates not in ("raise", "merge"):
+        raise ValueError(
+            f"duplicates must be 'raise' or 'merge', got {duplicates!r}"
+        )
     keys = curve_keys(particles, curve)
     perm = np.argsort(keys, kind="stable")
+    sorted_keys = keys[perm]
+    distinct = np.ones(sorted_keys.size, dtype=bool)
+    distinct[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    if not distinct.all():
+        if duplicates == "raise":
+            clash = int(np.flatnonzero(~distinct)[0])
+            i = perm[clash]
+            raise ValueError(
+                f"particles collide at cell ({int(particles.x[i])}, {int(particles.y[i])}) "
+                f"(curve key {int(sorted_keys[clash])}): curve keys must be distinct; "
+                "merge co-located particles (duplicates='merge') or resolve collisions "
+                "during evolution (repro.dynamics.evolution.evolve_step)"
+            )
+        perm = perm[distinct]
+        sorted_keys = sorted_keys[distinct]
     sorted_particles = Particles(particles.x[perm], particles.y[perm], particles.order)
-    return sorted_particles, keys[perm]
+    return sorted_particles, sorted_keys

@@ -1,0 +1,197 @@
+"""Tests for the time-evolution layer: boundaries, motions, trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Particles
+from repro.dynamics import (
+    MOTIONS,
+    TrajectorySpec,
+    clear_trajectory_cache,
+    evolve_step,
+    get_motion,
+    reflect_positions,
+    resolve_collisions,
+    trajectory,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_trajectory_cache()
+    yield
+    clear_trajectory_cache()
+
+
+class TestReflectingBoundary:
+    def test_in_bounds_unchanged(self):
+        pos = np.array([0, 1, 6, 7])
+        assert np.array_equal(reflect_positions(pos, 8), pos)
+
+    def test_single_overshoot_reflects(self):
+        assert np.array_equal(
+            reflect_positions(np.array([-1, -2, 8, 9]), 8), np.array([1, 2, 6, 5])
+        )
+
+    def test_boundary_cells_bounce_inward(self):
+        # side=4: 4 -> 2, -1 -> 1 (specular, not clamping)
+        assert np.array_equal(
+            reflect_positions(np.array([4, -1]), 4), np.array([2, 1])
+        )
+
+    def test_large_overshoot_bounces_repeatedly(self):
+        # period 6 for side 4: 10 -> mod 6 = 4 -> 6-4 = 2
+        assert int(reflect_positions(10, 4)) == 2
+        out = reflect_positions(np.arange(-50, 50), 4)
+        assert out.min() >= 0 and out.max() < 4
+
+    def test_side_one_collapses_to_zero(self):
+        assert np.array_equal(reflect_positions(np.array([0, 5, -3]), 1), np.zeros(3))
+
+    def test_scalar_accepted(self):
+        assert int(reflect_positions(5, 4)) == 1
+
+
+class TestResolveCollisions:
+    def test_disjoint_moves_all_accepted(self):
+        cur = np.array([0, 10, 20])
+        prop = np.array([1, 11, 21])
+        out, accepted = resolve_collisions(cur, prop)
+        assert np.array_equal(out, prop)
+        assert accepted == 3
+
+    def test_contested_cell_goes_to_lowest_id(self):
+        cur = np.array([0, 10, 20])
+        prop = np.array([5, 5, 5])
+        out, accepted = resolve_collisions(cur, prop)
+        assert np.array_equal(out, [5, 10, 20])
+        assert accepted == 1
+
+    def test_occupied_target_blocks_even_if_vacated(self):
+        # particle 1 moves away from 10, but particle 0's move into 10
+        # is still blocked: targets must be free *before* the step.
+        cur = np.array([0, 10])
+        prop = np.array([10, 11])
+        out, _ = resolve_collisions(cur, prop)
+        assert np.array_equal(out, [0, 11])
+
+    def test_result_stays_distinct(self):
+        rng = np.random.default_rng(5)
+        cur = rng.choice(100, size=40, replace=False).astype(np.int64)
+        prop = rng.integers(0, 100, size=40).astype(np.int64)
+        out, _ = resolve_collisions(cur, prop)
+        assert np.unique(out).size == out.size
+
+    def test_no_moves_is_noop(self):
+        cur = np.array([3, 4])
+        out, accepted = resolve_collisions(cur, cur.copy())
+        assert np.array_equal(out, cur) and accepted == 0
+
+
+class TestMotions:
+    @pytest.mark.parametrize("name", ["drift", "diffusion", "orbit"])
+    def test_registered_and_buildable(self, name):
+        assert name in MOTIONS
+        motion = get_motion(name)
+        assert motion.name == name
+        rebuilt = get_motion(name, **motion.params())
+        assert rebuilt.params() == motion.params()
+
+    @pytest.mark.parametrize("name", ["drift", "diffusion", "orbit"])
+    def test_proposals_in_bounds(self, name):
+        spec = TrajectorySpec.create(
+            distribution="uniform", num_particles=200, order=5, motion=name, seed=3
+        )
+        for frame in trajectory(spec, 4):
+            assert frame.x.min() >= 0 and frame.x.max() < frame.side
+            assert frame.y.min() >= 0 and frame.y.max() < frame.side
+            frame.validate_distinct()
+
+    def test_drift_bounces_off_walls(self):
+        particles = Particles(np.array([7]), np.array([0]), 3)
+        motion = get_motion("drift", speed=1)
+        state = {"vx": np.array([1]), "vy": np.array([0])}
+        px, py, new_state = motion.propose(particles, state, np.random.default_rng(0))
+        assert int(px[0]) == 6  # reflected off x = 8
+        assert int(new_state["vx"][0]) == -1  # velocity flipped
+
+    def test_drift_never_all_zero_velocity(self):
+        particles = Particles(np.arange(50), np.arange(50), 6)
+        motion = get_motion("drift")
+        state = motion.init_state(particles, np.random.default_rng(11))
+        assert np.all((state["vx"] != 0) | (state["vy"] != 0))
+
+    def test_orbit_moves_particles(self):
+        spec = TrajectorySpec.create(
+            distribution="clustered", num_particles=150, order=6, motion="orbit", seed=9
+        )
+        frames = trajectory(spec, 2)
+        assert np.any(frames[0].x != frames[2].x) or np.any(frames[0].y != frames[2].y)
+
+    def test_unknown_motion_rejected(self):
+        with pytest.raises(KeyError):
+            get_motion("teleport")
+
+
+class TestTrajectory:
+    SPEC = dict(
+        distribution="uniform", num_particles=150, order=6, motion="diffusion", seed=42
+    )
+
+    def test_same_seed_same_trajectory(self):
+        spec = TrajectorySpec.create(**self.SPEC)
+        a = trajectory(spec, 5)
+        clear_trajectory_cache()
+        b = trajectory(spec, 5)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.x, fb.x) and np.array_equal(fa.y, fb.y)
+
+    def test_different_seed_differs(self):
+        a = trajectory(TrajectorySpec.create(**self.SPEC), 3)
+        b = trajectory(TrajectorySpec.create(**{**self.SPEC, "seed": 43}), 3)
+        assert not (np.array_equal(a[0].x, b[0].x) and np.array_equal(a[0].y, b[0].y))
+
+    def test_shorter_horizon_is_prefix(self):
+        spec = TrajectorySpec.create(**self.SPEC)
+        long = trajectory(spec, 6)
+        clear_trajectory_cache()
+        short = trajectory(spec, 2)
+        for fs, fl in zip(short, long):
+            assert np.array_equal(fs.x, fl.x) and np.array_equal(fs.y, fl.y)
+
+    def test_cache_extension_matches_cold_run(self):
+        spec = TrajectorySpec.create(**self.SPEC)
+        trajectory(spec, 2)
+        extended = trajectory(spec, 6)  # extends the cached prefix
+        clear_trajectory_cache()
+        cold = trajectory(spec, 6)
+        for fe, fc in zip(extended, cold):
+            assert np.array_equal(fe.x, fc.x) and np.array_equal(fe.y, fc.y)
+
+    def test_frame_count(self):
+        spec = TrajectorySpec.create(**self.SPEC)
+        assert len(trajectory(spec, 0)) == 1
+        assert len(trajectory(spec, 4)) == 5
+
+    def test_evolve_step_preserves_count_and_identity_positions(self):
+        spec = TrajectorySpec.create(**self.SPEC)
+        frames = trajectory(spec, 1)
+        assert len(frames[0]) == len(frames[1]) == 150
+
+    def test_evolve_step_counts_moves(self):
+        particles = Particles(np.array([1, 5]), np.array([1, 5]), 4)
+        motion = get_motion("diffusion", scale=1)
+        _, _, moved = evolve_step(particles, motion, {}, np.random.default_rng(0))
+        assert 0 <= moved <= 2
+
+
+class TestOutOfLatticeValidation:
+    def test_overflow_names_lattice_and_fix(self):
+        with pytest.raises(ValueError, match=r"order-2 lattice \[0, 4\).*reflect_positions"):
+            Particles(np.array([5]), np.array([0]), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=r"got range \[-1, 0\]"):
+            Particles(np.array([0, 0]), np.array([-1, 0]), 3)

@@ -1,0 +1,191 @@
+"""The dynamic study: series shape, determinism, per-step resume."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.dynamics import clear_trajectory_cache
+from repro.experiments import (
+    StudyContext,
+    load_result,
+    plan_dynamic_study,
+    result_to_csv_rows,
+    run_study,
+    save_result,
+)
+from repro.experiments.cli import ALL_ORDER, COMMANDS
+from repro.experiments.dynamics_study import DYNAMIC_STUDY, format_dynamic_study, grid_label
+from repro.experiments.runner import UnitFailedError
+from repro.experiments.store import ResultStore
+from repro.experiments.study import get_study
+from repro.obs import RunManifest
+from repro.runtime import configure
+
+GRID = (("drift", "uniform"), ("diffusion", "uniform"))
+CURVES = ("hilbert", "rowmajor")
+STEPS = 2
+
+
+def _plan(ctx):
+    return plan_dynamic_study(
+        ctx,
+        grid=GRID,
+        topologies=("mesh",),
+        curves=CURVES,
+        objectives=("acd", "energy"),
+        steps=STEPS,
+        num_particles=120,
+        order=5,
+        num_processors=16,
+    )
+
+
+def _run(ctx):
+    return run_study(DYNAMIC_STUDY, ctx, plan=_plan(ctx))
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_trajectory_cache()
+    yield
+    clear_trajectory_cache()
+
+
+class TestResultShape:
+    def test_series_cover_every_axis(self):
+        result = _run(StudyContext(seed=7, store=None))
+        assert result.labels == tuple(grid_label(m, d) for m, d in GRID)
+        for label in result.labels:
+            for curve in CURVES:
+                for objective in ("acd", "energy"):
+                    assert len(result.resorted_mean[label]["mesh"][curve][objective]) == STEPS + 1
+                    assert len(result.stale_mean[label]["mesh"][curve][objective]) == STEPS + 1
+                assert len(result.migrated[label]["mesh"][curve]) == STEPS + 1
+
+    def test_step_zero_stale_equals_resorted_and_no_migration(self):
+        result = _run(StudyContext(seed=7, store=None))
+        for label in result.labels:
+            for curve in CURVES:
+                assert result.migrated[label]["mesh"][curve][0] == 0
+                assert result.migration_hops[label]["mesh"][curve][0] == 0
+                assert (
+                    result.resorted_mean[label]["mesh"][curve]["acd"][0]
+                    == result.stale_mean[label]["mesh"][curve]["acd"][0]
+                )
+
+    def test_motion_produces_migration(self):
+        result = _run(StudyContext(seed=7, store=None))
+        total = sum(
+            sum(result.migrated[label]["mesh"][curve][1:])
+            for label in result.labels
+            for curve in CURVES
+        )
+        assert total > 0
+
+    def test_recommendations_are_recommend_compatible(self):
+        result = _run(StudyContext(seed=7, store=None))
+        assert len(result.recommendations) == len(CURVES)  # one topology
+        scores = [e["score"] for e in result.recommendations]
+        assert scores == sorted(scores)
+        for rank, entry in enumerate(result.recommendations, start=1):
+            assert entry["rank"] == rank
+            assert set(entry) >= {"topology", "processor_curve", "score", "mean", "final"}
+
+    def test_render_mentions_every_label(self):
+        result = _run(StudyContext(seed=7, store=None))
+        text = format_dynamic_study(result)
+        for label in result.labels:
+            assert label in text
+        assert "Best acd candidates" in text
+
+    def test_registered_and_on_cli(self):
+        assert get_study("dynamic") is DYNAMIC_STUDY
+        assert COMMANDS["dynamic"] == ("dynamic",)
+        assert "dynamic" in ALL_ORDER
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        a = _run(StudyContext(seed=11, store=None))
+        clear_trajectory_cache()
+        b = _run(StudyContext(seed=11, store=None))
+        assert a == b
+
+    def test_jobs_1_and_4_bit_identical(self):
+        serial = _run(StudyContext(seed=11, jobs=1, store=None))
+        clear_trajectory_cache()
+        parallel = _run(StudyContext(seed=11, jobs=4, store=None))
+        assert serial == parallel
+
+    def test_different_seed_differs(self):
+        a = _run(StudyContext(seed=11, store=None))
+        b = _run(StudyContext(seed=12, store=None))
+        assert a != b
+
+
+class TestStoreResume:
+    def test_warm_rerun_computes_zero_steps(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ctx = StudyContext(seed=5, store=store)
+        cold = _run(ctx)
+        clear_trajectory_cache()
+        with obs.recording() as rec:
+            warm = _run(ctx)
+        assert warm == cold
+        units = len(_plan(ctx).units)
+        assert rec.counters["study.resume_hits"] == units
+        assert rec.counters.get("dynamics.steps", 0) == 0
+
+    def test_kill_mid_run_resumes_paying_only_missing_steps(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ctx = StudyContext(seed=5, store=store)
+        units = len(_plan(ctx).units)
+        # the third step unit raises; units 0-1 complete and must flush
+        with configure(faults="raise:unit=2:attempts=99", max_retries=0):
+            with pytest.raises(UnitFailedError):
+                _run(ctx)
+        assert len(store) == 2
+
+        clear_trajectory_cache()
+        with obs.recording() as rec:
+            resumed = _run(ctx)
+        assert rec.counters["study.resume_hits"] == 2
+        assert rec.counters["dynamics.steps"] == units - 2
+
+        plain = _run(StudyContext(seed=5, store=None))
+        assert resumed == plain  # bit-identical to an uninterrupted run
+
+    def test_manifest_carries_dynamics_section(self):
+        with obs.recording() as rec:
+            _run(StudyContext(seed=5, store=None))
+        manifest = RunManifest.from_recorder(rec)
+        units = len(_plan(StudyContext(seed=5)).units)
+        assert manifest.dynamics["steps"] == units
+        assert manifest.dynamics["resorts"] == units
+        assert manifest.dynamics["migrated"] > 0
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        result = _run(StudyContext(seed=7, store=None))
+        path = tmp_path / "dynamic.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.labels == result.labels
+        assert loaded.resorted_mean == result.resorted_mean
+        assert loaded.recommendations == result.recommendations
+
+    def test_csv_rows_cover_grid(self):
+        result = _run(StudyContext(seed=7, store=None))
+        rows = result_to_csv_rows(result)
+        assert len(rows) == len(GRID) * 1 * len(CURVES) * 2 * (STEPS + 1)
+        assert {"label", "topology", "curve", "objective", "step"} <= set(rows[0])
+
+    def test_result_is_frozen_dataclass(self):
+        result = _run(StudyContext(seed=7, store=None))
+        assert dataclasses.is_dataclass(result)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.steps = 99
